@@ -1,0 +1,121 @@
+// Package aurochs is the public facade over the Aurochs reproduction: a
+// cycle-level model of the dataflow-thread architecture from "Aurochs: An
+// Architecture for Dataflow Threads" (Vilim, Rucker, Olukotun — ISCA 2021),
+// together with the database kernels built on it, the CPU/GPU/Gorgon
+// baselines, and the ridesharing benchmark queries.
+//
+// Quick start — join two tables on the simulated fabric:
+//
+//	build := []aurochs.Rec{aurochs.MakeRec(1, 100), aurochs.MakeRec(2, 200)}
+//	probe := []aurochs.Rec{aurochs.MakeRec(2, 9)}
+//	matches, res, err := aurochs.HashJoin(nil, build, probe, aurochs.HashJoinOptions{})
+//	// matches[0] = [2, 9, 200]; res.Cycles is the simulated runtime.
+//
+// The deeper layers are importable directly:
+//
+//	internal/fabric — compute/scratchpad tiles, loops, spill queues
+//	internal/spad   — the sparse reordering scratchpad (issue queues,
+//	                  lane↔bank allocator, RMW atomics)
+//	internal/core   — the paper's kernels (hash table, partition, tree walks)
+//	internal/queries — the fig. 13 benchmark on three engines
+package aurochs
+
+import (
+	"aurochs/internal/core"
+	"aurochs/internal/dram"
+	"aurochs/internal/queries"
+	"aurochs/internal/record"
+)
+
+// Re-exported data model.
+type (
+	// Rec is a thread/data record of 32-bit fields.
+	Rec = record.Rec
+	// Vector is a 16-lane SIMD beat of records.
+	Vector = record.Vector
+	// Schema names record fields.
+	Schema = record.Schema
+)
+
+// MakeRec builds a record from field values.
+func MakeRec(fields ...uint32) Rec { return record.Make(fields...) }
+
+// NewSchema builds a schema from ordered field names.
+func NewSchema(names ...string) *Schema { return record.NewSchema(names...) }
+
+// Re-exported kernel API.
+type (
+	// Result is a kernel's simulated timing.
+	Result = core.Result
+	// HashJoinOptions configures the partitioned hash join.
+	HashJoinOptions = core.HashJoinOptions
+	// HashTableParams sizes an on-chip hash table with DRAM overflow.
+	HashTableParams = core.HashTableParams
+	// HashTable is a built chained hash table.
+	HashTable = core.HashTable
+	// Tuning carries the microarchitectural ablation knobs.
+	Tuning = core.Tuning
+	// HBM is the shared high-bandwidth memory model.
+	HBM = dram.HBM
+)
+
+// NewHBM builds the default ~1 TB/s HBM model instance.
+func NewHBM() *HBM { return dram.New(dram.DefaultConfig()) }
+
+// HashJoin runs the paper's two-phase partitioned hash join on the fabric
+// simulator. Inputs are [key, val] records; matches are [key, probeVal,
+// buildVal]. Pass a nil HBM to use a fresh default instance.
+func HashJoin(hbm *HBM, build, probe []Rec, opt HashJoinOptions) ([]Rec, Result, error) {
+	return core.HashJoin(hbm, build, probe, opt)
+}
+
+// BuildHashTable runs the fig. 7a build pipeline: slot stamping, node
+// scatter with transparent DRAM overflow, lock-free CAS chain prepend.
+func BuildHashTable(p HashTableParams, input []Rec, hbm *HBM) (*HashTable, Result, error) {
+	return core.BuildHashTable(p, input, hbm)
+}
+
+// DefaultHashTableParams sizes a table for n insertions with the paper's
+// scratchpad geometry.
+func DefaultHashTableParams(n int) HashTableParams {
+	return core.DefaultHashTableParams(n)
+}
+
+// ProbeHashTable runs the fig. 6a probe pipeline over a built table.
+// Probes are [key, tag]; matches are [key, tag, val].
+func ProbeHashTable(ht *HashTable, probes []Rec) ([]Rec, Result, error) {
+	return core.ProbeHashTable(ht, probes, core.ProbeOptions{})
+}
+
+// Re-exported benchmark API.
+type (
+	// Dataset is a generated ridesharing workload (fig. 13 / table 2).
+	Dataset = queries.Dataset
+	// Scale sets dataset cardinalities.
+	Scale = queries.Scale
+	// Engine abstracts the physical operators the queries run on.
+	Engine = queries.Engine
+	// QueryResult is one query's outcome on one engine.
+	QueryResult = queries.QueryResult
+)
+
+// GenerateDataset builds a seeded synthetic ridesharing dataset.
+func GenerateDataset(s Scale, seed int64) *Dataset { return queries.Generate(s, seed) }
+
+// SmallScale returns a dataset scale that simulates in seconds.
+func SmallScale() Scale { return queries.SmallScale() }
+
+// NewAurochsEngine returns the fabric-simulator query engine with p
+// parallel pipelines.
+func NewAurochsEngine(p int) Engine { return queries.NewAurochs(p) }
+
+// NewCPUEngine returns the multicore software baseline engine.
+func NewCPUEngine() Engine { return queries.NewCPU() }
+
+// NewGPUEngine returns the SIMT-model baseline engine.
+func NewGPUEngine() Engine { return queries.NewGPU() }
+
+// RunQueries executes the nine benchmark queries on an engine.
+func RunQueries(e Engine, d *Dataset) ([]QueryResult, error) {
+	return queries.RunAll(e, d)
+}

@@ -1,0 +1,79 @@
+package aurochs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Facade-level tests: the README quick start must actually work.
+
+func TestFacadeHashJoin(t *testing.T) {
+	build := []Rec{MakeRec(1, 100), MakeRec(2, 200), MakeRec(2, 201)}
+	probe := []Rec{MakeRec(2, 9), MakeRec(3, 8)}
+	matches, res, err := HashJoin(nil, build, probe, HashJoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches=%d want 2", len(matches))
+	}
+	for _, m := range matches {
+		if m.Get(0) != 2 || m.Get(1) != 9 {
+			t.Fatalf("bad match %v", m)
+		}
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no simulated cycles")
+	}
+}
+
+func TestFacadeBuildProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	build := make([]Rec, n)
+	for i := range build {
+		build[i] = MakeRec(rng.Uint32()%2000, uint32(i))
+	}
+	ht, _, err := BuildHashTable(DefaultHashTableParams(n), build, NewHBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []Rec{MakeRec(build[0].Get(0), 7)}
+	got, _, err := ProbeHashTable(ht, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("present key not found")
+	}
+}
+
+func TestFacadeSchema(t *testing.T) {
+	s := NewSchema("key", "val")
+	if s.MustField("val") != 1 {
+		t.Fatal("schema field index wrong")
+	}
+}
+
+func TestFacadeQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle simulation in -short mode")
+	}
+	d := GenerateDataset(SmallScale(), 5)
+	cpuR, err := RunQueries(NewCPUEngine(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aurR, err := RunQueries(NewAurochsEngine(2), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpuR) != 9 || len(aurR) != 9 {
+		t.Fatalf("expected 9 queries, got %d/%d", len(cpuR), len(aurR))
+	}
+	for i := range cpuR {
+		if cpuR[i].Fingerprint != aurR[i].Fingerprint {
+			t.Errorf("%s: engines disagree", cpuR[i].Query)
+		}
+	}
+}

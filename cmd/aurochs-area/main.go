@@ -1,0 +1,19 @@
+// aurochs-area prints the fig. 10 silicon-cost report: the per-component
+// breakdown of the memory-reordering pipeline Aurochs adds to a Gorgon
+// scratchpad tile, plus the headline tile and chip overheads.
+package main
+
+import (
+	"fmt"
+
+	"aurochs/internal/area"
+)
+
+func main() {
+	m := area.Default()
+	fmt.Println("Aurochs scratchpad additions (fig. 10), normalized to a Gorgon scratchpad tile = 100:")
+	fmt.Println()
+	fmt.Print(m.Breakdown())
+	fmt.Println()
+	fmt.Println(area.TimingNote)
+}

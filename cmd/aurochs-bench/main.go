@@ -1,0 +1,60 @@
+// aurochs-bench regenerates every table and figure of the paper's
+// evaluation (§V): the area breakdown (fig. 10), join and spatial-join
+// scaling (fig. 11a/b), throughput vs stream-level parallelism (fig. 12),
+// the nine ridesharing queries with energy (fig. 14 / table 2), the GPU
+// warp-efficiency profiling claim (§III-A), and the microarchitectural
+// ablations.
+//
+// Usage:
+//
+//	aurochs-bench                  # everything
+//	aurochs-bench -fig 11a         # one experiment
+//	aurochs-bench -fig 14 -scale bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"aurochs/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment: 10, 11a, 11b, 12, 14, warp, ablation, table2, all")
+	scale := flag.String("scale", "small", "dataset scale for -fig 14: small | bench")
+	pipelines := flag.Int("p", 4, "Aurochs pipelines for query execution")
+	flag.Parse()
+
+	runs := map[string]func() error{
+		"10":       bench.Fig10,
+		"11a":      bench.Fig11a,
+		"11b":      bench.Fig11b,
+		"12":       bench.Fig12,
+		"14":       func() error { return bench.Fig14(*scale, *pipelines) },
+		"warp":     bench.WarpEfficiency,
+		"ablation": bench.Ablation,
+		"table2":   bench.Table2,
+	}
+	order := []string{"10", "11a", "11b", "12", "warp", "ablation", "table2", "14"}
+
+	if *fig == "all" {
+		for _, k := range order {
+			if err := runs[k](); err != nil {
+				log.Fatalf("fig %s: %v", k, err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runs[strings.ToLower(*fig)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// LSM index: streaming time-series ingest through the log-structured
+// merge-tree of paper §IV-B. Batches of timestamped readings bulk-load
+// into immutable B-trees; merges keep the exponential size invariant;
+// recent-window queries prune old trees via the per-tree key range — the
+// "tree list acts as a secondary index on time" effect.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aurochs/internal/dram"
+	"aurochs/internal/index/btree"
+	"aurochs/internal/index/lsm"
+)
+
+func main() {
+	const (
+		batches   = 50
+		batchSize = 4000
+	)
+	hbm := dram.New(dram.DefaultConfig())
+	idx := lsm.New(hbm, 0, 1<<28)
+	rng := rand.New(rand.NewSource(3))
+
+	ts := uint32(0)
+	for b := 0; b < batches; b++ {
+		batch := make([]btree.KV, batchSize)
+		for i := range batch {
+			// Timestamps arrive roughly in order with jitter.
+			ts += uint32(rng.Intn(4))
+			batch[i] = btree.KV{Key: ts, Val: uint32(b*batchSize + i)}
+		}
+		idx.Insert(batch)
+		if (b+1)%10 == 0 {
+			fmt.Printf("after %2d batches: %7d entries in %d trees (%d merges, %.1f words written/entry)\n",
+				b+1, idx.Len(), len(idx.Trees()), idx.MergesDone,
+				float64(idx.WordsWritten)/float64(idx.Len()))
+		}
+	}
+
+	fmt.Println()
+	// Recent-window queries: the newest tree covers recent timestamps, so
+	// pruning skips almost everything.
+	for _, window := range []uint32{100, 10_000, ts} {
+		lo := ts - window
+		hits := idx.Range(lo, ts)
+		fmt.Printf("range [now-%6d, now]: %7d hits, scanned %d of %d trees\n",
+			window, len(hits), idx.TreesScanned(lo, ts), len(idx.Trees()))
+	}
+	fmt.Println()
+	fmt.Println("Immutable trees give concurrent readers/writers without locks;")
+	fmt.Println("bulk loads amortize index maintenance (paper §IV-B).")
+}

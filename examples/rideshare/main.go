@@ -1,0 +1,65 @@
+// Rideshare: the paper's headline scenario end to end — run the fig. 13
+// benchmark queries on all three engines (Aurochs fabric simulator, CPU
+// baseline, GPU model), verify they agree, and print the per-query
+// comparison that fig. 14 plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"aurochs"
+)
+
+func main() {
+	pipelines := flag.Int("p", 4, "Aurochs stream-level parallelism")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	d := aurochs.GenerateDataset(aurochs.SmallScale(), *seed)
+	fmt.Printf("dataset: %d rides, %d requests, %d status reports, %d zones\n\n",
+		len(d.Rides), len(d.RideReqs), len(d.DriverStatus), len(d.Locations))
+
+	engines := []aurochs.Engine{
+		aurochs.NewCPUEngine(),
+		aurochs.NewGPUEngine(),
+		aurochs.NewAurochsEngine(*pipelines),
+	}
+	results := map[string][]aurochs.QueryResult{}
+	for _, e := range engines {
+		rs, err := aurochs.RunQueries(e, d)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name(), err)
+		}
+		results[e.Name()] = rs
+	}
+
+	// Cross-check: identical fingerprints or the comparison is void.
+	for q := range results["cpu"] {
+		fp := results["cpu"][q].Fingerprint
+		for _, e := range engines {
+			if results[e.Name()][q].Fingerprint != fp {
+				log.Fatalf("%s: %s result differs from cpu", results["cpu"][q].Query, e.Name())
+			}
+		}
+	}
+	fmt.Println("all engines agree on all nine queries ✓")
+	fmt.Println()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "query\trows\tcpu\tgpu\taurochs\tvs cpu\tvs gpu")
+	for q := range results["cpu"] {
+		c := results["cpu"][q]
+		g := results["gpu"][q]
+		a := results["aurochs"][q]
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%.0fx\t%.1fx\n",
+			c.Query, c.Rows,
+			c.Cost.Duration().Round(1000), g.Cost.Duration().Round(1000), a.Cost.Duration().Round(1000),
+			c.Cost.Seconds/a.Cost.Seconds, g.Cost.Seconds/a.Cost.Seconds)
+	}
+	w.Flush()
+	fmt.Println("\n(speedups grow with dataset scale; see cmd/aurochs-bench -fig 14)")
+}

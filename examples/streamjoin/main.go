@@ -1,0 +1,79 @@
+// Stream join: the low-latency symmetric hash join of paper §III-A/§IV-A.
+// Two live streams — ride requests and driver position reports — each
+// maintain a hash table keyed by geohash cell. Every micro-batch, each
+// stream inserts its new records into its own table and probes the *other*
+// stream's table, pairing requests with co-located drivers. This works at
+// line rate because Aurochs' lock-free CAS chains keep buckets consistent
+// for concurrent readers and writers, and the dual-ported scratchpads
+// schedule read and write streams independently (paper §IV-A).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aurochs"
+	"aurochs/internal/core"
+	"aurochs/internal/record"
+)
+
+func main() {
+	const (
+		batches   = 8
+		batchSize = 2000
+		cells     = 512 // geohash-style join key space
+	)
+	rng := rand.New(rand.NewSource(7))
+	hbm := aurochs.NewHBM()
+
+	total := batches * batchSize
+	reqTable, _, err := core.BuildHashTable(core.DefaultHashTableParams(total), nil, hbm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drvTable, _, err := core.BuildHashTable(core.DefaultHashTableParams(total), nil, hbm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var totalCycles int64
+	var totalMatches int
+	for b := 0; b < batches; b++ {
+		reqs := make([]record.Rec, batchSize) // [cell, reqID]
+		drvs := make([]record.Rec, batchSize) // [cell, driverID]
+		for i := range reqs {
+			reqs[i] = record.Make(rng.Uint32()%cells, uint32(b*batchSize+i))
+			drvs[i] = record.Make(rng.Uint32()%cells, uint32(100000+b*batchSize+i))
+		}
+
+		// Ingest both sides (streaming insert through the build pipeline).
+		insRes1, err := core.InsertHashTable(drvTable, drvs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insRes2, err := core.InsertHashTable(reqTable, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Cross-probe: new requests against all drivers seen so far, new
+		// drivers against all requests seen so far.
+		m1, p1, err := core.ProbeHashTable(drvTable, reqs, core.ProbeOptions{FirstMatchOnly: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m2, p2, err := core.ProbeHashTable(reqTable, drvs, core.ProbeOptions{FirstMatchOnly: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cyc := insRes1.Cycles + insRes2.Cycles + p1.Cycles + p2.Cycles
+		totalCycles += cyc
+		totalMatches += len(m1) + len(m2)
+		fmt.Printf("batch %d: %4d req→drv + %4d drv→req matches | %7d cycles (%.1f µs batch latency)\n",
+			b, len(m1), len(m2), cyc, float64(cyc)/1e3)
+	}
+	fmt.Printf("\n%d batches, %d matches, %.2f ms simulated — symmetric stream join, no locks\n",
+		batches, totalMatches, float64(totalCycles)/1e6)
+}

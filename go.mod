@@ -1,0 +1,3 @@
+module aurochs
+
+go 1.22

@@ -1,0 +1,54 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeadlineOverheads(t *testing.T) {
+	m := Default()
+	// Paper §V-A: +15 % scratchpad area, +5 % chip area.
+	if got := m.ScratchpadOverhead(); got < 0.145 || got > 0.155 {
+		t.Errorf("scratchpad overhead %.3f, want ~0.15", got)
+	}
+	if got := m.ChipOverhead(); got < 0.045 || got > 0.055 {
+		t.Errorf("chip overhead %.3f, want ~0.05", got)
+	}
+}
+
+func TestAllocatorIsSmall(t *testing.T) {
+	// "the allocation logic ... occupies only a small portion" — under
+	// 10 % of the additions.
+	m := Default()
+	for _, c := range m.Additions {
+		if c.Name == "allocator" {
+			if c.Area/m.AddedArea() > 0.10 {
+				t.Errorf("allocator is %.0f%% of additions; paper calls it small", 100*c.Area/m.AddedArea())
+			}
+			return
+		}
+	}
+	t.Fatal("no allocator component in the model")
+}
+
+func TestIssueQueuesDominate(t *testing.T) {
+	m := Default()
+	var max Component
+	for _, c := range m.Additions {
+		if c.Area > max.Area {
+			max = c
+		}
+	}
+	if !strings.Contains(max.Name, "issue queues") {
+		t.Errorf("largest addition is %q; issue-queue storage should dominate", max.Name)
+	}
+}
+
+func TestBreakdownRenders(t *testing.T) {
+	out := Default().Breakdown()
+	for _, want := range []string{"allocator", "issue queues", "total added", "chip overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}

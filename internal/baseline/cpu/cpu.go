@@ -1,0 +1,264 @@
+// Package cpu is the software baseline: competent multicore Go
+// implementations of the kernels Aurochs accelerates, measured with wall
+// clock on the host. The paper's CPU baseline is a time-series database on
+// a multi-socket Xeon server; what the comparison needs from it is the
+// asymptotic shape — linear radix hash joins, n·log n sorts, logarithmic
+// index probes — and a realistic constant factor, both of which a tuned
+// native implementation provides.
+package cpu
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// KV is a key-value row (8 bytes, matching the paper's join tuples).
+type KV struct {
+	Key uint32
+	Val uint32
+}
+
+// Match is one join result.
+type Match struct {
+	Key      uint32
+	BuildVal uint32
+	ProbeVal uint32
+}
+
+// hash32 mirrors the accelerator's multiplicative hash.
+func hash32(key uint32) uint32 {
+	h := key * 2654435761
+	h ^= h >> 16
+	return h * 0x85ebca6b
+}
+
+// HashJoin is a cache-conscious radix-partitioned hash join: partition both
+// sides on the hash so each partition pair fits in cache, then build and
+// probe per-partition open-addressing tables, partitions in parallel
+// across cores. Returns the match count and elapsed wall time (results are
+// counted, not materialized, to keep the measurement about the join).
+func HashJoin(build, probe []KV) (int64, time.Duration) {
+	start := time.Now()
+	// Size partitions toward L2-resident tables.
+	parts := 1
+	for parts*8192 < len(build) {
+		parts *= 2
+	}
+	mask := uint32(parts - 1)
+
+	bp := partition(build, mask)
+	pp := partition(probe, mask)
+
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	ch := make(chan int, parts)
+	for p := 0; p < parts; p++ {
+		ch <- p
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for p := range ch {
+				local += joinPartition(bp[p], pp[p])
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total, time.Since(start)
+}
+
+// partition scatters rows by hash into parts buckets (two-pass counting
+// scatter: sequential writes per destination, the standard radix layout).
+func partition(rows []KV, mask uint32) [][]KV {
+	parts := int(mask) + 1
+	counts := make([]int, parts)
+	for _, r := range rows {
+		counts[hash32(r.Key)&mask]++
+	}
+	out := make([][]KV, parts)
+	buf := make([]KV, len(rows))
+	off := 0
+	offs := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		offs[p] = off
+		out[p] = buf[off : off : off+counts[p]]
+		off += counts[p]
+	}
+	for _, r := range rows {
+		p := hash32(r.Key) & mask
+		out[p] = append(out[p], r)
+	}
+	return out
+}
+
+// joinPartition builds an open-addressing table over build and probes it.
+func joinPartition(build, probe []KV) int64 {
+	if len(build) == 0 || len(probe) == 0 {
+		return 0
+	}
+	size := 1
+	for size < 2*len(build) {
+		size *= 2
+	}
+	msk := uint32(size - 1)
+	keys := make([]uint32, size)
+	vals := make([]uint32, size)
+	used := make([]bool, size)
+	for _, r := range build {
+		slot := hash32(r.Key) & msk
+		for used[slot] {
+			slot = (slot + 1) & msk
+		}
+		keys[slot], vals[slot], used[slot] = r.Key, r.Val, true
+	}
+	var n int64
+	for _, r := range probe {
+		slot := hash32(r.Key) & msk
+		for used[slot] {
+			if keys[slot] == r.Key {
+				n++
+			}
+			slot = (slot + 1) & msk
+		}
+	}
+	_ = vals
+	return n
+}
+
+// SortMergeJoin sorts both sides and merges: the O(n log n) alternative
+// that wins on small or pre-sorted inputs.
+func SortMergeJoin(build, probe []KV) (int64, time.Duration) {
+	start := time.Now()
+	a := append([]KV(nil), build...)
+	b := append([]KV(nil), probe...)
+	sortKV(a)
+	sortKV(b)
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Key < b[j].Key:
+			i++
+		case a[i].Key > b[j].Key:
+			j++
+		default:
+			// Count the duplicate cross product.
+			k := a[i].Key
+			ia := i
+			for ia < len(a) && a[ia].Key == k {
+				ia++
+			}
+			jb := j
+			for jb < len(b) && b[jb].Key == k {
+				jb++
+			}
+			n += int64(ia-i) * int64(jb-j)
+			i, j = ia, jb
+		}
+	}
+	return n, time.Since(start)
+}
+
+// sortKV sorts rows by key with a parallel merge sort over sorted chunks.
+func sortKV(rows []KV) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(rows) < 1<<14 || workers == 1 {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+		return
+	}
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for off := 0; off < len(rows); off += chunk {
+		end := off + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		wg.Add(1)
+		go func(s []KV) {
+			defer wg.Done()
+			sort.Slice(s, func(i, j int) bool { return s[i].Key < s[j].Key })
+		}(rows[off:end])
+	}
+	wg.Wait()
+	// Iterative pairwise merges.
+	width := chunk
+	buf := make([]KV, len(rows))
+	for width < len(rows) {
+		var mwg sync.WaitGroup
+		for off := 0; off < len(rows); off += 2 * width {
+			mid := off + width
+			end := off + 2*width
+			if mid > len(rows) {
+				mid = len(rows)
+			}
+			if end > len(rows) {
+				end = len(rows)
+			}
+			mwg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mwg.Done()
+				mergeKV(rows[lo:mid], rows[mid:hi], buf[lo:hi])
+				copy(rows[lo:hi], buf[lo:hi])
+			}(off, mid, end)
+		}
+		mwg.Wait()
+		width *= 2
+	}
+}
+
+func mergeKV(a, b, out []KV) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Key <= b[j].Key {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// SortedIndex is the CPU-side ordered index: a sorted slice with binary
+// search — the flat equivalent of a B-tree for an immutable snapshot.
+type SortedIndex struct {
+	rows []KV
+}
+
+// BuildIndex sorts rows into an index, returning it and the build time.
+func BuildIndex(rows []KV) (*SortedIndex, time.Duration) {
+	start := time.Now()
+	s := append([]KV(nil), rows...)
+	sortKV(s)
+	return &SortedIndex{rows: s}, time.Since(start)
+}
+
+// Range returns entries with lo <= key <= hi.
+func (x *SortedIndex) Range(lo, hi uint32) []KV {
+	i := sort.Search(len(x.rows), func(i int) bool { return x.rows[i].Key >= lo })
+	j := sort.Search(len(x.rows), func(i int) bool { return x.rows[i].Key > hi })
+	return x.rows[i:j]
+}
+
+// RangeCount counts entries in [lo, hi] without materializing.
+func (x *SortedIndex) RangeCount(lo, hi uint32) int {
+	i := sort.Search(len(x.rows), func(i int) bool { return x.rows[i].Key >= lo })
+	j := sort.Search(len(x.rows), func(i int) bool { return x.rows[i].Key > hi })
+	return j - i
+}
+
+// Len returns the indexed row count.
+func (x *SortedIndex) Len() int { return len(x.rows) }

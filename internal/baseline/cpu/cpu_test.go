@@ -1,0 +1,117 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rows(n int, keyMod uint32, seed int64) []KV {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]KV, n)
+	for i := range out {
+		out[i] = KV{Key: rng.Uint32() % keyMod, Val: uint32(i)}
+	}
+	return out
+}
+
+func refCount(a, b []KV) int64 {
+	cnt := map[uint32]int64{}
+	for _, r := range a {
+		cnt[r.Key]++
+	}
+	var n int64
+	for _, r := range b {
+		n += cnt[r.Key]
+	}
+	return n
+}
+
+func TestHashJoinCount(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 10000, 100000} {
+		a := rows(n, uint32(n/2+10), int64(n)+1)
+		b := rows(n, uint32(n/2+10), int64(n)+2)
+		got, dt := HashJoin(a, b)
+		if want := refCount(a, b); got != want {
+			t.Fatalf("n=%d: join=%d want %d", n, got, want)
+		}
+		if n > 0 && dt <= 0 {
+			t.Fatalf("n=%d: no time measured", n)
+		}
+	}
+}
+
+func TestSortMergeJoinMatchesHashJoin(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		a := rows(2000, 300, seed)
+		b := rows(1500, 400, seed+1)
+		h, _ := HashJoin(a, b)
+		s, _ := SortMergeJoin(a, b)
+		return h == s
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortMergeJoinDuplicates(t *testing.T) {
+	a := []KV{{5, 1}, {5, 2}, {5, 3}}
+	b := []KV{{5, 10}, {5, 20}}
+	if n, _ := SortMergeJoin(a, b); n != 6 {
+		t.Fatalf("cross product %d, want 6", n)
+	}
+}
+
+func TestParallelSortSorts(t *testing.T) {
+	r := rows(1<<16, 1<<30, 9)
+	sortKV(r)
+	for i := 1; i < len(r); i++ {
+		if r[i-1].Key > r[i].Key {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestSortedIndexRange(t *testing.T) {
+	idx, dt := BuildIndex(rows(5000, 10000, 4))
+	if dt <= 0 || idx.Len() != 5000 {
+		t.Fatalf("build: %v, len=%d", dt, idx.Len())
+	}
+	got := idx.Range(1000, 2000)
+	for _, kv := range got {
+		if kv.Key < 1000 || kv.Key > 2000 {
+			t.Fatalf("out-of-range key %d", kv.Key)
+		}
+	}
+	if idx.RangeCount(1000, 2000) != len(got) {
+		t.Error("count disagrees with materialized range")
+	}
+	if idx.RangeCount(20000, 30000) != 0 {
+		t.Error("empty range nonzero")
+	}
+}
+
+// TestJoinScalesLinearly: doubling input should roughly double time (hash
+// join is O(n)); allow generous slack for cache effects.
+func TestJoinScalesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	timeFor := func(n int) float64 {
+		a := rows(n, uint32(n), 1)
+		b := rows(n, uint32(n), 2)
+		// Warm.
+		HashJoin(a, b)
+		best := 1e18
+		for i := 0; i < 3; i++ {
+			if _, dt := HashJoin(a, b); dt.Seconds() < best {
+				best = dt.Seconds()
+			}
+		}
+		return best
+	}
+	small, big := timeFor(1<<17), timeFor(1<<19)
+	ratio := big / small
+	if ratio > 16 {
+		t.Errorf("4x input took %.1fx time — super-linear CPU join", ratio)
+	}
+}

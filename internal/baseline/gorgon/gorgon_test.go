@@ -1,0 +1,135 @@
+package gorgon
+
+import (
+	"math/rand"
+	"testing"
+
+	"aurochs/internal/core"
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+)
+
+func TestJoinCorrectAndSlowAsymptotically(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) []record.Rec {
+		out := make([]record.Rec, n)
+		for i := range out {
+			out[i] = record.Make(rng.Uint32()%uint32(n), uint32(i))
+		}
+		return out
+	}
+	a, b := mk(2000), mk(2000)
+	got, res, err := Join(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := map[uint32]int{}
+	for _, r := range a {
+		cnt[r.Get(0)]++
+	}
+	want := 0
+	for _, r := range b {
+		want += cnt[r.Get(0)]
+	}
+	if len(got) != want {
+		t.Fatalf("matches %d want %d", len(got), want)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestRangeQueryScansWholeTable(t *testing.T) {
+	hbm := dram.New(dram.DefaultConfig())
+	recs := make([]record.Rec, 5000)
+	for i := range recs {
+		recs[i] = record.Make(uint32(i), uint32(i))
+	}
+	run := core.MaterializeRun(hbm, core.RegionTables, recs, 2)
+	hits, res, err := RangeQuery(hbm, run, 100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 100 {
+		t.Fatalf("hits=%d", hits)
+	}
+	// A scan reads the whole table regardless of selectivity.
+	if res.DRAMBytes < int64(len(recs)*8) {
+		t.Errorf("scan moved %d bytes; full table is %d", res.DRAMBytes, len(recs)*8)
+	}
+}
+
+func TestSpatialJoinCountsOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	table := make([]record.Rec, 3000)
+	for i := range table {
+		table[i] = record.Make(rng.Uint32()%(1<<16), rng.Uint32()%(1<<16), uint32(i))
+	}
+	probes := []record.Rec{
+		record.Make(0, 0, 1<<15, 1<<15), // a quarter of the space
+		record.Make(100, 100, 99, 99),   // empty (inverted)
+	}
+	hits, res, err := SpatialJoin(nil, table, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range table {
+		if r.Get(0) <= 1<<15 && r.Get(1) <= 1<<15 {
+			want++
+		}
+	}
+	if hits != want {
+		t.Fatalf("hits=%d want %d", hits, want)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+// TestSpatialJoinQuadraticCost: doubling the probe count should roughly
+// double the compare time — the all-to-all behaviour that makes index-free
+// spatial joins impractical (paper fig. 11b).
+func TestSpatialJoinQuadraticCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	table := make([]record.Rec, 4000)
+	for i := range table {
+		table[i] = record.Make(rng.Uint32()%(1<<16), rng.Uint32()%(1<<16), uint32(i))
+	}
+	probes := func(n int) []record.Rec {
+		out := make([]record.Rec, n)
+		for i := range out {
+			x, y := rng.Uint32()%(1<<16), rng.Uint32()%(1<<16)
+			out[i] = record.Make(x, y, x+1000, y+1000)
+		}
+		return out
+	}
+	_, r64, err := SpatialJoin(nil, table, probes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r256, err := SpatialJoin(nil, table, probes(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r256.Cycles < r64.Cycles*2 {
+		t.Errorf("4x probes: %d -> %d cycles; expected ≳2x growth", r64.Cycles, r256.Cycles)
+	}
+}
+
+func TestSortedAggregate(t *testing.T) {
+	rows := make([]record.Rec, 3000)
+	for i := range rows {
+		rows[i] = record.Make(uint32(i%57), 1)
+	}
+	groups, res, err := SortedAggregate(nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups != 57 {
+		t.Fatalf("groups=%d", groups)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}

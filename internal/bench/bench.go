@@ -1,0 +1,370 @@
+// Package bench drives every experiment of the paper's evaluation (§V) and
+// prints the rows/series each table and figure reports. cmd/aurochs-bench
+// is the CLI over it; bench_test.go at the repo root exposes each as a Go
+// benchmark.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"aurochs/internal/area"
+	"aurochs/internal/baseline/cpu"
+	"aurochs/internal/baseline/gorgon"
+	"aurochs/internal/baseline/gpu"
+	"aurochs/internal/core"
+	"aurochs/internal/dram"
+	"aurochs/internal/energy"
+	"aurochs/internal/index/rtree"
+	"aurochs/internal/perfmodel"
+	"aurochs/internal/queries"
+	"aurochs/internal/record"
+)
+
+func dramNew() *dram.HBM { return dram.New(dram.DefaultConfig()) }
+
+// Fig10 prints the area overhead breakdown (paper fig. 10).
+func Fig10() error {
+	fmt.Println("== Fig. 10: area overhead of the Aurochs scratchpad additions ==")
+	m := area.Default()
+	fmt.Print(m.Breakdown())
+	fmt.Printf("(paper: +15%% scratchpad, +5%% chip; %s)\n", area.TimingNote)
+	return nil
+}
+
+// mkKV builds n random [key, val] records.
+func mkKV(n int, seed int64) []record.Rec {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]record.Rec, n)
+	for i := range out {
+		out[i] = record.Make(rng.Uint32(), uint32(i))
+	}
+	return out
+}
+
+func mkCPU(n int, seed int64) []cpu.KV {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]cpu.KV, n)
+	for i := range out {
+		out[i] = cpu.KV{Key: rng.Uint32(), Val: uint32(i)}
+	}
+	return out
+}
+
+// Fig11a prints equi-join throughput vs table size for Aurochs (hash),
+// Gorgon (sort-merge), CPU, and GPU. Sizes up to simLimit run on the cycle
+// simulator / host; larger sizes are projected with the validated
+// analytical model, exactly as the paper does.
+func Fig11a() error {
+	fmt.Println("== Fig. 11a: join throughput (GB/s) vs table size (rows per side, 8 B tuples) ==")
+	const p = 16 // the paper's "when parallelized" configuration
+	model := perfmodel.Default()
+	dev := gpu.V100()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rows\taurochs-hash\tgorgon-sortmerge\tcpu\tgpu\tsource")
+	const simLimit = 1 << 15
+	for _, n := range []int64{1e4, 3e4, 1e5, 1e6, 1e7, 1e8} {
+		var aurochsC, gorgonC float64
+		src := "model"
+		if n <= simLimit {
+			src = "cycle sim"
+			_, res, err := core.HashJoin(nil, mkKV(int(n), 1), mkKV(int(n), 2), core.HashJoinOptions{Pipelines: p})
+			if err != nil {
+				return err
+			}
+			aurochsC = float64(res.Cycles)
+			_, gres, err := gorgon.Join(nil, mkKV(int(n), 3), mkKV(int(n), 4))
+			if err != nil {
+				return err
+			}
+			gorgonC = float64(gres.Cycles)
+		} else {
+			aurochsC = model.HashJoinCycles(n, n, p)
+			gorgonC = model.SortMergeJoinCycles(n, n, p)
+		}
+
+		// CPU: measure directly up to 4M rows, extrapolate linearly after.
+		var cpuSec float64
+		if n <= 1<<22 {
+			_, dt := cpu.HashJoin(mkCPU(int(n), 5), mkCPU(int(n), 6))
+			cpuSec = dt.Seconds()
+		} else {
+			_, dt := cpu.HashJoin(mkCPU(1<<22, 5), mkCPU(1<<22, 6))
+			cpuSec = dt.Seconds() * float64(n) / float64(int64(1)<<22)
+		}
+
+		// GPU: the SIMT model with Poisson chain trips (load factor 1).
+		gpuSec := gpuJoinSeconds(dev, n)
+
+		fmt.Fprintf(w, "%.0e\t%.1f\t%.1f\t%.2f\t%.1f\t%s\n", float64(n),
+			perfmodel.JoinThroughputGBs(n, n, aurochsC),
+			perfmodel.JoinThroughputGBs(n, n, gorgonC),
+			float64(2*n*8)/cpuSec/1e9,
+			float64(2*n*8)/gpuSec/1e9,
+			src)
+	}
+	w.Flush()
+	fmt.Println("(paper shape: sort-merge wins small tables, hash wins large;")
+	fmt.Println(" CPU ~0.3 GB/s, GPU ~4.5 GB/s, Aurochs >50 GB/s when parallelized)")
+	return nil
+}
+
+// gpuJoinSeconds models the GPU hash join at n rows per side by sampling
+// the chain-length distribution (throughput is size-invariant past cache
+// scale, so a 1M-row sample represents any larger n).
+func gpuJoinSeconds(dev gpu.Device, n int64) float64 {
+	sample := n
+	if sample > 1<<20 {
+		sample = 1 << 20
+	}
+	rng := rand.New(rand.NewSource(9))
+	buckets := make([]int, sample)
+	for i := int64(0); i < sample; i++ {
+		buckets[rng.Intn(int(sample))]++
+	}
+	trips := make([]int, sample)
+	for i := range trips {
+		l := buckets[rng.Intn(int(sample))]
+		if l == 0 {
+			l = 1
+		}
+		trips[i] = l
+	}
+	b := dev.DivergentLoop(trips, 8)
+	pr := dev.DivergentLoop(trips, 8)
+	perRow := (b.Time.Seconds() + pr.Time.Seconds()) / float64(sample)
+	return perRow * float64(n)
+}
+
+// Fig11b prints spatial join runtime vs scaled table size: Aurochs probes
+// an R-tree (O(log n) per probe); Gorgon presorts and compares all-to-all.
+// It also runs the fig. 9b synchronized two-tree join on the cycle
+// simulator at a small size as the mechanism check.
+func Fig11b() error {
+	fmt.Println("== Fig. 11b: spatial join, fixed 1e4 probes vs scaled table (ms) ==")
+	const p = 8
+	const probes = 1e4
+	model := perfmodel.Default()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "indexed rows\taurochs\tgorgon\tratio")
+	for _, n := range []int64{1e4, 1e5, 1e6, 1e7, 1e8} {
+		a := model.SpatialJoinAurochsCycles(n, probes, 20, p) / 1e6
+		g := model.SpatialJoinGorgonCycles(n, probes, p) / 1e6
+		fmt.Fprintf(w, "%.0e\t%.2f ms\t%.1f ms\t%.0fx\n", float64(n), a, g, g/a)
+	}
+	w.Flush()
+
+	// Mechanism check: the synchronized two-tree join (fig. 9b) on the
+	// cycle simulator.
+	h := dramNew()
+	rng := rand.New(rand.NewSource(7))
+	mkTree := func(n int, base uint32) *rtree.Tree {
+		ents := make([]rtree.Entry, n)
+		for i := range ents {
+			x, y := rng.Uint32()%(1<<14), rng.Uint32()%(1<<14)
+			ents[i] = rtree.Entry{Rect: rtree.Rect{MinX: x, MinY: y, MaxX: x + 200, MaxY: y + 200}, ID: uint32(i)}
+		}
+		return rtree.Build(h, base, ents, 1<<14)
+	}
+	ta := mkTree(2000, core.RegionTables)
+	tb := mkTree(2000, core.RegionTables+(1<<24))
+	pairs, res, err := core.RTreeSpatialJoin(ta, tb, core.Tuning{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fig. 9b two-tree join (2k x 2k rects, cycle sim): %d pairs in %d cycles (%.1f us)\n",
+		len(pairs), res.Cycles, float64(res.Cycles)/1e3)
+	fmt.Println("(paper shape: index-free spatial joins are impractical at real sizes)")
+	return nil
+}
+
+// Fig12 prints kernel throughput vs stream-level parallelism: scaling until
+// memory-bound (simulated at small P, modeled across the sweep).
+func Fig12() error {
+	fmt.Println("== Fig. 12: kernel throughput (Grecords/s) vs parallel pipelines ==")
+	const n = 1 << 15
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "P\thash-join (sim)\thash-join (model @1e8)\tsort (model @1e8)\tpartition (model @1e8)")
+	model := perfmodel.Default()
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		var simGrs float64
+		if p <= 8 {
+			_, res, err := core.HashJoin(nil, mkKV(n, 1), mkKV(n, 2), core.HashJoinOptions{Pipelines: p})
+			if err != nil {
+				return err
+			}
+			simGrs = float64(2*n) / float64(res.Cycles)
+		}
+		bigJoin := float64(2e8) / model.HashJoinCycles(1e8, 1e8, p)
+		bigSort := 1e8 / model.SortCycles(1e8, p)
+		bigPart := 1e8 / model.PartitionCycles(1e8, p)
+		if p <= 8 {
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\n", p, simGrs, bigJoin, bigSort, bigPart)
+		} else {
+			fmt.Fprintf(w, "%d\t-\t%.3f\t%.3f\t%.3f\n", p, bigJoin, bigSort, bigPart)
+		}
+	}
+	w.Flush()
+	fmt.Println("(records per cycle; kernels flatten as the memory roofline binds —")
+	fmt.Println(" observed throughput stays below raw DRAM bandwidth, as the paper notes)")
+	return nil
+}
+
+// WarpEfficiency reproduces the §III-A profiling claim: GPU warp execution
+// efficiency on hash-join build and probe.
+func WarpEfficiency() error {
+	fmt.Println("== §III-A: GPU warp execution efficiency on the hash join ==")
+	d := queries.Generate(queries.SmallScale(), 11)
+	e := queries.NewGPU()
+	build := make([]queries.KV, len(d.Rides))
+	for i, r := range d.Rides {
+		build[i] = queries.KV{Key: r.RiderID, Val: uint32(i)}
+	}
+	probe := make([]queries.KV, len(d.RideReqs))
+	for i, r := range d.RideReqs {
+		probe[i] = queries.KV{Key: r.RiderID, Val: uint32(i)}
+	}
+	if _, _, err := e.EquiJoin(build, probe); err != nil {
+		return err
+	}
+	fmt.Printf("build phase: %.0f%% (paper: 62%%)\n", 100*e.LastBuildEff)
+	fmt.Printf("probe phase: %.0f%% (paper: 46%%)\n", 100*e.LastProbeEff)
+	fmt.Println("(most lanes idle during divergent chain walks; the GPU is not memory-bound)")
+	return nil
+}
+
+// Ablation quantifies the paper's microarchitectural choices: thread
+// reordering vs Capstan's in-order dequeue, and RMW forwarding.
+func Ablation() error {
+	fmt.Println("== Ablation: scratchpad reordering & RMW forwarding (probe kernel cycles) ==")
+	const n = 1 << 14
+	build := mkKV(n, 21)
+	probe := mkKV(n, 22)
+	run := func(t core.Tuning) (int64, error) {
+		p := core.DefaultHashTableParams(n)
+		p.Tuning = t
+		ht, _, err := core.BuildHashTable(p, build, nil)
+		if err != nil {
+			return 0, err
+		}
+		_, res, err := core.ProbeHashTable(ht, probe, core.ProbeOptions{})
+		return res.Cycles, err
+	}
+	base, err := run(core.Tuning{})
+	if err != nil {
+		return err
+	}
+	inorder, err := run(core.Tuning{InOrderSpad: true})
+	if err != nil {
+		return err
+	}
+	nofwd, err := run(core.Tuning{NoForwarding: true})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tcycles\tvs aurochs")
+	fmt.Fprintf(w, "aurochs (reorder + forwarding)\t%d\t1.00x\n", base)
+	fmt.Fprintf(w, "capstan in-order dequeue (2x queue depth)\t%d\t%.2fx\n", inorder, float64(inorder)/float64(base))
+	fmt.Fprintf(w, "no rmw forwarding\t%d\t%.2fx\n", nofwd, float64(nofwd)/float64(base))
+	w.Flush()
+
+	// Aggregation skew resilience: hashing spreads skewed keys, and the
+	// forwarding path sustains hot-counter FAA at line rate (§IV-A).
+	uniform := make([]uint32, n)
+	skewed := make([]uint32, n)
+	rng := rand.New(rand.NewSource(23))
+	for i := range uniform {
+		uniform[i] = rng.Uint32() % 2048
+		if rng.Float64() < 0.8 {
+			skewed[i] = rng.Uint32() % 8
+		} else {
+			skewed[i] = rng.Uint32() % 2048
+		}
+	}
+	_, ru, err := core.HashAggregate(core.DefaultHashTableParams(4096), uniform, nil)
+	if err != nil {
+		return err
+	}
+	_, rs, err := core.HashAggregate(core.DefaultHashTableParams(4096), skewed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hash aggregation, uniform keys: %d cycles; 80%%-hot skew: %d cycles (%.2fx)\n",
+		ru.Cycles, rs.Cycles, float64(rs.Cycles)/float64(ru.Cycles))
+	fmt.Println("(reordering lets granted requests free their slots immediately — §III-B)")
+	return nil
+}
+
+// Table2 prints the benchmark query descriptions and dataset cardinalities.
+func Table2() error {
+	fmt.Println("== Table 2: benchmark queries and dataset ==")
+	s := queries.BenchScale()
+	fmt.Printf("tables: rides=%d riders=%d drivers=%d locations=%d | streams: rideReq=%d driverStatus=%d\n",
+		s.Rides, s.Riders, s.Drivers, s.Locations, s.RideReqs, s.DriverStatus)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, q := range queries.All() {
+		fmt.Fprintf(w, "%s\t%s\n", q.Name, q.Desc)
+	}
+	w.Flush()
+	return nil
+}
+
+// Fig14 runs the nine queries on all three engines, cross-checks results,
+// and prints runtime and energy per query plus geometric-mean speedups.
+func Fig14(scale string, pipelines int) error {
+	fmt.Println("== Fig. 14: benchmark query runtime and energy ==")
+	sc := queries.SmallScale()
+	if scale == "bench" {
+		sc = queries.BenchScale()
+	}
+	d := queries.Generate(sc, 1)
+	fmt.Printf("scale: rides=%d reqs=%d status=%d (use -scale bench for the larger set)\n",
+		len(d.Rides), len(d.RideReqs), len(d.DriverStatus))
+
+	engines := []queries.Engine{queries.NewCPU(), queries.NewGPU(), queries.NewAurochs(pipelines)}
+	results := map[string][]queries.QueryResult{}
+	for _, e := range engines {
+		rs, err := queries.RunAll(e, d)
+		if err != nil {
+			return err
+		}
+		results[e.Name()] = rs
+	}
+	for i := range results["cpu"] {
+		fp := results["cpu"][i].Fingerprint
+		for _, e := range engines {
+			if results[e.Name()][i].Fingerprint != fp {
+				return fmt.Errorf("%s: %s result differs from cpu", results["cpu"][i].Query, e.Name())
+			}
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "query\tcpu (ms)\tgpu (ms)\taurochs (ms)\tvs cpu\tvs gpu\tE cpu (J)\tE gpu (J)\tE aurochs (J)")
+	geoCPU, geoGPU := 1.0, 1.0
+	nq := 0
+	for i := range results["cpu"] {
+		c := results["cpu"][i]
+		g := results["gpu"][i]
+		a := results["aurochs"][i]
+		su, sg := c.Cost.Seconds/a.Cost.Seconds, g.Cost.Seconds/a.Cost.Seconds
+		geoCPU *= su
+		geoGPU *= sg
+		nq++
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.0fx\t%.1fx\t%.2g\t%.2g\t%.2g\n",
+			c.Query, c.Cost.Seconds*1e3, g.Cost.Seconds*1e3, a.Cost.Seconds*1e3, su, sg,
+			energy.CPU.Joules(c.Cost.Duration()),
+			energy.GPU.Joules(g.Cost.Duration()),
+			energy.Aurochs.Joules(a.Cost.Duration()))
+	}
+	w.Flush()
+	n := float64(nq)
+	fmt.Printf("geomean speedup: %.0fx vs CPU, %.1fx vs GPU (paper: 160x, 8x at full scale)\n",
+		math.Pow(geoCPU, 1/n), math.Pow(geoGPU, 1/n))
+	return nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"aurochs/internal/dram"
+	"aurochs/internal/fabric"
+	"aurochs/internal/record"
+	"aurochs/internal/spad"
+)
+
+// Hash aggregation (paper §IV-A: "High-performance hash tables are the
+// basis of hash joins and hash-based aggregations"): one node per distinct
+// group key holding a running count, maintained lock-free. Each thread
+// walks its bucket chain; a key match becomes a fetch-and-add on the
+// group's counter, a chain miss becomes an insert-if-absent — write a fresh
+// node, CAS it onto the head, and on CAS failure re-walk from the observed
+// head because the winning insert may be this thread's own key.
+//
+// Aggregation-thread schema:
+// [key, ptr, headSeen, slot, nkey, nnext, obs, mark].
+const (
+	agKey = iota
+	agPtr
+	agHeadSeen
+	agSlot
+	agNKey
+	agNNext
+	agObs
+	agMark
+)
+
+// Aggregation node layout: [key, count, next].
+// AggResult is a built aggregation table.
+type AggResult struct {
+	Table *HashTable
+}
+
+// NodesLinked counts nodes reachable from the bucket heads. Losing
+// CAS threads stamp slots they never link (append-only structures reclaim
+// nothing), so this is the real group-node count, below Table.Inserted.
+func (a *AggResult) NodesLinked() int {
+	n := 0
+	for b := uint32(0); b < a.Table.Params.Buckets; b++ {
+		ptr := a.Table.Heads.Read(b)
+		for ptr != Nil {
+			n++
+			_, _, next := a.Table.readNode(ptr)
+			ptr = next
+		}
+	}
+	return n
+}
+
+// Groups walks every bucket chain and returns the per-key counts.
+func (a *AggResult) Groups() map[uint32]int64 {
+	out := make(map[uint32]int64)
+	for b := uint32(0); b < a.Table.Params.Buckets; b++ {
+		ptr := a.Table.Heads.Read(b)
+		for ptr != Nil {
+			k, cnt, next := a.Table.readNode(ptr)
+			out[k] += int64(cnt)
+			ptr = next
+		}
+	}
+	return out
+}
+
+// HashAggregate runs the lock-free counting aggregation over keys on the
+// fabric and returns the group table plus timing. hbm may be nil.
+func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult, Result, error) {
+	if p.Buckets == 0 || p.Buckets&(p.Buckets-1) != 0 {
+		return nil, Result{}, fmt.Errorf("core: buckets must be a power of two, got %d", p.Buckets)
+	}
+	if hbm == nil {
+		hbm = defaultHBM()
+	}
+	g := fabric.NewGraph()
+	g.AttachHBM(hbm)
+
+	heads := spad.NewMem(16, int(p.Buckets+15)/16, 0)
+	heads.Fill(Nil)
+	nodeBankWords := (int(p.SpadNodes)*nodeWords + 63) / 64 * 4
+	nodes := spad.NewMem(16, nodeBankWords, 2)
+	ht := &HashTable{Params: p, Heads: heads, Nodes: nodes, HBM: hbm}
+
+	threads := make([]record.Rec, len(keys))
+	for i, k := range keys {
+		threads[i] = record.Make(k, 0, 0, Nil, 0, 0, 0, 0)
+	}
+
+	// Ingress: read the bucket head; the walk starts there.
+	src := g.Link("agg.src")
+	headIn := g.Link("agg.headIn")
+	ext := g.Link("agg.ext")
+	g.Add(fabric.NewSource("agg.in", threads, src))
+	g.Add(fabric.NewMap("agg.hash", func(r record.Rec) record.Rec {
+		return r.Set(agPtr, Hash32(r.Get(agKey))&(p.Buckets-1))
+	}, src, headIn))
+	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.head"), heads, spad.Spec{
+		Op:    spad.OpRead,
+		Width: 1,
+		Addr:  func(r record.Rec) uint32 { return r.Get(agPtr) },
+		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+			r = r.Set(agPtr, resp[0])
+			return r.Set(agHeadSeen, resp[0]), true
+		},
+	}, headIn, ext, g.Stats()))
+
+	// The walk loop.
+	ctl := fabric.NewLoopCtl()
+	body := g.Link("agg.body")
+	recircJoin := g.Link("agg.recircJoin")
+	g.Add(fabric.NewLoopMerge("agg.entry", recircJoin, ext, body, ctl))
+
+	// Route: chain end → insert path; otherwise fetch the node.
+	fetchIn := g.Link("agg.fetchIn")
+	insertIn := g.Link("agg.insertIn")
+	g.Add(fabric.NewFilter("agg.end?", func(r record.Rec) int {
+		if r.Get(agPtr) == Nil {
+			return 1
+		}
+		return 0
+	}, body, []fabric.Output{
+		{Link: fetchIn},
+		{Link: insertIn},
+	}, nil).Cyclic())
+
+	// Fetch and compare.
+	fetched := g.Link("agg.fetched")
+	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.nodeR"), nodes, spad.Spec{
+		Op:    spad.OpRead,
+		Width: nodeWords,
+		Addr:  func(r record.Rec) uint32 { return r.Get(agPtr) * nodeWords },
+		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+			r = r.Set(agNKey, resp[0])
+			return r.Set(agNNext, resp[2]), true
+		},
+	}, fetchIn, fetched, g.Stats()))
+	faaIn := g.Link("agg.faaIn")
+	walkOn := g.Link("agg.walkOn")
+	g.Add(fabric.NewFilter("agg.match?", func(r record.Rec) int {
+		if r.Get(agNKey) == r.Get(agKey) {
+			return 0 // found the group: bump its counter
+		}
+		return 1 // keep walking (agPtr advances below)
+	}, fetched, []fabric.Output{
+		{Link: faaIn},
+		{Link: walkOn, NoEOS: true},
+	}, nil).Cyclic())
+	stepped := g.Link("agg.stepped")
+	g.Add(fabric.NewMap("agg.step", func(r record.Rec) record.Rec {
+		return r.Set(agPtr, r.Get(agNNext))
+	}, walkOn, stepped).Cyclic())
+
+	// Count bump: FAA on the node's count word, then exit.
+	done := g.Link("agg.done")
+	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.count"), nodes, spad.Spec{
+		Op:   spad.OpFAA,
+		Addr: func(r record.Rec) uint32 { return r.Get(agPtr)*nodeWords + 1 },
+		Data: func(record.Rec, int) uint32 { return 1 },
+		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+			return r, true
+		},
+	}, faaIn, done, g.Stats()))
+	exitFilter := g.Link("agg.exitIn")
+	g.Add(fabric.NewMap("agg.id", func(r record.Rec) record.Rec { return r }, done, exitFilter).Cyclic())
+	sinkIn := g.Link("agg.sinkIn")
+	g.Add(fabric.NewFilter("agg.exit", func(record.Rec) int { return 0 }, exitFilter,
+		[]fabric.Output{{Link: sinkIn, Exit: true}}, ctl).Cyclic())
+	snk := fabric.NewSink("agg.sink", sinkIn)
+	g.Add(snk)
+
+	// Insert path: stamp a slot once, write [key, 0, next=headSeen], CAS
+	// the head; on failure re-walk from the observed head (the winner may
+	// hold our key).
+	slotCtr := uint32(0)
+	stamped := g.Link("agg.stamped")
+	g.Add(fabric.NewMap("agg.stamp", func(r record.Rec) record.Rec {
+		if r.Get(agSlot) == Nil {
+			if slotCtr >= p.SpadNodes {
+				panic("core: aggregation table exceeds on-chip nodes (size groups, not rows)")
+			}
+			r = r.Set(agSlot, slotCtr)
+			slotCtr++
+		}
+		return r
+	}, insertIn, stamped).Cyclic())
+	wrote := g.Link("agg.wrote")
+	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.nodeW"), nodes, spad.Spec{
+		Op:    spad.OpWrite,
+		Width: nodeWords,
+		Addr:  func(r record.Rec) uint32 { return r.Get(agSlot) * nodeWords },
+		Data: func(r record.Rec, i int) uint32 {
+			switch i {
+			case 0:
+				return r.Get(agKey)
+			case 1:
+				return 0 // count starts at zero; the FAA after link adds 1
+			default:
+				return r.Get(agHeadSeen)
+			}
+		},
+	}, stamped, wrote, g.Stats()))
+	casOut := g.Link("agg.casOut")
+	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.cas"), heads, spad.Spec{
+		Op:   spad.OpCAS,
+		Addr: func(r record.Rec) uint32 { return Hash32(r.Get(agKey)) & (p.Buckets - 1) },
+		Data: func(r record.Rec, i int) uint32 {
+			if i == 0 {
+				return r.Get(agHeadSeen)
+			}
+			return r.Get(agSlot)
+		},
+		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+			return r.Set(agObs, resp[0]), true
+		},
+	}, wrote, casOut, g.Stats()))
+	// CAS success: this thread's node is linked; bump it (count was 0).
+	// CAS failure: re-walk from the observed head.
+	casWin := g.Link("agg.casWin")
+	casLose := g.Link("agg.casLose")
+	g.Add(fabric.NewFilter("agg.casRoute", func(r record.Rec) int {
+		if r.Get(agObs) == r.Get(agHeadSeen) {
+			return 0
+		}
+		return 1
+	}, casOut, []fabric.Output{
+		{Link: casWin, NoEOS: true},
+		{Link: casLose, NoEOS: true},
+	}, nil).Cyclic())
+	// Winner: point at its own node and recirculate through the walk —
+	// it will match its own key immediately and FAA count 0 → 1.
+	winStep := g.Link("agg.winStep")
+	g.Add(fabric.NewMap("agg.winPtr", func(r record.Rec) record.Rec {
+		return r.Set(agPtr, r.Get(agSlot))
+	}, casWin, winStep).Cyclic())
+	// Loser: restart the walk at the observed head.
+	loseStep := g.Link("agg.losePtr")
+	g.Add(fabric.NewMap("agg.losePtr", func(r record.Rec) record.Rec {
+		r = r.Set(agPtr, r.Get(agObs))
+		return r.Set(agHeadSeen, r.Get(agObs))
+	}, casLose, loseStep).Cyclic())
+
+	// Rejoin the three recirculating paths.
+	r1 := g.Link("agg.r1")
+	g.Add(fabric.NewMerge("agg.rejoin1", stepped, winStep, r1).Cyclic())
+	g.Add(fabric.NewMerge("agg.rejoin2", r1, loseStep, recircJoin).Cyclic())
+
+	res, err := runGraph(g, budgetFor(len(keys))*4)
+	if err != nil {
+		return nil, res, fmt.Errorf("hash aggregate: %w", err)
+	}
+	if snk.Count() != len(keys) {
+		return nil, res, fmt.Errorf("hash aggregate: %d of %d threads completed", snk.Count(), len(keys))
+	}
+	ht.Inserted = slotCtr
+	return &AggResult{Table: ht}, res, nil
+}

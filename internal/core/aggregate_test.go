@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashAggregateMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	keys := make([]uint32, 4000)
+	want := map[uint32]int64{}
+	for i := range keys {
+		keys[i] = rng.Uint32() % 300
+		want[keys[i]]++
+	}
+	agg, res, err := HashAggregate(DefaultHashTableParams(512), keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	got := agg.Groups()
+	if len(got) != len(want) {
+		t.Fatalf("groups=%d want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("group %d = %d, want %d", k, got[k], n)
+		}
+	}
+	// One *linked* node per distinct key: insert-if-absent must not
+	// duplicate (losing CAS threads waste unlinked slots by design).
+	if agg.NodesLinked() != len(want) {
+		t.Errorf("linked %d nodes for %d groups", agg.NodesLinked(), len(want))
+	}
+}
+
+// TestHashAggregateSingleHotKey: every thread hits one group — maximal FAA
+// and CAS contention, still exactly one node and an exact count.
+func TestHashAggregateSingleHotKey(t *testing.T) {
+	keys := make([]uint32, 2000)
+	for i := range keys {
+		keys[i] = 77
+	}
+	agg, _, err := HashAggregate(DefaultHashTableParams(64), keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := agg.Groups()
+	if got[77] != 2000 || len(got) != 1 {
+		t.Fatalf("groups=%v", got)
+	}
+	if agg.NodesLinked() != 1 {
+		t.Errorf("hot key linked %d nodes", agg.NodesLinked())
+	}
+}
+
+func TestHashAggregateAllDistinct(t *testing.T) {
+	keys := make([]uint32, 1500)
+	for i := range keys {
+		keys[i] = uint32(i) * 2654435761
+	}
+	agg, _, err := HashAggregate(DefaultHashTableParams(len(keys)), keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := agg.Groups()
+	if len(got) != len(keys) {
+		t.Fatalf("groups=%d want %d", len(got), len(keys))
+	}
+	for _, n := range got {
+		if n != 1 {
+			t.Fatal("distinct key counted more than once")
+		}
+	}
+}
+
+// TestHashAggregateSkewIndependence: aggregation cycles under a Zipf-like
+// skew should stay within a small factor of the uniform case — hashing
+// takes skewed distributions to uniform bucket load (paper §IV-A), and the
+// hot-group counter is a single-bank FAA the forwarding path sustains at
+// line rate.
+func TestHashAggregateSkewIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const n = 4000
+	uniform := make([]uint32, n)
+	skewed := make([]uint32, n)
+	for i := range uniform {
+		uniform[i] = rng.Uint32() % 512
+		// 80% of traffic on 8 keys.
+		if rng.Float64() < 0.8 {
+			skewed[i] = rng.Uint32() % 8
+		} else {
+			skewed[i] = rng.Uint32() % 512
+		}
+	}
+	_, ru, err := HashAggregate(DefaultHashTableParams(1024), uniform, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs, err := HashAggregate(DefaultHashTableParams(1024), skewed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles > 4*ru.Cycles {
+		t.Errorf("skewed aggregation %d cycles vs uniform %d — skew resilience broken", rs.Cycles, ru.Cycles)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"aurochs/internal/fabric"
+	"aurochs/internal/record"
+	"aurochs/internal/spad"
+)
+
+// Probe-thread schema: [key..., tag, ptr, nkey..., nval, nnext, mark];
+// tag carries caller payload (e.g. a probe-side row id) through the
+// search, and the indices shift with the key width.
+type probeFields struct {
+	tag, ptr, nkey, nval, nnext, mark int
+}
+
+func probeSchema(keyWords int) probeFields {
+	return probeFields{
+		tag:   keyWords,
+		ptr:   keyWords + 1,
+		nkey:  keyWords + 2,
+		nval:  2*keyWords + 2,
+		nnext: 2*keyWords + 3,
+		mark:  2*keyWords + 4,
+	}
+}
+
+// ProbeOptions controls the probe pipeline.
+type ProbeOptions struct {
+	// FirstMatchOnly stops a thread at its first key match (semi-join /
+	// exists semantics). Default walks the whole chain and emits every
+	// match, which is what an equi-join needs under duplicate build keys.
+	FirstMatchOnly bool
+}
+
+// ProbeHashTable runs the fig. 6a probe pipeline: threads walk bucket
+// collision chains, comparing their search key against each node, exiting
+// with matches and refilling their lanes on termination. probes records are
+// [key, tag]; the result records are [key, tag, val] for every match.
+func ProbeHashTable(ht *HashTable, probes []record.Rec, opt ProbeOptions) ([]record.Rec, Result, error) {
+	g := fabric.NewGraph()
+	g.AttachHBM(ht.HBM)
+	snk := ProbeHashTableInto(g, "prb", ht, InRecs(probes), opt)
+	res, err := runGraph(g, budgetFor(len(probes)))
+	if err != nil {
+		return nil, res, fmt.Errorf("hash probe: %w", err)
+	}
+	return snk.Records(), res, nil
+}
+
+// ProbeHashTableInto wires one probe pipeline into an existing graph under
+// a name prefix (see BuildHashTableInto). The returned sink collects
+// [key, tag, val] matches; the caller runs the graph.
+func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes StreamIn, opt ProbeOptions) *fabric.Sink {
+	p := ht.Params
+	kw := p.keyWords()
+	nw := p.nodeWords()
+	f := probeSchema(kw)
+
+	// --- ingress: hash to bucket, read the head pointer ---
+	src := g.Link(pf + ".src")
+	headIn := g.Link(pf + ".headIn")
+	headOut := g.Link(pf + ".headOut")
+	probes.attach(g, pf+".in", src)
+	g.Add(fabric.NewMap(pf+".hash", func(r record.Rec) record.Rec {
+		// Extend to the thread schema: ptr=bucket for the head read.
+		r = r.Append(p.hashKey(r) & (p.Buckets - 1))
+		for r.Len() <= f.mark {
+			r = r.Append(0)
+		}
+		return r.Set(f.nnext, Nil)
+	}, src, headIn))
+	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".head"), ht.Heads, spad.Spec{
+		Op:    spad.OpRead,
+		Width: 1,
+		Addr:  func(r record.Rec) uint32 { return r.Get(f.ptr) },
+		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+			return r.Set(f.ptr, resp[0]), true
+		},
+	}, headIn, headOut, g.Stats()))
+
+	// Empty buckets terminate before the loop.
+	ext := g.Link(pf + ".ext")
+	g.Add(fabric.NewFilter(pf+".emptyBucket", func(r record.Rec) int {
+		if r.Get(f.ptr) == Nil {
+			return -1 // miss: kill thread
+		}
+		return 0
+	}, headOut, []fabric.Output{{Link: ext}}, nil))
+
+	// --- recirculating chain walk ---
+	ctl := fabric.NewLoopCtl()
+	body := g.Link(pf + ".body")
+	recirc := g.Link(pf + ".recirc")
+	g.Add(fabric.NewLoopMerge(pf+".entry", recirc, ext, body, ctl))
+
+	// Fetch the node from SRAM or the DRAM overflow buffer.
+	toSpad := g.Link(pf + ".toSpad")
+	toDram := g.Link(pf + ".toDram")
+	fromSpad := g.Link(pf + ".fromSpad")
+	fromDram := g.Link(pf + ".fromDram")
+	g.Add(fabric.NewFilter(pf+".addrSplit", func(r record.Rec) int {
+		if r.Get(f.ptr) < p.SpadNodes {
+			return 0
+		}
+		return 1
+	}, body, []fabric.Output{{Link: toSpad}, {Link: toDram}}, nil))
+	applyNode := func(r record.Rec, resp []uint32) (record.Rec, bool) {
+		for i := 0; i < kw; i++ {
+			r = r.Set(f.nkey+i, resp[i])
+		}
+		r = r.Set(f.nval, resp[kw])
+		r = r.Set(f.nnext, resp[kw+1])
+		return r, true
+	}
+	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".nodeR"), ht.Nodes, spad.Spec{
+		Op:    spad.OpRead,
+		Width: int(nw),
+		Addr:  func(r record.Rec) uint32 { return r.Get(f.ptr) * nw },
+		Apply: applyNode,
+	}, toSpad, fromSpad, g.Stats()))
+	fabric.NewDRAMNode(g, pf+".nodeRD", spad.Spec{
+		Op:    spad.OpRead,
+		Width: int(nw),
+		Addr: func(r record.Rec) uint32 {
+			return p.OverflowBase + (r.Get(f.ptr)-p.SpadNodes)*nw
+		},
+		Apply: applyNode,
+	}, toDram, fromDram)
+
+	fetched := g.Link(pf + ".fetched")
+	g.Add(fabric.NewMerge(pf+".fetchJoin", fromSpad, fromDram, fetched))
+
+	// Compare and continue: a matching node emits a match thread; a
+	// non-nil next continues the walk. A fork expresses "both".
+	forked := g.Link(pf + ".forked")
+	g.Add(fabric.NewFork(pf+".compare", func(r record.Rec) []record.Rec {
+		// Wide keys compare field-by-field — the serialized comparison of
+		// Gorgon's fields-in-time record layout.
+		match := true
+		for i := 0; i < kw; i++ {
+			match = match && r.Get(f.nkey+i) == r.Get(i)
+		}
+		cont := r.Get(f.nnext) != Nil && !(match && opt.FirstMatchOnly)
+		out := make([]record.Rec, 0, 2)
+		if match {
+			out = append(out, r.Set(f.mark, 1))
+		}
+		if cont {
+			out = append(out, r.Set(f.ptr, r.Get(f.nnext)).Set(f.mark, 0))
+		}
+		return out
+	}, fetched, forked, ctl))
+
+	found := g.Link(pf + ".found")
+	g.Add(fabric.NewFilter(pf+".route", func(r record.Rec) int {
+		if r.Get(f.mark) == 1 {
+			return 0
+		}
+		return 1
+	}, forked, []fabric.Output{
+		{Link: found, Exit: true},
+		{Link: recirc, NoEOS: true},
+	}, ctl))
+
+	// Project matches down to [key..., tag, val].
+	out := g.Link(pf + ".out")
+	g.Add(fabric.NewMap(pf+".project", func(r record.Rec) record.Rec {
+		var o record.Rec
+		for i := 0; i < kw; i++ {
+			o = o.Append(r.Get(i))
+		}
+		o = o.Append(r.Get(f.tag))
+		return o.Append(r.Get(f.nval))
+	}, found, out))
+	snk := fabric.NewSink(pf+".sink", out)
+	g.Add(snk)
+	return snk
+}

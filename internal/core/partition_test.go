@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"aurochs/internal/record"
+)
+
+func TestPartitionScattersEverything(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(11))
+	input := make([]record.Rec, n)
+	for i := range input {
+		input[i] = record.Make(rng.Uint32(), uint32(i))
+	}
+	p := DefaultPartitionParams(n, 8, 2)
+	ps, res, err := Partition(p, input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.DRAMBytes <= 0 {
+		t.Fatalf("timing missing: %+v", res)
+	}
+
+	// Every record must land in exactly the partition its hash selects,
+	// and nothing may be lost or duplicated.
+	seen := make(map[uint32]uint32) // payload -> key
+	total := 0
+	for part := uint32(0); part < p.Parts; part++ {
+		for _, r := range ps.ReadPartition(part) {
+			if ps.PartitionOf(r.Get(0)) != part {
+				t.Fatalf("key %d in partition %d, want %d", r.Get(0), part, ps.PartitionOf(r.Get(0)))
+			}
+			if _, dup := seen[r.Get(1)]; dup {
+				t.Fatalf("payload %d stored twice", r.Get(1))
+			}
+			seen[r.Get(1)] = r.Get(0)
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("recovered %d of %d records", total, n)
+	}
+	for _, r := range input {
+		if k, ok := seen[r.Get(1)]; !ok || k != r.Get(0) {
+			t.Fatalf("record %v lost or corrupted", r)
+		}
+	}
+}
+
+func TestPartitionSkewStillBalancedByHash(t *testing.T) {
+	// Heavily skewed keys: partitioning on the hash must still spread a
+	// *distinct-key* skew; identical keys all land together (correctness).
+	const n = 1024
+	input := make([]record.Rec, n)
+	for i := range input {
+		input[i] = record.Make(uint32(i%4), uint32(i)) // only 4 distinct keys
+	}
+	ps, _, err := Partition(DefaultPartitionParams(n, 4, 2), input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each distinct key's records must be in one partition.
+	for k := uint32(0); k < 4; k++ {
+		part := ps.PartitionOf(k)
+		found := 0
+		for _, r := range ps.ReadPartition(part) {
+			if r.Get(0) == k {
+				found++
+			}
+		}
+		if found != n/4 {
+			t.Fatalf("key %d: %d records in its partition, want %d", k, found, n/4)
+		}
+	}
+}
+
+func TestPartitionBlockChaining(t *testing.T) {
+	// More records per partition than one block holds: the allocator path
+	// must chain multiple blocks.
+	const n = 600
+	input := make([]record.Rec, n)
+	for i := range input {
+		input[i] = record.Make(uint32(i), uint32(i))
+	}
+	p := DefaultPartitionParams(n, 2, 2)
+	p.BlockRecs = 16 // force many allocations
+	p.MaxBlocks = 64
+	ps, _, err := Partition(p, input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Blocks < uint32(n)/16 {
+		t.Fatalf("allocated %d blocks for %d records of block size 16", ps.Blocks, n)
+	}
+	got := 0
+	for part := uint32(0); part < p.Parts; part++ {
+		exts := ps.Extents(part)
+		if len(exts) < 2 {
+			t.Errorf("partition %d has %d extents; chaining expected", part, len(exts))
+		}
+		got += ps.Count(part)
+	}
+	if got != n {
+		t.Fatalf("counted %d of %d", got, n)
+	}
+}
+
+func TestPartitionRejectsBadParams(t *testing.T) {
+	input := []record.Rec{record.Make(1, 2)}
+	p := DefaultPartitionParams(1, 3, 2)
+	if _, _, err := Partition(p, input, nil); err == nil {
+		t.Error("non-power-of-two parts accepted")
+	}
+	p = DefaultPartitionParams(1, 4, 2)
+	p.BlockRecs = 1 << 14
+	if _, _, err := Partition(p, input, nil); err == nil {
+		t.Error("oversized BlockRecs accepted")
+	}
+}
+
+func TestPartitionWideRecords(t *testing.T) {
+	// 4-word records (64-bit key + 64-bit payload).
+	const n = 300
+	input := make([]record.Rec, n)
+	for i := range input {
+		input[i] = record.Make(uint32(i*7), uint32(i>>16), uint32(i), uint32(i+1))
+	}
+	p := DefaultPartitionParams(n, 4, 4)
+	ps, _, err := Partition(p, input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for part := uint32(0); part < 4; part++ {
+		for _, r := range ps.ReadPartition(part) {
+			if r.Len() != 4 || r.Get(3) != r.Get(2)+1 {
+				t.Fatalf("payload corrupted: %v", r)
+			}
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("recovered %d", total)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+)
+
+func keyF0(r record.Rec) uint64 { return uint64(r.Get(0)) }
+
+func TestSortSmallAndTiled(t *testing.T) {
+	for _, n := range []int{0, 1, 100, sortTileRecs, sortTileRecs*3 + 17} {
+		hbm := dram.New(dram.DefaultConfig())
+		rng := rand.New(rand.NewSource(int64(n)))
+		recs := make([]record.Rec, n)
+		for i := range recs {
+			recs[i] = record.Make(rng.Uint32(), uint32(i))
+		}
+		run := MaterializeRun(hbm, RegionTables, recs, 2)
+		sorted, res, err := Sort(hbm, run, keyF0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n > 0 && res.Cycles <= 0 {
+			t.Fatalf("n=%d: no cycles", n)
+		}
+		got := ReadRun(hbm, sorted)
+		if len(got) != n {
+			t.Fatalf("n=%d: read %d", n, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Get(0) > got[i].Get(0) {
+				t.Fatalf("n=%d: out of order at %d", n, i)
+			}
+		}
+		// Payload preservation: same multiset.
+		seen := map[uint32]bool{}
+		for _, r := range got {
+			if seen[r.Get(1)] {
+				t.Fatalf("n=%d: payload %d duplicated", n, r.Get(1))
+			}
+			seen[r.Get(1)] = true
+		}
+	}
+}
+
+func TestSortCostGrowsSuperlinearly(t *testing.T) {
+	// Total DRAM traffic must grow with pass count: sorting 8 tiles adds a
+	// merge pass over the full data relative to 1 tile.
+	cost := func(n int) float64 {
+		hbm := dram.New(dram.DefaultConfig())
+		recs := make([]record.Rec, n)
+		rng := rand.New(rand.NewSource(9))
+		for i := range recs {
+			recs[i] = record.Make(rng.Uint32(), 0)
+		}
+		run := MaterializeRun(hbm, RegionTables, recs, 2)
+		_, res, err := Sort(hbm, run, keyF0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.DRAMBytes) / float64(n)
+	}
+	perRecSmall := cost(sortTileRecs)
+	perRecBig := cost(sortTileRecs * 16)
+	if perRecBig <= perRecSmall*1.2 {
+		t.Errorf("bytes/record: %0.1f (1 tile) vs %0.1f (16 tiles); extra merge pass missing", perRecSmall, perRecBig)
+	}
+}
+
+func TestSortMergeJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := make([]record.Rec, 3000)
+	b := make([]record.Rec, 2500)
+	for i := range a {
+		a[i] = record.Make(rng.Uint32()%800, uint32(i))
+	}
+	for i := range b {
+		b[i] = record.Make(rng.Uint32()%1000, uint32(10000+i))
+	}
+	got, res, err := SortMergeJoin(nil, a, b, 2, keyF0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	want := 0
+	cnt := map[uint32]int{}
+	for _, r := range a {
+		cnt[r.Get(0)]++
+	}
+	for _, r := range b {
+		want += cnt[r.Get(0)]
+	}
+	if len(got) != want {
+		t.Fatalf("matches=%d want %d", len(got), want)
+	}
+	for _, m := range got {
+		if m.Get(0) != m.Get(2) {
+			t.Fatalf("joined records disagree on key: %v", m)
+		}
+	}
+}
+
+func TestSortMergeJoinDuplicateCrossProduct(t *testing.T) {
+	a := []record.Rec{record.Make(5, 1), record.Make(5, 2), record.Make(5, 3)}
+	b := []record.Rec{record.Make(5, 10), record.Make(5, 20)}
+	got, _, err := SortMergeJoin(nil, a, b, 2, keyF0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("cross product: %d, want 6", len(got))
+	}
+}
+
+func TestSortMergeJoinDisjointKeys(t *testing.T) {
+	a := []record.Rec{record.Make(1, 0), record.Make(3, 0)}
+	b := []record.Rec{record.Make(2, 0), record.Make(4, 0)}
+	got, _, err := SortMergeJoin(nil, a, b, 2, keyF0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("disjoint join produced %d", len(got))
+	}
+}
+
+func TestHashJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	build := make([]record.Rec, 4000)
+	probe := make([]record.Rec, 3000)
+	for i := range build {
+		build[i] = record.Make(rng.Uint32()%1500, uint32(i))
+	}
+	for i := range probe {
+		probe[i] = record.Make(rng.Uint32()%2000, uint32(10000+i))
+	}
+	for _, P := range []int{1, 2, 4} {
+		got, res, err := HashJoin(nil, build, probe, HashJoinOptions{Parts: 8, Pipelines: P})
+		if err != nil {
+			t.Fatalf("P=%d: %v", P, err)
+		}
+		if res.Cycles <= 0 || res.DRAMBytes <= 0 {
+			t.Fatalf("P=%d: timing missing", P)
+		}
+		want := refJoin(build, probe)
+		wantCount := 0
+		for _, vs := range want {
+			wantCount += len(vs)
+		}
+		if len(got) != wantCount {
+			t.Fatalf("P=%d: matches=%d want %d", P, len(got), wantCount)
+		}
+	}
+}
+
+func TestHashJoinParallelismSpeedsUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	build := make([]record.Rec, 8000)
+	probe := make([]record.Rec, 8000)
+	for i := range build {
+		build[i] = record.Make(rng.Uint32(), uint32(i))
+	}
+	for i := range probe {
+		probe[i] = record.Make(rng.Uint32(), uint32(i))
+	}
+	run := func(P int) int64 {
+		_, res, err := HashJoin(nil, build, probe, HashJoinOptions{Parts: 8, Pipelines: P})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	c1, c4 := run(1), run(4)
+	if c4 >= c1 {
+		t.Errorf("P=4 (%d cyc) must beat P=1 (%d cyc)", c4, c1)
+	}
+}

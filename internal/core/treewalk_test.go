@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"aurochs/internal/dram"
+	"aurochs/internal/index/btree"
+	"aurochs/internal/index/rtree"
+)
+
+func TestBTreeSearchMatchesReference(t *testing.T) {
+	h := dram.New(dram.DefaultConfig())
+	rng := rand.New(rand.NewSource(21))
+	items := make([]btree.KV, 4000)
+	for i := range items {
+		items[i] = btree.KV{Key: rng.Uint32() % 20000, Val: uint32(i)}
+	}
+	tr := btree.Build(h, 0, items)
+
+	queries := make([]RangeQuery, 60)
+	for i := range queries {
+		lo := rng.Uint32() % 20000
+		queries[i] = RangeQuery{Lo: lo, Hi: lo + rng.Uint32()%500, Tag: uint32(i)}
+	}
+	got, res, err := BTreeSearch(tr, queries, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.DRAMBytes <= 0 {
+		t.Fatalf("timing missing: %+v", res)
+	}
+	// Group results by tag and compare against the functional Range.
+	byTag := map[uint32][]uint32{}
+	for _, r := range got {
+		byTag[r.Get(2)] = append(byTag[r.Get(2)], r.Get(0))
+	}
+	for i, q := range queries {
+		want := tr.Range(q.Lo, q.Hi)
+		g := byTag[uint32(i)]
+		if len(g) != len(want) {
+			t.Fatalf("query %d [%d,%d]: %d hits, want %d", i, q.Lo, q.Hi, len(g), len(want))
+		}
+		sort.Slice(g, func(a, b int) bool { return g[a] < g[b] })
+		for k := range want {
+			if g[k] != want[k].Key {
+				t.Fatalf("query %d: hit key %d, want %d", i, g[k], want[k].Key)
+			}
+		}
+	}
+}
+
+func TestBTreePointLookups(t *testing.T) {
+	h := dram.New(dram.DefaultConfig())
+	items := make([]btree.KV, 1000)
+	for i := range items {
+		items[i] = btree.KV{Key: uint32(i * 2), Val: uint32(i)}
+	}
+	tr := btree.Build(h, 0, items)
+	queries := []RangeQuery{
+		{Lo: 500, Hi: 500, Tag: 0},   // present
+		{Lo: 501, Hi: 501, Tag: 1},   // absent (odd)
+		{Lo: 0, Hi: 0, Tag: 2},       // first
+		{Lo: 1998, Hi: 1998, Tag: 3}, // last
+	}
+	got, _, err := BTreeSearch(tr, queries, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[uint32]int{}
+	for _, r := range got {
+		hits[r.Get(2)]++
+	}
+	for tag, want := range map[uint32]int{0: 1, 1: 0, 2: 1, 3: 1} {
+		if hits[tag] != want {
+			t.Errorf("tag %d: %d hits, want %d", tag, hits[tag], want)
+		}
+	}
+}
+
+func TestBTreeDuplicatesAcrossLeaves(t *testing.T) {
+	h := dram.New(dram.DefaultConfig())
+	// 40 copies of one key guarantee the run spans multiple leaves.
+	var items []btree.KV
+	for i := 0; i < 40; i++ {
+		items = append(items, btree.KV{Key: 777, Val: uint32(i)})
+	}
+	for i := 0; i < 200; i++ {
+		items = append(items, btree.KV{Key: uint32(i * 10), Val: 0})
+	}
+	tr := btree.Build(h, 0, items)
+	got, _, err := BTreeSearch(tr, []RangeQuery{{Lo: 777, Hi: 777}}, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Fatalf("found %d duplicates, want 40", len(got))
+	}
+}
+
+func TestRTreeWindowMatchesReference(t *testing.T) {
+	h := dram.New(dram.DefaultConfig())
+	rng := rand.New(rand.NewSource(31))
+	const maxC = 1 << 16
+	entries := make([]rtree.Entry, 3000)
+	for i := range entries {
+		x, y := rng.Uint32()%maxC, rng.Uint32()%maxC
+		entries[i] = rtree.Entry{Rect: rtree.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}, ID: uint32(i)}
+	}
+	tr := rtree.Build(h, 0, entries, maxC)
+
+	queries := make([]WindowQuery, 40)
+	for i := range queries {
+		x, y := rng.Uint32()%maxC, rng.Uint32()%maxC
+		queries[i] = WindowQuery{
+			Rect: rtree.Rect{MinX: x, MinY: y, MaxX: x + 3000, MaxY: y + 3000},
+			Tag:  uint32(i),
+		}
+	}
+	got, res, err := RTreeWindow(tr, queries, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	byTag := map[uint32]map[uint32]bool{}
+	for _, r := range got {
+		m := byTag[r.Get(1)]
+		if m == nil {
+			m = map[uint32]bool{}
+			byTag[r.Get(1)] = m
+		}
+		if m[r.Get(0)] {
+			t.Fatalf("duplicate hit id=%d tag=%d", r.Get(0), r.Get(1))
+		}
+		m[r.Get(0)] = true
+	}
+	for i, q := range queries {
+		want := tr.Window(q.Rect)
+		g := byTag[uint32(i)]
+		if len(g) != len(want) {
+			t.Fatalf("query %d: %d hits, want %d", i, len(g), len(want))
+		}
+		for _, id := range want {
+			if !g[id] {
+				t.Fatalf("query %d missing id %d", i, id)
+			}
+		}
+	}
+}
+
+// TestRTreeHighFanoutSpills: a window covering the whole space forks a
+// thread down every path — the spill queue must absorb it without deadlock.
+func TestRTreeHighFanoutSpills(t *testing.T) {
+	h := dram.New(dram.DefaultConfig())
+	rng := rand.New(rand.NewSource(32))
+	const maxC = 1 << 16
+	entries := make([]rtree.Entry, 8000)
+	for i := range entries {
+		x, y := rng.Uint32()%maxC, rng.Uint32()%maxC
+		entries[i] = rtree.Entry{Rect: rtree.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}, ID: uint32(i)}
+	}
+	tr := rtree.Build(h, 0, entries, maxC)
+	got, _, err := RTreeWindow(tr, []WindowQuery{{Rect: rtree.Rect{MinX: 0, MinY: 0, MaxX: maxC, MaxY: maxC}}}, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("full-space window returned %d of %d", len(got), len(entries))
+	}
+}
+
+func TestBTreeEmptyQueryBatch(t *testing.T) {
+	h := dram.New(dram.DefaultConfig())
+	tr := btree.Build(h, 0, []btree.KV{{Key: 1, Val: 1}})
+	got, _, err := BTreeSearch(tr, nil, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("no queries produced %d results", len(got))
+	}
+}

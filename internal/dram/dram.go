@@ -1,0 +1,429 @@
+// Package dram models the HBM main memory behind the Aurochs fabric. The
+// paper uses Ramulator for cycle-accurate HBM simulation; this model keeps
+// the properties the evaluation depends on — bandwidth saturation shared by
+// all pipelines, burst granularity, and row-buffer locality that makes
+// dense streaming much cheaper than sparse scatter/gather — while
+// simplifying DDR command timing to a hit/miss latency pair.
+//
+// Defaults approximate a 1 TB/s HBM2e part at the fabric's 1 GHz clock:
+// 16 pseudo-channels × 64 B bursts × 1 burst/cycle/channel = 1024 B/cycle.
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config sizes the HBM model.
+type Config struct {
+	// Channels is the pseudo-channel count (power of two).
+	Channels int
+	// BanksPerChannel is the banks each channel interleaves across.
+	BanksPerChannel int
+	// RowWords is the row-buffer size in 32-bit words (1 KiB row = 256).
+	RowWords int
+	// BurstWords is the access granularity in words (64 B burst = 16).
+	BurstWords int
+	// RowHitLatency is the load-to-use latency for an open row, cycles.
+	RowHitLatency int
+	// RowMissPenalty is added on a row-buffer miss (precharge+activate).
+	RowMissPenalty int
+	// BurstCycles is the channel occupancy of one burst.
+	BurstCycles int
+	// QueueDepth is the per-channel request queue depth.
+	QueueDepth int
+}
+
+// DefaultConfig returns the HBM configuration used throughout the repo.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        16,
+		BanksPerChannel: 16,
+		RowWords:        256,
+		BurstWords:      16,
+		RowHitLatency:   64,
+		RowMissPenalty:  32,
+		BurstCycles:     1,
+		QueueDepth:      32,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Channels <= 0 || c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("dram: channels must be a power of two, got %d", c.Channels)
+	}
+	if c.BurstWords <= 0 || c.BurstWords&(c.BurstWords-1) != 0 {
+		return fmt.Errorf("dram: burst words must be a power of two, got %d", c.BurstWords)
+	}
+	if c.RowWords%c.BurstWords != 0 {
+		return fmt.Errorf("dram: row words %d not a multiple of burst words %d", c.RowWords, c.BurstWords)
+	}
+	return nil
+}
+
+// PeakBytesPerCycle returns the theoretical bandwidth of this config.
+func (c Config) PeakBytesPerCycle() float64 {
+	return float64(c.Channels) * float64(c.BurstWords) * 4 / float64(c.BurstCycles)
+}
+
+// Request is one memory operation: Words 32-bit words at word address Addr.
+// Done fires at completion with the read data (nil for writes).
+type Request struct {
+	Addr  uint32
+	Words int
+	Write bool
+	Data  []uint32
+	Done  func(data []uint32)
+}
+
+type burst struct {
+	req       *pendingReq
+	addr      uint32 // word address of burst start
+	bank, row int
+}
+
+type pendingReq struct {
+	req       Request
+	remaining int
+	data      []uint32
+}
+
+type channel struct {
+	queue   []burst
+	busy    int64 // channel free at this cycle
+	openRow []int // per-bank open row (-1 closed)
+	// writeBuf is the controller's posted-write combining buffer: burst
+	// address → insertion cycle. Writes to a resident burst merge for
+	// free; entries retire to the queue on eviction or age-out.
+	writeBuf map[uint32]int64
+}
+
+// Write-buffer geometry: wbCap bursts per channel (a few KiB of combining
+// storage), flushed after wbFlushAge cycles without needing eviction.
+const (
+	wbCap      = 64
+	wbFlushAge = 512
+)
+
+// HBM is the memory device plus its channel scheduler. It is ticked by the
+// owning system once per cycle; fabric nodes call Submit.
+type HBM struct {
+	cfg   Config
+	chans []*channel
+	pages map[uint32][]uint32
+
+	burstShift uint
+	chanMask   uint32
+	inflight   inflightList
+	now        int64
+
+	// Stats
+	ReadBursts  int64
+	WriteBursts int64
+	RowHits     int64
+	RowMisses   int64
+	Stalls      int64
+	// CoalescedWrites counts write bursts absorbed by the controller's
+	// write-combining buffer (no extra channel occupancy).
+	CoalescedWrites int64
+}
+
+const pageWords = 1 << 16 // 256 KiB pages, allocated on demand
+
+// New builds an HBM instance.
+func New(cfg Config) *HBM {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	h := &HBM{
+		cfg:        cfg,
+		pages:      make(map[uint32][]uint32),
+		burstShift: uint(bits.TrailingZeros32(uint32(cfg.BurstWords))),
+		chanMask:   uint32(cfg.Channels - 1),
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channel{openRow: make([]int, cfg.BanksPerChannel), writeBuf: make(map[uint32]int64)}
+		for b := range ch.openRow {
+			ch.openRow[b] = -1
+		}
+		h.chans = append(h.chans, ch)
+	}
+	return h
+}
+
+// Config returns the model's configuration.
+func (h *HBM) Config() Config { return h.cfg }
+
+// page returns the backing page for addr, allocating on first touch.
+func (h *HBM) page(addr uint32) []uint32 {
+	id := addr / pageWords
+	p := h.pages[id]
+	if p == nil {
+		p = make([]uint32, pageWords)
+		h.pages[id] = p
+	}
+	return p
+}
+
+// ReadWord performs an untimed functional read (setup and verification).
+func (h *HBM) ReadWord(addr uint32) uint32 {
+	return h.page(addr)[addr%pageWords]
+}
+
+// WriteWord performs an untimed functional write (setup and verification).
+func (h *HBM) WriteWord(addr uint32, v uint32) {
+	h.page(addr)[addr%pageWords] = v
+}
+
+// LoadWords copies data into memory starting at base (untimed).
+func (h *HBM) LoadWords(base uint32, data []uint32) {
+	for i, v := range data {
+		h.WriteWord(base+uint32(i), v)
+	}
+}
+
+// SnapshotWords reads n words starting at base (untimed).
+func (h *HBM) SnapshotWords(base uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = h.ReadWord(base + uint32(i))
+	}
+	return out
+}
+
+// locate maps a burst-aligned word address to (channel, bank, row).
+func (h *HBM) locate(addr uint32) (ch, bank, row int) {
+	burstIdx := addr >> h.burstShift
+	ch = int(burstIdx & h.chanMask)
+	local := burstIdx >> uint(bits.TrailingZeros32(uint32(h.cfg.Channels)))
+	burstsPerRow := uint32(h.cfg.RowWords / h.cfg.BurstWords)
+	row = int(local / burstsPerRow)
+	bank = row % h.cfg.BanksPerChannel
+	return ch, bank, row
+}
+
+// Submit enqueues a request, splitting it into bursts. It returns false
+// (and enqueues nothing) when any needed channel queue lacks space —
+// callers stall and retry, which is how DRAM backpressure propagates into
+// the fabric.
+func (h *HBM) Submit(req Request) bool {
+	if req.Words <= 0 {
+		panic("dram: request with no words")
+	}
+	if req.Write && len(req.Data) != req.Words {
+		panic("dram: write data length mismatch")
+	}
+	first := req.Addr >> h.burstShift
+	last := (req.Addr + uint32(req.Words) - 1) >> h.burstShift
+	n := int(last - first + 1)
+
+	// Reserve queue space across all involved channels first. Writes are
+	// absorbed by the combining buffer but their evictions land in the
+	// same queues, so both directions respect the depth.
+	need := make(map[int]int, n)
+	for b := first; b <= last; b++ {
+		ch, _, _ := h.locate(b << h.burstShift)
+		need[ch]++
+	}
+	for ch, k := range need {
+		if len(h.chans[ch].queue)+k > h.cfg.QueueDepth {
+			h.Stalls++
+			return false
+		}
+	}
+
+	if req.Write {
+		// Posted write: data lands in the controller's write-combining
+		// buffer and the requester is acknowledged immediately. Bursts
+		// retire to the channel (costing bandwidth) on eviction or
+		// age-out — which is what makes the dense partition format
+		// cheap (paper fig. 7b): consecutive slots of a block merge
+		// into full bursts before ever touching DRAM.
+		for i := 0; i < req.Words; i++ {
+			h.WriteWord(req.Addr+uint32(i), req.Data[i])
+		}
+		for b := first; b <= last; b++ {
+			addr := b << h.burstShift
+			ch, _, _ := h.locate(addr)
+			h.postWrite(h.chans[ch], addr)
+		}
+		if req.Done != nil {
+			req.Done(nil)
+		}
+		return true
+	}
+	p := &pendingReq{req: req, remaining: n, data: make([]uint32, req.Words)}
+	for b := first; b <= last; b++ {
+		addr := b << h.burstShift
+		ch, bank, row := h.locate(addr)
+		h.chans[ch].queue = append(h.chans[ch].queue, burst{req: p, addr: addr, bank: bank, row: row})
+	}
+	return true
+}
+
+// postWrite inserts a burst into a channel's write buffer, coalescing hits
+// and evicting the oldest entry to the channel queue when full.
+func (h *HBM) postWrite(c *channel, addr uint32) {
+	if _, hit := c.writeBuf[addr]; hit {
+		h.CoalescedWrites++
+		c.writeBuf[addr] = h.now
+		return
+	}
+	if len(c.writeBuf) >= wbCap {
+		var oldest uint32
+		var oldestAt int64 = 1 << 62
+		for a, at := range c.writeBuf {
+			if at < oldestAt {
+				oldest, oldestAt = a, at
+			}
+		}
+		h.evictWrite(c, oldest)
+	}
+	c.writeBuf[addr] = h.now
+}
+
+// evictWrite moves one write burst from the buffer into the channel queue.
+func (h *HBM) evictWrite(c *channel, addr uint32) {
+	delete(c.writeBuf, addr)
+	_, bank, row := h.locate(addr)
+	c.queue = append(c.queue, burst{req: nil, addr: addr, bank: bank, row: row})
+}
+
+type completion struct {
+	at int64
+	b  burst
+}
+
+// inflight bursts awaiting completion, kept per HBM.
+type inflightList struct {
+	items []completion
+}
+
+// Tick advances every channel one cycle: flush aged write-buffer entries,
+// issue at most one burst per free channel, retire elapsed bursts.
+func (h *HBM) Tick(cycle int64) {
+	h.now = cycle
+	for _, ch := range h.chans {
+		// Age-out flush: one entry per cycle at most.
+		if len(ch.queue) < h.cfg.QueueDepth {
+			for a, at := range ch.writeBuf {
+				if cycle-at > wbFlushAge {
+					h.evictWrite(ch, a)
+					break
+				}
+			}
+		}
+		if len(ch.queue) == 0 || ch.busy > cycle {
+			continue
+		}
+		b := ch.queue[0]
+		ch.queue = ch.queue[1:]
+		lat := int64(h.cfg.RowHitLatency)
+		if ch.openRow[b.bank] != b.row {
+			lat += int64(h.cfg.RowMissPenalty)
+			ch.openRow[b.bank] = b.row
+			h.RowMisses++
+		} else {
+			h.RowHits++
+		}
+		ch.busy = cycle + int64(h.cfg.BurstCycles)
+		h.service(cycle+lat, b)
+	}
+	h.retire(cycle)
+}
+
+func (h *HBM) service(at int64, b burst) {
+	h.inflight.items = append(h.inflight.items, completion{at: at, b: b})
+}
+
+// retire completes bursts and fires request callbacks.
+func (h *HBM) retire(cycle int64) {
+	n := 0
+	for _, c := range h.inflight.items {
+		if c.at > cycle {
+			h.inflight.items[n] = c
+			n++
+			continue
+		}
+		h.finishBurst(c.b)
+	}
+	h.inflight.items = h.inflight.items[:n]
+}
+
+func (h *HBM) finishBurst(b burst) {
+	if b.req == nil {
+		// A write-buffer eviction: pure timing traffic.
+		h.WriteBursts++
+		return
+	}
+	p := b.req
+	req := p.req
+	if req.Write {
+		// Data was posted to the write buffer at submit time; this is
+		// the timing-side retirement only.
+		h.WriteBursts++
+	} else {
+		lo := b.addr
+		if req.Addr > lo {
+			lo = req.Addr
+		}
+		hi := b.addr + uint32(h.cfg.BurstWords)
+		if end := req.Addr + uint32(req.Words); end < hi {
+			hi = end
+		}
+		for a := lo; a < hi; a++ {
+			p.data[int(a-req.Addr)] = h.ReadWord(a)
+		}
+		h.ReadBursts++
+	}
+	p.remaining--
+	if p.remaining == 0 && req.Done != nil {
+		req.Done(p.data)
+	}
+}
+
+// ResetClock rebases the model's absolute-cycle state to zero so a new
+// simulation (sharing this HBM across kernel phases) can start its clock
+// from scratch. Queues and in-flight requests must be drained; row-buffer
+// state persists (locality across phases is real).
+func (h *HBM) ResetClock() {
+	if !h.Drained() {
+		panic("dram: ResetClock with work in flight")
+	}
+	for _, ch := range h.chans {
+		ch.busy = 0
+		for a := range ch.writeBuf {
+			ch.writeBuf[a] = 0
+		}
+	}
+	h.now = 0
+}
+
+// BytesMoved returns total bytes transferred so far.
+func (h *HBM) BytesMoved() int64 {
+	return (h.ReadBursts + h.WriteBursts) * int64(h.cfg.BurstWords) * 4
+}
+
+// Drained reports whether no request work remains queued or in flight.
+// Resident write-buffer entries are posted (acknowledged) data whose
+// flush-out is bookkeeping traffic; they do not block draining.
+func (h *HBM) Drained() bool {
+	for _, ch := range h.chans {
+		if len(ch.queue) > 0 {
+			return false
+		}
+	}
+	return len(h.inflight.items) == 0
+}
+
+// FlushWrites forces all resident write-buffer entries out (called between
+// phases so traffic accounting attributes bytes to the phase that wrote
+// them).
+func (h *HBM) FlushWrites() {
+	for _, ch := range h.chans {
+		for a := range ch.writeBuf {
+			delete(ch.writeBuf, a)
+			h.WriteBursts++
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package energy converts runtimes to energy for the fig. 14 comparison.
+// The paper estimates energy by multiplying runtime with design power; we
+// do the same with the Table 1 platforms' board/socket powers and the
+// accelerator's design power.
+package energy
+
+import "time"
+
+// Platform carries a design power.
+type Platform struct {
+	Name  string
+	Watts float64
+}
+
+// The evaluated platforms. CPU power covers the multi-socket server's
+// processor package budget; GPU is a V100 board; Aurochs inherits Gorgon's
+// design power envelope (a large reconfigurable die, well under a GPU
+// because there is no instruction fetch/decode or giant register file).
+var (
+	CPU     = Platform{Name: "cpu", Watts: 400}
+	GPU     = Platform{Name: "gpu", Watts: 300}
+	Aurochs = Platform{Name: "aurochs", Watts: 90}
+	Gorgon  = Platform{Name: "gorgon", Watts: 85}
+)
+
+// Joules returns energy for a runtime on the platform.
+func (p Platform) Joules(t time.Duration) float64 {
+	return p.Watts * t.Seconds()
+}

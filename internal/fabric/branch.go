@@ -1,0 +1,449 @@
+package fabric
+
+import (
+	"fmt"
+
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// LoopCtl coordinates end-of-stream across a cyclic pipeline. It is the
+// simulator's equivalent of the paper's drain-token protocol (§III-A): a
+// tile with cyclic dataflow first lets the cycle empty, then signals stream
+// end on the non-cyclic path. The control tracks threads alive inside the
+// loop; stream end enters the loop body only when the external input has
+// ended and no thread remains in flight.
+type LoopCtl struct {
+	inflight int64
+	extEOS   bool
+}
+
+// NewLoopCtl returns a fresh loop control.
+func NewLoopCtl() *LoopCtl { return &LoopCtl{} }
+
+// Enter records a thread entering the loop from outside.
+func (c *LoopCtl) Enter() { c.inflight++ }
+
+// Exit records a thread leaving the loop (through an exit branch or a kill).
+func (c *LoopCtl) Exit() {
+	c.inflight--
+	if c.inflight < 0 {
+		panic("fabric: loop inflight underflow — an exit was counted twice")
+	}
+}
+
+// Spawn records n additional threads created inside the loop (fork).
+func (c *LoopCtl) Spawn(n int) { c.inflight += int64(n) }
+
+// Inflight returns the live thread count.
+func (c *LoopCtl) Inflight() int64 { return c.inflight }
+
+// Output is one downstream port of a Filter.
+type Output struct {
+	// Link carries records routed to this output; nil drops them
+	// (thread kill).
+	Link *sim.Link
+	// Exit marks an output that leaves the enclosing loop; routing a
+	// record here (or dropping via a nil Link on an Exit output) counts
+	// a LoopCtl exit.
+	Exit bool
+	// NoEOS suppresses end-of-stream on this output — set on the cyclic
+	// (recirculating) path, which by the drain protocol never carries a
+	// stream-end token out of the filter.
+	NoEOS bool
+}
+
+// Filter is the branch-to-dataflow compute tile: a predicate routes each
+// record to one of several outputs, and a compaction datapath (shuffle
+// network + barrel shifter, fig. 5c) packs survivors into dense vectors on
+// every output so downstream lanes stay full.
+type Filter struct {
+	name  string
+	in    *sim.Link
+	route func(record.Rec) int
+	outs  []Output
+	ctl   *LoopCtl
+
+	pipe       []timedVec
+	acc        [][]record.Rec
+	lastAppend []int64
+	eosIn      bool
+	eos        []bool
+	cyclic     bool
+}
+
+// NewFilter builds a filter. route returns the output index for each
+// record, or -1 to kill the thread. ctl may be nil outside loops.
+func NewFilter(name string, route func(record.Rec) int, in *sim.Link, outs []Output, ctl *LoopCtl) *Filter {
+	if len(outs) == 0 {
+		panic("fabric: filter needs at least one output")
+	}
+	return &Filter{
+		name:       name,
+		in:         in,
+		route:      route,
+		outs:       outs,
+		ctl:        ctl,
+		acc:        make([][]record.Rec, len(outs)),
+		lastAppend: make([]int64, len(outs)),
+		eos:        make([]bool, len(outs)),
+	}
+}
+
+// Cyclic marks the filter as living on a recirculating path that never
+// carries end-of-stream; it is done whenever empty.
+func (f *Filter) Cyclic() *Filter {
+	f.cyclic = true
+	return f
+}
+
+// Name implements sim.Component.
+func (f *Filter) Name() string { return f.name }
+
+// Done implements sim.Component.
+func (f *Filter) Done() bool {
+	if f.cyclic {
+		if len(f.pipe) > 0 {
+			return false
+		}
+		for _, a := range f.acc {
+			if len(a) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if !f.eosIn || len(f.pipe) > 0 {
+		return false
+	}
+	for i, o := range f.outs {
+		if o.Link == nil || o.NoEOS {
+			continue
+		}
+		if !f.eos[i] {
+			return false
+		}
+	}
+	for _, a := range f.acc {
+		if len(a) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick implements sim.Component.
+func (f *Filter) Tick(cycle int64) {
+	accepted := f.drainPipe(cycle)
+	f.emit(cycle, accepted)
+	f.accept(cycle)
+	f.forwardEOS(cycle)
+}
+
+// accept pulls one input vector into the 6-stage pipe.
+func (f *Filter) accept(cycle int64) {
+	if f.eosIn || f.in.Empty() || len(f.pipe) >= PipelineDepth+2 {
+		return
+	}
+	for _, a := range f.acc {
+		if len(a) >= 3*record.NumLanes {
+			return // compaction buffers saturated; backpressure
+		}
+	}
+	fl := f.in.Pop()
+	if fl.EOS {
+		f.eosIn = true
+		return
+	}
+	f.pipe = append(f.pipe, timedVec{v: fl.Vec, ready: cycle + PipelineDepth})
+}
+
+// drainPipe routes one matured vector into the per-output accumulators and
+// reports whether new records arrived this cycle.
+func (f *Filter) drainPipe(cycle int64) bool {
+	if len(f.pipe) == 0 || f.pipe[0].ready > cycle {
+		return false
+	}
+	touched := f.lastAppend
+	v := f.pipe[0].v
+	f.pipe = f.pipe[1:]
+	for i := 0; i < record.NumLanes; i++ {
+		if !v.Valid(i) {
+			continue
+		}
+		r := v.Lane[i]
+		oi := f.route(r)
+		if oi < 0 {
+			// Thread kill: in a loop this is an exit.
+			if f.ctl != nil {
+				f.ctl.Exit()
+			}
+			continue
+		}
+		if oi >= len(f.outs) {
+			panic(fmt.Sprintf("%s: route returned %d with %d outputs", f.name, oi, len(f.outs)))
+		}
+		if f.outs[oi].Link == nil {
+			if f.ctl != nil && f.outs[oi].Exit {
+				f.ctl.Exit()
+			}
+			continue
+		}
+		f.acc[oi] = append(f.acc[oi], r)
+		touched[oi] = cycle
+	}
+	return true
+}
+
+// flushAge bounds how long a partial vector may sit in a compaction buffer
+// while the input stays busy. Without it, a rarely-taken branch (e.g. the
+// block-allocation path of fig. 7b) could starve behind a line-rate stream
+// on the common path; the hardware's barrel-shifter accumulator drains on
+// the same kind of timeout.
+const flushAge = 4
+
+// emit pushes at most one vector per output per cycle: full vectors
+// eagerly; partial vectors when the input went idle, the stream is ending,
+// or the oldest resident record has waited flushAge cycles.
+func (f *Filter) emit(cycle int64, gotInput bool) {
+	for i, o := range f.outs {
+		if o.Link == nil || len(f.acc[i]) == 0 || !o.Link.CanPush() {
+			continue
+		}
+		if len(f.acc[i]) < record.NumLanes && gotInput && !f.eosIn && cycle-f.lastAppend[i] < flushAge {
+			continue
+		}
+		var v record.Vector
+		n := len(f.acc[i])
+		if n > record.NumLanes {
+			n = record.NumLanes
+		}
+		for k := 0; k < n; k++ {
+			v.Push(f.acc[i][k])
+		}
+		f.acc[i] = f.acc[i][n:]
+		if f.ctl != nil && o.Exit {
+			for k := 0; k < n; k++ {
+				f.ctl.Exit()
+			}
+		}
+		o.Link.Push(cycle, sim.Flit{Vec: v})
+	}
+}
+
+// forwardEOS signals stream end on non-cyclic outputs once drained.
+func (f *Filter) forwardEOS(cycle int64) {
+	if !f.eosIn || len(f.pipe) > 0 {
+		return
+	}
+	for _, a := range f.acc {
+		if len(a) > 0 {
+			return
+		}
+	}
+	for i, o := range f.outs {
+		if o.Link == nil || o.NoEOS || f.eos[i] {
+			continue
+		}
+		if o.Link.CanPush() {
+			o.Link.Push(cycle, sim.Flit{EOS: true})
+			f.eos[i] = true
+		}
+	}
+}
+
+// Merge combines two record streams into one, giving strict priority to the
+// first input — on a cyclic path the recirculating stream must win to avoid
+// deadlock (paper §III-A). Records from both inputs are re-packed into
+// dense vectors.
+type Merge struct {
+	name string
+	pri  *sim.Link
+	sec  *sim.Link
+	out  *sim.Link
+	ctl  *LoopCtl // non-nil: this is a loop-entry merge; sec is external
+
+	acc    []record.Rec
+	priEOS bool
+	secEOS bool
+	eos    bool
+	cyclic bool
+}
+
+// NewMerge builds a plain merge: priority input pri, secondary sec.
+func NewMerge(name string, pri, sec, out *sim.Link) *Merge {
+	return &Merge{name: name, pri: pri, sec: sec, out: out}
+}
+
+// NewLoopMerge builds the entry merge of a cyclic pipeline: recirc is the
+// cyclic path (priority), ext the external input. Records popped from ext
+// are counted into ctl; end-of-stream enters the loop body only when ext
+// has ended and the loop has drained.
+func NewLoopMerge(name string, recirc, ext, out *sim.Link, ctl *LoopCtl) *Merge {
+	if ctl == nil {
+		panic("fabric: loop merge requires a LoopCtl")
+	}
+	return &Merge{name: name, pri: recirc, sec: ext, out: out, ctl: ctl}
+}
+
+// Cyclic marks the merge as living on a recirculating path; it is done
+// whenever its accumulator is empty.
+func (m *Merge) Cyclic() *Merge {
+	m.cyclic = true
+	return m
+}
+
+// Name implements sim.Component.
+func (m *Merge) Name() string { return m.name }
+
+// Done implements sim.Component.
+func (m *Merge) Done() bool {
+	if m.cyclic {
+		return len(m.acc) == 0
+	}
+	return m.eos
+}
+
+// Tick implements sim.Component.
+func (m *Merge) Tick(cycle int64) {
+	// Pull at most one vector from each input, priority first.
+	if len(m.acc) < record.NumLanes && !m.priEOS && !m.pri.Empty() {
+		f := m.pri.Pop()
+		if f.EOS {
+			m.priEOS = true
+		} else {
+			m.acc = append(m.acc, f.Vec.Records()...)
+		}
+	}
+	if len(m.acc) < record.NumLanes && !m.secEOS && !m.sec.Empty() {
+		f := m.sec.Pop()
+		if f.EOS {
+			m.secEOS = true
+		} else {
+			recs := f.Vec.Records()
+			if m.ctl != nil {
+				for range recs {
+					m.ctl.Enter()
+				}
+			}
+			m.acc = append(m.acc, recs...)
+		}
+	}
+	// Emit one dense vector.
+	if len(m.acc) > 0 && m.out.CanPush() {
+		var v record.Vector
+		n := len(m.acc)
+		if n > record.NumLanes {
+			n = record.NumLanes
+		}
+		for i := 0; i < n; i++ {
+			v.Push(m.acc[i])
+		}
+		m.acc = m.acc[n:]
+		m.out.Push(cycle, sim.Flit{Vec: v})
+	}
+	m.maybeEOS(cycle)
+}
+
+func (m *Merge) maybeEOS(cycle int64) {
+	if m.eos || len(m.acc) > 0 || !m.out.CanPush() {
+		return
+	}
+	if m.ctl != nil {
+		// Loop entry: the cyclic path never carries EOS; drain is proven
+		// by the in-flight count.
+		if m.secEOS && m.ctl.Inflight() == 0 && m.pri.Drained() {
+			m.out.Push(cycle, sim.Flit{EOS: true})
+			m.eos = true
+		}
+		return
+	}
+	if m.priEOS && m.secEOS {
+		m.out.Push(cycle, sim.Flit{EOS: true})
+		m.eos = true
+	}
+}
+
+// Fork spawns child threads from each parent record — the primitive that
+// lets a search walk multiple paths through a tree simultaneously. The
+// expansion function returns the children (possibly none, killing the
+// parent). Inside a loop, the net thread-count change is reported to ctl.
+type Fork struct {
+	name string
+	in   *sim.Link
+	out  *sim.Link
+	fn   func(record.Rec) []record.Rec
+	ctl  *LoopCtl
+
+	buf    []timedRec
+	eosIn  bool
+	eos    bool
+	cyclic bool
+}
+
+type timedRec struct {
+	r     record.Rec
+	ready int64
+}
+
+// NewFork builds a fork tile. ctl may be nil outside loops.
+func NewFork(name string, fn func(record.Rec) []record.Rec, in, out *sim.Link, ctl *LoopCtl) *Fork {
+	return &Fork{name: name, fn: fn, in: in, out: out, ctl: ctl}
+}
+
+// Cyclic marks the fork as living on a recirculating path; it is done
+// whenever its expansion buffer is empty.
+func (f *Fork) Cyclic() *Fork {
+	f.cyclic = true
+	return f
+}
+
+// Name implements sim.Component.
+func (f *Fork) Name() string { return f.name }
+
+// Done implements sim.Component.
+func (f *Fork) Done() bool {
+	if f.cyclic {
+		return len(f.buf) == 0
+	}
+	return f.eos
+}
+
+// Tick implements sim.Component.
+func (f *Fork) Tick(cycle int64) {
+	// Emit up to one dense vector of matured children.
+	if len(f.buf) > 0 && f.buf[0].ready <= cycle && f.out.CanPush() {
+		var v record.Vector
+		n := 0
+		for n < len(f.buf) && n < record.NumLanes && f.buf[n].ready <= cycle {
+			v.Push(f.buf[n].r)
+			n++
+		}
+		f.buf = f.buf[n:]
+		f.out.Push(cycle, sim.Flit{Vec: v})
+	}
+	// Accept one parent vector when the expansion buffer has room.
+	if !f.eosIn && !f.in.Empty() && len(f.buf) < 4*record.NumLanes {
+		fl := f.in.Pop()
+		if fl.EOS {
+			f.eosIn = true
+		} else {
+			for i := 0; i < record.NumLanes; i++ {
+				if !fl.Vec.Valid(i) {
+					continue
+				}
+				children := f.fn(fl.Vec.Lane[i])
+				if f.ctl != nil {
+					f.ctl.Spawn(len(children) - 1)
+				}
+				for _, c := range children {
+					f.buf = append(f.buf, timedRec{r: c, ready: cycle + PipelineDepth})
+				}
+			}
+		}
+	}
+	if f.eosIn && !f.eos && len(f.buf) == 0 && f.out.CanPush() {
+		f.out.Push(cycle, sim.Flit{EOS: true})
+		f.eos = true
+	}
+}

@@ -1,0 +1,203 @@
+package fabric
+
+import (
+	"fmt"
+
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+	"aurochs/internal/spad"
+)
+
+// DRAMNode is a fabric endpoint that gathers or scatters thread records
+// against the shared HBM: the paths that fetch B-tree blocks, spill hash
+// partitions, and write overflow nodes. It reuses spad.Spec to describe how
+// a record encodes its request; widths may be large (block fetches).
+//
+// Timing: each record becomes one HBM request (split into bursts by the
+// DRAM model); responses return out of order and are re-vectorized, exactly
+// like the scratchpad's reordering pipeline but with memory-system latency.
+type DRAMNode struct {
+	name string
+	h    *dram.HBM
+	spec spad.Spec
+	in   *sim.Link
+	out  *sim.Link
+	stat *sim.Stats
+
+	maxOutstanding int
+	backlog        []record.Rec
+	outstanding    int
+	ready          []record.Rec
+	eosIn          bool
+	eos            bool
+}
+
+// NewDRAMNode builds a DRAM access node on graph g.
+func NewDRAMNode(g *Graph, name string, spec spad.Spec, in, out *sim.Link) *DRAMNode {
+	if g.HBM == nil {
+		panic("fabric: graph has no HBM attached")
+	}
+	if spec.Addr == nil {
+		panic("fabric: dram spec.Addr is required")
+	}
+	if spec.Op != spad.OpRead && spec.Data == nil {
+		panic(fmt.Sprintf("fabric: dram node %s: op %s requires spec.Data", name, spec.Op))
+	}
+	if spec.Op == spad.OpXCHG {
+		panic("fabric: dram node does not implement xchg")
+	}
+	n := &DRAMNode{
+		name:           name,
+		h:              g.HBM,
+		spec:           spec,
+		in:             in,
+		out:            out,
+		stat:           g.Stats(),
+		maxOutstanding: 64,
+	}
+	g.Add(n)
+	return n
+}
+
+// Name implements sim.Component.
+func (d *DRAMNode) Name() string { return d.name }
+
+// Done implements sim.Component.
+func (d *DRAMNode) Done() bool { return d.eos }
+
+func (d *DRAMNode) width() int {
+	if d.spec.Width <= 0 {
+		return 1
+	}
+	return d.spec.Width
+}
+
+// Tick implements sim.Component.
+func (d *DRAMNode) Tick(cycle int64) {
+	d.emit(cycle)
+	d.submit()
+	d.accept()
+	d.finishEOS(cycle)
+}
+
+// submit pushes backlogged records into the memory system, stalling when
+// the response side backs up (bounded buffering, like the scratchpad's
+// response compactor).
+func (d *DRAMNode) submit() {
+	for len(d.backlog) > 0 && d.outstanding < d.maxOutstanding &&
+		len(d.ready)+d.outstanding < 8*record.NumLanes {
+		r := d.backlog[0]
+		w := d.width()
+		addr := d.spec.Addr(r)
+		req := dram.Request{Addr: addr, Words: w}
+		switch d.spec.Op {
+		case spad.OpWrite:
+			data := make([]uint32, w)
+			for i := 0; i < w; i++ {
+				data[i] = d.spec.Data(r, i)
+			}
+			req.Write = true
+			req.Data = data
+		case spad.OpRead:
+			// nothing extra
+		case spad.OpFAA:
+			// Atomic at the memory controller: mutate functionally now
+			// (submissions are serialized), respond after the round trip.
+			old := d.h.ReadWord(addr)
+			d.h.WriteWord(addr, old+d.spec.Data(r, 0))
+			req.Write = true
+			req.Data = []uint32{old + d.spec.Data(r, 0)}
+			rr := r
+			prev := old
+			req.Done = d.completer(rr, []uint32{prev})
+		case spad.OpCAS:
+			cur := d.h.ReadWord(addr)
+			if cur == d.spec.Data(r, 0) {
+				d.h.WriteWord(addr, d.spec.Data(r, 1))
+			}
+			req.Write = true
+			req.Data = []uint32{d.h.ReadWord(addr)}
+			req.Done = d.completer(r, []uint32{cur})
+		default:
+			panic("fabric: dram node op not implemented: " + d.spec.Op.String())
+		}
+		if req.Done == nil {
+			rr := r
+			if req.Write {
+				req.Done = func([]uint32) { d.complete(rr, nil) }
+			} else {
+				req.Done = func(data []uint32) { d.complete(rr, data) }
+			}
+		}
+		if !d.h.Submit(req) {
+			d.stat.Add(d.name+".dram_stall", 1)
+			return
+		}
+		d.outstanding++
+		d.backlog = d.backlog[1:]
+		d.stat.Add(d.name+".dram_reqs", 1)
+	}
+}
+
+func (d *DRAMNode) completer(r record.Rec, resp []uint32) func([]uint32) {
+	return func([]uint32) { d.complete(r, resp) }
+}
+
+// complete applies the response to the thread and queues it for output.
+func (d *DRAMNode) complete(r record.Rec, resp []uint32) {
+	d.outstanding--
+	out, keep := r, true
+	if d.spec.Apply != nil {
+		out, keep = d.spec.Apply(r, resp)
+	}
+	if keep {
+		d.ready = append(d.ready, out)
+	} else {
+		d.stat.Add(d.name+".dropped", 1)
+	}
+}
+
+// accept pulls one input vector into the backlog.
+func (d *DRAMNode) accept() {
+	if d.eosIn || d.in.Empty() || len(d.backlog) > 2*record.NumLanes {
+		return
+	}
+	f := d.in.Pop()
+	if f.EOS {
+		d.eosIn = true
+		return
+	}
+	d.backlog = append(d.backlog, f.Vec.Records()...)
+}
+
+// emit vectorizes completed threads, one vector per cycle.
+func (d *DRAMNode) emit(cycle int64) {
+	if len(d.ready) == 0 || !d.out.CanPush() {
+		return
+	}
+	var v record.Vector
+	n := len(d.ready)
+	if n > record.NumLanes {
+		n = record.NumLanes
+	}
+	for i := 0; i < n; i++ {
+		v.Push(d.ready[i])
+	}
+	d.ready = d.ready[n:]
+	d.out.Push(cycle, sim.Flit{Vec: v})
+}
+
+func (d *DRAMNode) finishEOS(cycle int64) {
+	if d.eos || !d.eosIn {
+		return
+	}
+	if len(d.backlog) > 0 || d.outstanding > 0 || len(d.ready) > 0 {
+		return
+	}
+	if !d.out.CanPush() {
+		return
+	}
+	d.out.Push(cycle, sim.Flit{EOS: true})
+	d.eos = true
+}

@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// DRAMExpand fuses a wide DRAM block fetch with a fork tile: each thread
+// fetches a node block (too wide to live in the thread record) and spawns
+// zero or more child threads from it. This is the tree-walk primitive of
+// figs. 6b and 9: B-tree descent, R-tree window queries, and spatial joins
+// all fetch a block of children and insert the matching ones into the
+// pipeline as new threads. The block size hides DRAM latency and keeps the
+// pipeline full.
+type DRAMExpand struct {
+	name   string
+	h      *dram.HBM
+	width  int
+	addrFn func(record.Rec) uint32
+	expand func(record.Rec, []uint32) []record.Rec
+	ctl    *LoopCtl
+	in     *sim.Link
+	out    *sim.Link
+	stat   *sim.Stats
+
+	maxOutstanding int
+	backlog        []record.Rec
+	outstanding    int
+	ready          []record.Rec
+	eosIn          bool
+	eos            bool
+}
+
+// NewDRAMExpand builds the node. width is the block size in words; expand
+// receives the thread and the fetched block and returns the child threads
+// (an empty slice kills the parent). ctl must be the enclosing loop's
+// control when the node sits inside a cyclic pipeline.
+func NewDRAMExpand(g *Graph, name string, width int, addrFn func(record.Rec) uint32,
+	expand func(record.Rec, []uint32) []record.Rec, ctl *LoopCtl, in, out *sim.Link) *DRAMExpand {
+	if g.HBM == nil {
+		panic("fabric: graph has no HBM attached")
+	}
+	n := &DRAMExpand{
+		name: name, h: g.HBM, width: width, addrFn: addrFn, expand: expand,
+		ctl: ctl, in: in, out: out, stat: g.Stats(), maxOutstanding: 64,
+	}
+	g.Add(n)
+	return n
+}
+
+// Name implements sim.Component.
+func (d *DRAMExpand) Name() string { return d.name }
+
+// Done implements sim.Component.
+func (d *DRAMExpand) Done() bool { return d.eos }
+
+// Tick implements sim.Component.
+func (d *DRAMExpand) Tick(cycle int64) {
+	// Emit matured children, one dense vector per cycle.
+	if len(d.ready) > 0 && d.out.CanPush() {
+		var v record.Vector
+		n := len(d.ready)
+		if n > record.NumLanes {
+			n = record.NumLanes
+		}
+		for i := 0; i < n; i++ {
+			v.Push(d.ready[i])
+		}
+		d.ready = d.ready[n:]
+		d.out.Push(cycle, sim.Flit{Vec: v})
+	}
+	// Submit fetches.
+	for len(d.backlog) > 0 && d.outstanding < d.maxOutstanding && len(d.ready) < 8*record.NumLanes {
+		r := d.backlog[0]
+		ok := d.h.Submit(dram.Request{
+			Addr: d.addrFn(r), Words: d.width,
+			Done: func(data []uint32) {
+				d.outstanding--
+				children := d.expand(r, data)
+				if d.ctl != nil {
+					d.ctl.Spawn(len(children) - 1)
+				}
+				d.ready = append(d.ready, children...)
+			},
+		})
+		if !ok {
+			d.stat.Add(d.name+".dram_stall", 1)
+			break
+		}
+		d.outstanding++
+		d.backlog = d.backlog[1:]
+		d.stat.Add(d.name+".fetches", 1)
+	}
+	// Accept input.
+	if !d.eosIn && !d.in.Empty() && len(d.backlog) <= 2*record.NumLanes {
+		f := d.in.Pop()
+		if f.EOS {
+			d.eosIn = true
+		} else {
+			d.backlog = append(d.backlog, f.Vec.Records()...)
+		}
+	}
+	// Forward EOS once drained.
+	if d.eosIn && !d.eos && len(d.backlog) == 0 && d.outstanding == 0 && len(d.ready) == 0 && d.out.CanPush() {
+		d.out.Push(cycle, sim.Flit{EOS: true})
+		d.eos = true
+	}
+}

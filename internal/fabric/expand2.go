@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// DRAMExpand2 is the two-block variant of DRAMExpand: each thread fetches
+// two node blocks (one from each of two indices) and forks children from
+// their combination — the synchronized descent of a spatial join between
+// two R-trees (paper fig. 9b), where a thread holds a *pair* of nodes and
+// spawns a child thread per overlapping child pair.
+type DRAMExpand2 struct {
+	name   string
+	h      *dram.HBM
+	widthA int
+	widthB int
+	addrA  func(record.Rec) uint32
+	addrB  func(record.Rec) uint32
+	expand func(record.Rec, []uint32, []uint32) []record.Rec
+	ctl    *LoopCtl
+	in     *sim.Link
+	out    *sim.Link
+	stat   *sim.Stats
+
+	maxOutstanding int
+	backlog        []record.Rec
+	outstanding    int
+	ready          []record.Rec
+	eosIn          bool
+	eos            bool
+}
+
+// NewDRAMExpand2 builds the node; see DRAMExpand for the single-fetch form.
+func NewDRAMExpand2(g *Graph, name string, widthA, widthB int,
+	addrA, addrB func(record.Rec) uint32,
+	expand func(r record.Rec, blockA, blockB []uint32) []record.Rec,
+	ctl *LoopCtl, in, out *sim.Link) *DRAMExpand2 {
+	if g.HBM == nil {
+		panic("fabric: graph has no HBM attached")
+	}
+	n := &DRAMExpand2{
+		name: name, h: g.HBM, widthA: widthA, widthB: widthB,
+		addrA: addrA, addrB: addrB, expand: expand,
+		ctl: ctl, in: in, out: out, stat: g.Stats(), maxOutstanding: 32,
+	}
+	g.Add(n)
+	return n
+}
+
+// Name implements sim.Component.
+func (d *DRAMExpand2) Name() string { return d.name }
+
+// Done implements sim.Component.
+func (d *DRAMExpand2) Done() bool { return d.eos }
+
+// Tick implements sim.Component.
+func (d *DRAMExpand2) Tick(cycle int64) {
+	// Emit matured children.
+	if len(d.ready) > 0 && d.out.CanPush() {
+		var v record.Vector
+		n := len(d.ready)
+		if n > record.NumLanes {
+			n = record.NumLanes
+		}
+		for i := 0; i < n; i++ {
+			v.Push(d.ready[i])
+		}
+		d.ready = d.ready[n:]
+		d.out.Push(cycle, sim.Flit{Vec: v})
+	}
+	// Submit paired fetches: both blocks must arrive before expansion.
+	for len(d.backlog) > 0 && d.outstanding < d.maxOutstanding && len(d.ready) < 8*record.NumLanes {
+		r := d.backlog[0]
+		// Two requests joined by a shared arrival counter.
+		arrived := 0
+		var dataA, dataB []uint32
+		done := func() {
+			arrived++
+			if arrived < 2 {
+				return
+			}
+			d.outstanding--
+			children := d.expand(r, dataA, dataB)
+			if d.ctl != nil {
+				d.ctl.Spawn(len(children) - 1)
+			}
+			d.ready = append(d.ready, children...)
+		}
+		okA := d.h.Submit(dram.Request{Addr: d.addrA(r), Words: d.widthA, Done: func(data []uint32) {
+			dataA = data
+			done()
+		}})
+		if !okA {
+			d.stat.Add(d.name+".dram_stall", 1)
+			break
+		}
+		okB := d.h.Submit(dram.Request{Addr: d.addrB(r), Words: d.widthB, Done: func(data []uint32) {
+			dataB = data
+			done()
+		}})
+		if !okB {
+			// First leg is in flight; absorb the second functionally so
+			// the pair completes (charge a stall).
+			d.stat.Add(d.name+".dram_stall", 1)
+			dataB = d.h.SnapshotWords(d.addrB(r), d.widthB)
+			done()
+		}
+		d.outstanding++
+		d.backlog = d.backlog[1:]
+		d.stat.Add(d.name+".fetch_pairs", 1)
+	}
+	// Accept input.
+	if !d.eosIn && !d.in.Empty() && len(d.backlog) <= 2*record.NumLanes {
+		f := d.in.Pop()
+		if f.EOS {
+			d.eosIn = true
+		} else {
+			d.backlog = append(d.backlog, f.Vec.Records()...)
+		}
+	}
+	if d.eosIn && !d.eos && len(d.backlog) == 0 && d.outstanding == 0 && len(d.ready) == 0 && d.out.CanPush() {
+		d.out.Push(cycle, sim.Flit{EOS: true})
+		d.eos = true
+	}
+}

@@ -1,0 +1,101 @@
+// Package fabric models the spatial compute fabric of Gorgon/Aurochs: a
+// graph of 16-lane compute tiles and scratchpad tiles connected by
+// registered, latency-annotated streaming links. Kernels (internal/core)
+// assemble graphs from this package's node types:
+//
+//   - Source / Sink    — stream endpoints
+//   - Map              — per-record mutation (6-stage pipelined datapath)
+//   - Filter           — branch-to-dataflow: predicate splits a stream in
+//     two with thread compaction on both sides
+//   - Merge            — recombines streams (priority to the cyclic path)
+//   - Fork             — spawns child threads from a parent
+//   - spad.Tile        — the sparse reordering scratchpad (package spad)
+//   - DRAMNode         — gather/scatter/append against the shared HBM
+//
+// Cyclic graphs — the paper's recirculating while-loops — are coordinated
+// by a LoopCtl that implements the stream-end token protocol of §III-A:
+// end-of-stream leaves a loop only after the cyclic pipeline has provably
+// emptied.
+package fabric
+
+import (
+	"aurochs/internal/dram"
+	"aurochs/internal/sim"
+)
+
+// Default structural parameters of the fabric model.
+const (
+	// PipelineDepth is a compute tile's datapath latency in cycles: six
+	// statically reconfigured stages (paper §II-B).
+	PipelineDepth = 6
+	// LinkLatency is the default tile-to-tile interconnect latency. The
+	// threading model tolerates arbitrary on-chip latencies, so kernels
+	// leave this at the default unless a placement says otherwise.
+	LinkLatency = 2
+	// LinkCapacity is the default skid-buffer depth per link.
+	LinkCapacity = 8
+)
+
+// Graph assembles a dataflow kernel: it owns the sim.System, the shared
+// HBM (if any), and construction helpers. After wiring, call Run.
+type Graph struct {
+	Sys *sim.System
+	HBM *dram.HBM
+
+	hbmTicker *hbmComponent
+}
+
+// NewGraph creates an empty kernel graph with its own simulation system.
+func NewGraph() *Graph {
+	return &Graph{Sys: sim.NewSystem()}
+}
+
+// Stats exposes the system counter set.
+func (g *Graph) Stats() *sim.Stats { return g.Sys.Stats() }
+
+// Link creates a default link (LinkCapacity deep, LinkLatency cycles).
+func (g *Graph) Link(name string) *sim.Link {
+	return g.Sys.NewLink(name, LinkCapacity, LinkLatency)
+}
+
+// LinkLat creates a link with an explicit latency — used when a placement
+// puts producer and consumer tiles far apart on the grid.
+func (g *Graph) LinkLat(name string, latency int) *sim.Link {
+	return g.Sys.NewLink(name, LinkCapacity, latency)
+}
+
+// Add registers nodes with the system.
+func (g *Graph) Add(nodes ...sim.Component) {
+	for _, n := range nodes {
+		g.Sys.Add(n)
+	}
+}
+
+// AttachHBM installs a shared HBM and registers its clock component. The
+// HBM's clock state is rebased because this graph's cycles start at zero;
+// kernel phases sharing one HBM run as separate graphs.
+func (g *Graph) AttachHBM(h *dram.HBM) {
+	h.ResetClock()
+	g.HBM = h
+	g.hbmTicker = &hbmComponent{h: h}
+	g.Sys.Add(g.hbmTicker)
+}
+
+// Run simulates until the graph drains and returns elapsed cycles.
+func (g *Graph) Run(maxCycles int64) (int64, error) {
+	return g.Sys.Run(maxCycles)
+}
+
+// hbmComponent adapts the HBM model to the component interface.
+type hbmComponent struct {
+	h *dram.HBM
+}
+
+func (c *hbmComponent) Name() string { return "hbm" }
+
+func (c *hbmComponent) Tick(cycle int64) { c.h.Tick(cycle) }
+
+// Done: the HBM is passive; it is done when no requests remain. Nodes that
+// wait on it stay !Done until their responses arrive, so reporting drained
+// here is safe.
+func (c *hbmComponent) Done() bool { return c.h.Drained() }

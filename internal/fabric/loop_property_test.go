@@ -1,0 +1,138 @@
+package fabric
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// TestPropertyCountdownLoops: for any distribution of thread lifetimes, a
+// recirculating loop must emit exactly one exit per thread with the drain
+// protocol terminating cleanly — the invariant every kernel builds on.
+func TestPropertyCountdownLoops(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		recs := make([]record.Rec, n)
+		for i := range recs {
+			recs[i] = record.Make(uint32(i), uint32(rng.Intn(40)))
+		}
+		g := NewGraph()
+		ext, body, dec, exit, recirc := g.Link("ext"), g.Link("body"), g.Link("dec"), g.Link("exit"), g.Link("recirc")
+		ctl := NewLoopCtl()
+		g.Add(NewSource("src", recs, ext))
+		g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
+		g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+			if c := r.Get(1); c > 0 {
+				return r.Set(1, c-1)
+			}
+			return r
+		}, body, dec))
+		g.Add(NewFilter("exit?", func(r record.Rec) int {
+			if r.Get(1) == 0 {
+				return 0
+			}
+			return 1
+		}, dec, []Output{
+			{Link: exit, Exit: true},
+			{Link: recirc, NoEOS: true},
+		}, ctl))
+		snk := NewSink("snk", exit)
+		g.Add(snk)
+		if _, err := g.Run(5_000_000); err != nil {
+			return false
+		}
+		if snk.Count() != n || ctl.Inflight() != 0 {
+			return false
+		}
+		seen := map[uint32]bool{}
+		for _, r := range snk.Records() {
+			if seen[r.Get(0)] {
+				return false // a thread exited twice
+			}
+			seen[r.Get(0)] = true
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMiswiredLoopIsCaughtAsDeadlock: failure injection — a loop whose exit
+// filter forgets the LoopCtl never proves its drain, and the runner must
+// report a deadlock instead of hanging or silently completing.
+func TestMiswiredLoopIsCaughtAsDeadlock(t *testing.T) {
+	g := NewGraph()
+	ext, body, exit, recirc := g.Link("ext"), g.Link("body"), g.Link("exit"), g.Link("recirc")
+	ctl := NewLoopCtl()
+	g.Add(NewSource("src", []record.Rec{record.Make(0, 0)}, ext))
+	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
+	// BUG under test: ctl is nil here, so exits are never counted.
+	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
+		{Link: exit, Exit: true},
+	}, nil))
+	snk := NewSink("snk", exit)
+	g.Add(snk)
+	_, err := g.Run(1_000_000)
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("mis-wired loop should deadlock-detect, got %v", err)
+	}
+}
+
+// TestDoubleExitPanics: failure injection — counting an exit twice is a
+// kernel bug the control must refuse to absorb.
+func TestDoubleExitPanics(t *testing.T) {
+	ctl := NewLoopCtl()
+	ctl.Enter()
+	ctl.Exit()
+	defer func() {
+		if recover() == nil {
+			t.Error("inflight underflow must panic")
+		}
+	}()
+	ctl.Exit()
+}
+
+// TestLoopBackpressureUnderTinyLinks: the drain protocol must hold even
+// when every link is at minimum capacity (maximum backpressure).
+func TestLoopBackpressureUnderTinyLinks(t *testing.T) {
+	g := NewGraph()
+	mk := func(name string) *sim.Link { return g.Sys.NewLink(name, 1, 1) }
+	ext, body, dec, exit, recirc := mk("ext"), mk("body"), mk("dec"), mk("exit"), mk("recirc")
+	ctl := NewLoopCtl()
+	recs := make([]record.Rec, 64)
+	for i := range recs {
+		recs[i] = record.Make(uint32(i), uint32(i%7))
+	}
+	g.Add(NewSource("src", recs, ext))
+	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
+	g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+		if c := r.Get(1); c > 0 {
+			return r.Set(1, c-1)
+		}
+		return r
+	}, body, dec))
+	g.Add(NewFilter("exit?", func(r record.Rec) int {
+		if r.Get(1) == 0 {
+			return 0
+		}
+		return 1
+	}, dec, []Output{
+		{Link: exit, Exit: true},
+		{Link: recirc, NoEOS: true},
+	}, ctl))
+	snk := NewSink("snk", exit)
+	g.Add(snk)
+	if _, err := g.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if snk.Count() != 64 {
+		t.Fatalf("exits=%d", snk.Count())
+	}
+}

@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// Source feeds a pre-materialized record stream into the fabric at one
+// vector per cycle, then signals end-of-stream.
+type Source struct {
+	name string
+	out  *sim.Link
+	vecs []record.Vector
+	pos  int
+	eos  bool
+}
+
+// NewSource builds a source from records (vectorized densely).
+func NewSource(name string, recs []record.Rec, out *sim.Link) *Source {
+	return &Source{name: name, out: out, vecs: record.Vectorize(recs)}
+}
+
+// Name implements sim.Component.
+func (s *Source) Name() string { return s.name }
+
+// Done implements sim.Component.
+func (s *Source) Done() bool { return s.eos }
+
+// Tick implements sim.Component.
+func (s *Source) Tick(cycle int64) {
+	if s.eos || !s.out.CanPush() {
+		return
+	}
+	if s.pos < len(s.vecs) {
+		s.out.Push(cycle, sim.Flit{Vec: s.vecs[s.pos]})
+		s.pos++
+		return
+	}
+	s.out.Push(cycle, sim.Flit{EOS: true})
+	s.eos = true
+}
+
+// Sink collects a stream's records and observes its end.
+type Sink struct {
+	name string
+	in   *sim.Link
+	recs []record.Rec
+	eos  bool
+}
+
+// NewSink builds a sink on the given link.
+func NewSink(name string, in *sim.Link) *Sink {
+	return &Sink{name: name, in: in}
+}
+
+// Name implements sim.Component.
+func (s *Sink) Name() string { return s.name }
+
+// Done implements sim.Component.
+func (s *Sink) Done() bool { return s.eos }
+
+// Tick implements sim.Component.
+func (s *Sink) Tick(cycle int64) {
+	for !s.in.Empty() {
+		f := s.in.Pop()
+		if f.EOS {
+			s.eos = true
+			return
+		}
+		s.recs = append(s.recs, f.Vec.Records()...)
+	}
+}
+
+// Records returns everything collected so far.
+func (s *Sink) Records() []record.Rec { return s.recs }
+
+// Count returns the number of records collected.
+func (s *Sink) Count() int { return len(s.recs) }
+
+// Map is a compute tile statically configured with a per-record function:
+// one vector per cycle through a PipelineDepth-stage datapath. The function
+// may hold state (e.g. the ingress counter that stamps hash-table node
+// slots) because one node models one physical pipeline through which
+// records pass in a definite order.
+type Map struct {
+	name string
+	in   *sim.Link
+	out  *sim.Link
+	fn   func(record.Rec) record.Rec
+
+	pipe   []timedVec
+	eosIn  bool
+	eos    bool
+	cyclic bool
+}
+
+type timedVec struct {
+	v     record.Vector
+	ready int64
+}
+
+// NewMap builds a map tile applying fn to every record.
+func NewMap(name string, fn func(record.Rec) record.Rec, in, out *sim.Link) *Map {
+	return &Map{name: name, fn: fn, in: in, out: out}
+}
+
+// Cyclic marks the node as living on a recirculating path that never
+// carries an end-of-stream token (paper §III-A): the node is done whenever
+// it is empty, because the enclosing LoopCtl proves the loop has drained.
+// It returns the node for call chaining.
+func (m *Map) Cyclic() *Map {
+	m.cyclic = true
+	return m
+}
+
+// Name implements sim.Component.
+func (m *Map) Name() string { return m.name }
+
+// Done implements sim.Component.
+func (m *Map) Done() bool {
+	if m.cyclic {
+		return len(m.pipe) == 0
+	}
+	return m.eos
+}
+
+// Tick implements sim.Component.
+func (m *Map) Tick(cycle int64) {
+	// Drain pipeline head.
+	if len(m.pipe) > 0 && m.pipe[0].ready <= cycle && m.out.CanPush() {
+		m.out.Push(cycle, sim.Flit{Vec: m.pipe[0].v})
+		m.pipe = m.pipe[1:]
+	}
+	// Accept one vector per cycle.
+	if !m.eosIn && !m.in.Empty() && len(m.pipe) < PipelineDepth+2 {
+		f := m.in.Pop()
+		if f.EOS {
+			m.eosIn = true
+		} else {
+			v := f.Vec
+			var out record.Vector
+			for i := 0; i < record.NumLanes; i++ {
+				if v.Valid(i) {
+					out.Push(m.fn(v.Lane[i]))
+				}
+			}
+			m.pipe = append(m.pipe, timedVec{v: out, ready: cycle + PipelineDepth})
+		}
+	}
+	// Forward EOS once drained.
+	if m.eosIn && !m.eos && len(m.pipe) == 0 && m.out.CanPush() {
+		m.out.Push(cycle, sim.Flit{EOS: true})
+		m.eos = true
+	}
+}

@@ -1,0 +1,259 @@
+package fabric
+
+import (
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// KeyFn extracts a sort key from a record. Multi-word keys pack into the
+// uint64 (Gorgon serializes wide keys across pipeline stages; the
+// comparison outcome is the same).
+type KeyFn func(record.Rec) uint64
+
+// OrderedMerge merges R sorted input streams into one sorted output at up
+// to a vector per cycle — Gorgon's high-radix merge element, which Aurochs
+// inherits for its sort and LSM kernels (paper §IV-B). An input with no
+// buffered records that has not signalled EOS stalls the merge (its next
+// record could be the global minimum).
+type OrderedMerge struct {
+	name string
+	ins  []*sim.Link
+	out  *sim.Link
+	key  KeyFn
+
+	bufs [][]record.Rec
+	eosv []bool
+	eos  bool
+}
+
+// NewOrderedMerge builds an R-way merge over sorted inputs.
+func NewOrderedMerge(name string, key KeyFn, ins []*sim.Link, out *sim.Link) *OrderedMerge {
+	if len(ins) < 2 {
+		panic("fabric: ordered merge needs at least two inputs")
+	}
+	return &OrderedMerge{
+		name: name, ins: ins, out: out, key: key,
+		bufs: make([][]record.Rec, len(ins)),
+		eosv: make([]bool, len(ins)),
+	}
+}
+
+// Name implements sim.Component.
+func (m *OrderedMerge) Name() string { return m.name }
+
+// Done implements sim.Component.
+func (m *OrderedMerge) Done() bool { return m.eos }
+
+// Tick implements sim.Component.
+func (m *OrderedMerge) Tick(cycle int64) {
+	// Refill: pull one vector per starved input.
+	for i, in := range m.ins {
+		if m.eosv[i] || len(m.bufs[i]) >= record.NumLanes || in.Empty() {
+			continue
+		}
+		f := in.Pop()
+		if f.EOS {
+			m.eosv[i] = true
+		} else {
+			m.bufs[i] = append(m.bufs[i], f.Vec.Records()...)
+		}
+	}
+	// Emit: up to one dense vector of globally smallest records. Stall if
+	// any live input is empty (cannot prove the minimum).
+	for _, ok := range m.eosv {
+		_ = ok
+	}
+	if !m.out.CanPush() {
+		return
+	}
+	var v record.Vector
+	for v.Count() < record.NumLanes {
+		best := -1
+		var bestKey uint64
+		stalled := false
+		for i := range m.ins {
+			if len(m.bufs[i]) == 0 {
+				if !m.eosv[i] {
+					stalled = true
+					break
+				}
+				continue
+			}
+			k := m.key(m.bufs[i][0])
+			if best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if stalled || best < 0 {
+			break
+		}
+		v.Push(m.bufs[best][0])
+		m.bufs[best] = m.bufs[best][1:]
+	}
+	if v.Count() > 0 {
+		m.out.Push(cycle, sim.Flit{Vec: v})
+		return
+	}
+	// EOS when every input has ended and drained.
+	if !m.eos {
+		for i := range m.ins {
+			if !m.eosv[i] || len(m.bufs[i]) > 0 {
+				return
+			}
+		}
+		m.out.Push(cycle, sim.Flit{EOS: true})
+		m.eos = true
+	}
+}
+
+// MergeJoin joins two sorted record streams on equal keys, emitting one
+// output record per matching pair via the combiner — the linear-time merge
+// phase of a sort-merge join. Duplicate key groups produce their full cross
+// product; the build-side group is buffered on chip.
+type MergeJoin struct {
+	name    string
+	a, b    *sim.Link
+	out     *sim.Link
+	keyA    KeyFn
+	keyB    KeyFn
+	combine func(a, b record.Rec) record.Rec
+
+	bufA, bufB []record.Rec
+	eosA, eosB bool
+
+	groupA    []record.Rec
+	groupKey  uint64
+	groupOpen bool // collecting the current A group
+	pending   []record.Rec
+	eos       bool
+	matches   int64
+}
+
+// NewMergeJoin builds the merge-join element.
+func NewMergeJoin(name string, keyA, keyB KeyFn, combine func(a, b record.Rec) record.Rec, a, b, out *sim.Link) *MergeJoin {
+	return &MergeJoin{name: name, a: a, b: b, out: out, keyA: keyA, keyB: keyB, combine: combine}
+}
+
+// Name implements sim.Component.
+func (j *MergeJoin) Name() string { return j.name }
+
+// Done implements sim.Component.
+func (j *MergeJoin) Done() bool { return j.eos }
+
+// Matches returns the pairs emitted so far.
+func (j *MergeJoin) Matches() int64 { return j.matches }
+
+// Tick implements sim.Component.
+func (j *MergeJoin) Tick(cycle int64) {
+	j.refill()
+	for work := 0; work < record.NumLanes && len(j.pending) < 4*record.NumLanes; work++ {
+		if !j.step() {
+			break
+		}
+	}
+	j.emit(cycle)
+}
+
+func (j *MergeJoin) refill() {
+	if !j.eosA && len(j.bufA) < 2*record.NumLanes && !j.a.Empty() {
+		f := j.a.Pop()
+		if f.EOS {
+			j.eosA = true
+		} else {
+			j.bufA = append(j.bufA, f.Vec.Records()...)
+		}
+	}
+	if !j.eosB && len(j.bufB) < 2*record.NumLanes && !j.b.Empty() {
+		f := j.b.Pop()
+		if f.EOS {
+			j.eosB = true
+		} else {
+			j.bufB = append(j.bufB, f.Vec.Records()...)
+		}
+	}
+}
+
+// step advances the join by one unit of work; false means stalled (waiting
+// on input) or finished.
+func (j *MergeJoin) step() bool {
+	// Phase 1: complete the current A group.
+	if j.groupOpen || len(j.groupA) == 0 {
+		if len(j.bufA) == 0 {
+			if !j.eosA {
+				return false // group may continue in the next vector
+			}
+			if j.groupOpen {
+				j.groupOpen = false // EOS closes the group
+			} else if len(j.groupA) == 0 {
+				// A exhausted entirely: discard the rest of B.
+				if len(j.bufB) > 0 {
+					j.bufB = j.bufB[1:]
+					return true
+				}
+				return false
+			}
+		} else {
+			ka := j.keyA(j.bufA[0])
+			if !j.groupOpen && len(j.groupA) == 0 {
+				j.groupKey, j.groupOpen = ka, true
+			}
+			if j.groupOpen {
+				if ka == j.groupKey {
+					j.groupA = append(j.groupA, j.bufA[0])
+					j.bufA = j.bufA[1:]
+					return true
+				}
+				j.groupOpen = false // next key reached: group complete
+			}
+		}
+	}
+	// Phase 2: consume B against the completed group.
+	if len(j.bufB) == 0 {
+		if j.eosB {
+			// Nothing left to match: drop the group and drain A.
+			j.groupA = nil
+			if len(j.bufA) > 0 {
+				j.bufA = j.bufA[1:]
+				return true
+			}
+			return false
+		}
+		return false
+	}
+	kb := j.keyB(j.bufB[0])
+	switch {
+	case kb < j.groupKey:
+		j.bufB = j.bufB[1:]
+	case kb == j.groupKey:
+		b := j.bufB[0]
+		j.bufB = j.bufB[1:]
+		for _, a := range j.groupA {
+			j.pending = append(j.pending, j.combine(a, b))
+			j.matches++
+		}
+	default: // kb > groupKey: this group is spent
+		j.groupA = nil
+	}
+	return true
+}
+
+func (j *MergeJoin) emit(cycle int64) {
+	if len(j.pending) > 0 && j.out.CanPush() {
+		var v record.Vector
+		n := len(j.pending)
+		if n > record.NumLanes {
+			n = record.NumLanes
+		}
+		for i := 0; i < n; i++ {
+			v.Push(j.pending[i])
+		}
+		j.pending = j.pending[n:]
+		j.out.Push(cycle, sim.Flit{Vec: v})
+		return
+	}
+	if !j.eos && j.eosA && j.eosB && len(j.bufA) == 0 && len(j.bufB) == 0 &&
+		len(j.pending) == 0 && j.out.CanPush() {
+		j.eos = true
+		j.out.Push(cycle, sim.Flit{EOS: true})
+	}
+}

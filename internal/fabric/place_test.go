@@ -1,0 +1,93 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func chainNetlist(n int) Netlist {
+	nl := Netlist{}
+	for i := 0; i < n; i++ {
+		nl.Nodes = append(nl.Nodes, fmt.Sprintf("t%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		nl.Edges = append(nl.Edges, [2]string{nl.Nodes[i], nl.Nodes[i+1]})
+	}
+	return nl
+}
+
+func TestPlaceChainAdjacent(t *testing.T) {
+	nl := chainNetlist(50)
+	p, err := Place(nl, GorgonGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A linear pipeline snakes through the grid: every hop is latency 2
+	// (one register + one grid hop).
+	for _, e := range nl.Edges {
+		l, err := p.Latency(e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != 2 {
+			t.Fatalf("edge %v latency %d, want 2 (adjacent)", e, l)
+		}
+	}
+}
+
+func TestPlaceRejectsOverflowAndBadEdges(t *testing.T) {
+	if _, err := Place(chainNetlist(401), GorgonGrid); err == nil {
+		t.Error("401 tiles on a 20x20 grid accepted")
+	}
+	if _, err := Place(Netlist{Nodes: []string{"a"}, Edges: [][2]string{{"a", "b"}}}, GorgonGrid); err == nil {
+		t.Error("undeclared edge endpoint accepted")
+	}
+	if _, err := Place(Netlist{Nodes: []string{"a", "a"}}, GorgonGrid); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+// TestProbeKernelPlacementMatchesDefault: the default LinkLatency used by
+// every kernel must match the placed reality of the probe kernel within a
+// hop — the justification for not threading a placement through each graph.
+func TestProbeKernelPlacementMatchesDefault(t *testing.T) {
+	nl := ProbeKernelNetlist()
+	p, err := Place(nl, GorgonGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mean, err := p.WireStats(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanLatency := 1 + mean
+	if meanLatency < float64(LinkLatency)-1 || meanLatency > float64(LinkLatency)+2 {
+		t.Errorf("probe kernel mean placed latency %.1f; kernels assume %d", meanLatency, LinkLatency)
+	}
+}
+
+func TestPlaceCycleOnlyGraph(t *testing.T) {
+	nl := Netlist{
+		Nodes: []string{"a", "b", "c"},
+		Edges: [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}},
+	}
+	p, err := Place(nl, GorgonGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Coord) != 3 {
+		t.Fatalf("placed %d of 3", len(p.Coord))
+	}
+}
+
+func TestRender(t *testing.T) {
+	p, err := Place(chainNetlist(25), Coord{X: 5, Y: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if strings.Count(out, "\n") != 5 {
+		t.Errorf("render rows:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// SpillQueue is an elastic thread queue: on-chip up to OnChipRecs records,
+// spilling to a DRAM buffer beyond that (paper §IV-C: "To account for
+// limited queue size in scratchpads, we spill search threads to a queue in
+// DRAM"). Placing one on the recirculating path of a forking tree walk
+// makes the loop deadlock-free — fork fan-out can exceed on-chip buffering
+// without stalling the cycle.
+//
+// Functionally the records stay in host memory; the timing cost of a spill
+// (a DRAM write on enqueue past the threshold, a DRAM read before those
+// records become poppable again) is charged through real requests against
+// the shared HBM, so spilling competes for bandwidth like everything else.
+type SpillQueue struct {
+	name     string
+	h        *dram.HBM
+	base     uint32
+	recWords int
+	onchip   int
+	in       *sim.Link
+	out      *sim.Link
+	stat     *sim.Stats
+
+	front   []record.Rec // on-chip, ready to emit
+	spilled []record.Rec // resident in DRAM
+	refill  int          // records currently being fetched back
+	wptr    uint32
+	rptr    uint32
+	eosIn   bool
+	eos     bool
+	// Spills counts records that took the DRAM round trip.
+	Spills int64
+}
+
+// NewSpillQueue builds a spill queue. base is the DRAM word address of the
+// spill ring; onChipRecs the scratchpad-backed capacity.
+func NewSpillQueue(g *Graph, name string, base uint32, recWords, onChipRecs int, in, out *sim.Link) *SpillQueue {
+	if g.HBM == nil {
+		panic("fabric: graph has no HBM attached")
+	}
+	s := &SpillQueue{
+		name: name, h: g.HBM, base: base, recWords: recWords,
+		onchip: onChipRecs, in: in, out: out, stat: g.Stats(),
+	}
+	g.Add(s)
+	return s
+}
+
+// Name implements sim.Component.
+func (s *SpillQueue) Name() string { return s.name }
+
+// Done implements sim.Component: a spill queue sits on cyclic paths and
+// never sees EOS; it is done when empty.
+func (s *SpillQueue) Done() bool {
+	return len(s.front) == 0 && len(s.spilled) == 0 && s.refill == 0
+}
+
+// Tick implements sim.Component.
+func (s *SpillQueue) Tick(cycle int64) {
+	// Emit one vector from the on-chip segment.
+	if len(s.front) > 0 && s.out.CanPush() {
+		var v record.Vector
+		n := len(s.front)
+		if n > record.NumLanes {
+			n = record.NumLanes
+		}
+		for i := 0; i < n; i++ {
+			v.Push(s.front[i])
+		}
+		s.front = s.front[n:]
+		s.out.Push(cycle, sim.Flit{Vec: v})
+	}
+	// Refill from DRAM when the on-chip segment runs low.
+	if len(s.front) < s.onchip/2 && len(s.spilled) > 0 && s.refill == 0 {
+		n := len(s.spilled)
+		if n > 64 {
+			n = 64
+		}
+		batch := append([]record.Rec(nil), s.spilled[:n]...)
+		words := n * s.recWords
+		ok := s.h.Submit(dram.Request{
+			Addr: s.base + s.rptr%spillRingWords, Words: words,
+			Done: func([]uint32) {
+				s.front = append(s.front, batch...)
+				s.refill = 0
+			},
+		})
+		if ok {
+			s.refill = n
+			s.spilled = s.spilled[n:]
+			s.rptr += uint32(words)
+			s.stat.Add(s.name+".refills", 1)
+		}
+	}
+	// Accept input: into the on-chip segment if it fits and nothing is
+	// spilled ahead of it (FIFO), otherwise spill to DRAM.
+	if !s.eosIn && !s.in.Empty() {
+		f := s.in.Pop()
+		if f.EOS {
+			s.eosIn = true
+			return
+		}
+		recs := f.Vec.Records()
+		if len(s.spilled) == 0 && s.refill == 0 && len(s.front)+len(recs) <= s.onchip {
+			s.front = append(s.front, recs...)
+			return
+		}
+		words := len(recs) * s.recWords
+		data := make([]uint32, 0, words)
+		for _, r := range recs {
+			for i := 0; i < s.recWords; i++ {
+				if i < r.Len() {
+					data = append(data, r.Get(i))
+				} else {
+					data = append(data, 0) // pad to the configured slot width
+				}
+			}
+		}
+		if s.h.Submit(dram.Request{Addr: s.base + s.wptr%spillRingWords, Words: words, Write: true, Data: data}) {
+			s.wptr += uint32(words)
+		}
+		// Even if the write was backpressured, keep the records: the
+		// traffic accounting is best-effort under saturation.
+		s.spilled = append(s.spilled, recs...)
+		s.Spills += int64(len(recs))
+		s.stat.Add(s.name+".spilled", int64(len(recs)))
+	}
+}
+
+// spillRingWords bounds the DRAM footprint of a spill ring; addresses wrap.
+const spillRingWords = 1 << 22

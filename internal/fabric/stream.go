@@ -1,0 +1,193 @@
+package fabric
+
+import (
+	"aurochs/internal/dram"
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// Extent is a dense run of words in DRAM.
+type Extent struct {
+	Addr  uint32
+	Words int
+}
+
+// DRAMScan streams records out of a list of DRAM extents: the dense-read
+// path used to load partitions, LSM runs, and table columns. Each extent is
+// fetched with wide sequential reads (row-buffer friendly), then chopped
+// into recWords-sized records emitted at up to one vector per cycle.
+type DRAMScan struct {
+	name     string
+	h        *dram.HBM
+	extents  []Extent
+	recWords int
+	out      *sim.Link
+
+	chunks      []Extent // extents chopped to queue-friendly requests
+	next        int
+	outstanding int
+	completed   map[int][]uint32 // chunk seq -> data, awaiting in-order append
+	appendNext  int
+	buf         []uint32
+	eos         bool
+}
+
+// scanChunkWords bounds one DRAM request from a scan: small enough that a
+// request always fits the channel queues, large enough to stay row-buffer
+// friendly.
+const scanChunkWords = 512
+
+// NewDRAMScan builds a scan over extents, emitting recWords-word records.
+func NewDRAMScan(g *Graph, name string, extents []Extent, recWords int, out *sim.Link) *DRAMScan {
+	if g.HBM == nil {
+		panic("fabric: graph has no HBM attached")
+	}
+	if recWords <= 0 || recWords > record.MaxFields {
+		panic("fabric: scan recWords out of range")
+	}
+	s := &DRAMScan{name: name, h: g.HBM, extents: extents, recWords: recWords, out: out,
+		completed: make(map[int][]uint32)}
+	for _, e := range extents {
+		for off := 0; off < e.Words; off += scanChunkWords {
+			n := e.Words - off
+			if n > scanChunkWords {
+				n = scanChunkWords
+			}
+			s.chunks = append(s.chunks, Extent{Addr: e.Addr + uint32(off), Words: n})
+		}
+	}
+	g.Add(s)
+	return s
+}
+
+// Name implements sim.Component.
+func (s *DRAMScan) Name() string { return s.name }
+
+// Done implements sim.Component.
+func (s *DRAMScan) Done() bool { return s.eos }
+
+// Tick implements sim.Component.
+func (s *DRAMScan) Tick(cycle int64) {
+	// Issue chunk reads while the reorder window has room. Completions
+	// may arrive out of order across channels; they append to the stream
+	// strictly in sequence.
+	for s.next < len(s.chunks) && s.outstanding < 8 && len(s.buf) < 4096 {
+		ext := s.chunks[s.next]
+		seq := s.next
+		if !s.h.Submit(dram.Request{Addr: ext.Addr, Words: ext.Words, Done: func(data []uint32) {
+			s.outstanding--
+			s.completed[seq] = data
+			for d, ok := s.completed[s.appendNext]; ok; d, ok = s.completed[s.appendNext] {
+				s.buf = append(s.buf, d...)
+				delete(s.completed, s.appendNext)
+				s.appendNext++
+			}
+		}}) {
+			break
+		}
+		s.next++
+		s.outstanding++
+	}
+	// Emit one vector per cycle from buffered words.
+	if len(s.buf) >= s.recWords && s.out.CanPush() {
+		var v record.Vector
+		for len(s.buf) >= s.recWords && v.Count() < record.NumLanes {
+			var r record.Rec
+			for i := 0; i < s.recWords; i++ {
+				r = r.Append(s.buf[i])
+			}
+			s.buf = s.buf[s.recWords:]
+			v.Push(r)
+		}
+		s.out.Push(cycle, sim.Flit{Vec: v})
+	}
+	if !s.eos && s.next == len(s.chunks) && s.outstanding == 0 && len(s.buf) < s.recWords && s.out.CanPush() {
+		// Trailing words smaller than a record are padding; drop them.
+		s.buf = s.buf[:0]
+		s.out.Push(cycle, sim.Flit{EOS: true})
+		s.eos = true
+	}
+}
+
+// DRAMAppend materializes a record stream densely into DRAM starting at
+// Base: the append-only write path of sorted runs, join outputs, and spill
+// buffers. Writes are buffered into burst-sized chunks so the traffic stays
+// sequential.
+type DRAMAppend struct {
+	name     string
+	h        *dram.HBM
+	base     uint32
+	recWords int
+	in       *sim.Link
+
+	written     uint32 // words flushed or buffered
+	buf         []uint32
+	outstanding int
+	eosIn       bool
+	eos         bool
+	count       int
+}
+
+// NewDRAMAppend builds an appending writer at base.
+func NewDRAMAppend(g *Graph, name string, base uint32, recWords int, in *sim.Link) *DRAMAppend {
+	if g.HBM == nil {
+		panic("fabric: graph has no HBM attached")
+	}
+	a := &DRAMAppend{name: name, h: g.HBM, base: base, recWords: recWords, in: in}
+	g.Add(a)
+	return a
+}
+
+// Name implements sim.Component.
+func (a *DRAMAppend) Name() string { return a.name }
+
+// Done implements sim.Component.
+func (a *DRAMAppend) Done() bool { return a.eos }
+
+// Count returns the records written.
+func (a *DRAMAppend) Count() int { return a.count }
+
+// Words returns the total words appended.
+func (a *DRAMAppend) Words() uint32 { return a.written }
+
+// Tick implements sim.Component.
+func (a *DRAMAppend) Tick(cycle int64) {
+	if !a.eosIn && !a.in.Empty() && a.outstanding < 8 {
+		f := a.in.Pop()
+		if f.EOS {
+			a.eosIn = true
+		} else {
+			for i := 0; i < record.NumLanes; i++ {
+				if !f.Vec.Valid(i) {
+					continue
+				}
+				r := f.Vec.Lane[i]
+				for k := 0; k < a.recWords; k++ {
+					a.buf = append(a.buf, r.Get(k))
+				}
+				a.count++
+			}
+		}
+	}
+	// Flush in 1 KiB chunks (or whatever remains at EOS).
+	const chunk = 256
+	for len(a.buf) >= chunk || (a.eosIn && len(a.buf) > 0) {
+		n := len(a.buf)
+		if n > chunk {
+			n = chunk
+		}
+		data := append([]uint32(nil), a.buf[:n]...)
+		if !a.h.Submit(dram.Request{
+			Addr: a.base + a.written, Words: n, Write: true, Data: data,
+			Done: func([]uint32) { a.outstanding-- },
+		}) {
+			break
+		}
+		a.outstanding++
+		a.written += uint32(n)
+		a.buf = a.buf[n:]
+	}
+	if a.eosIn && !a.eos && len(a.buf) == 0 && a.outstanding == 0 {
+		a.eos = true
+	}
+}

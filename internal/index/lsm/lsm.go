@@ -1,0 +1,177 @@
+// Package lsm implements the paper's log-structured merge-tree index
+// (§IV-B): an append-only list of exponentially growing immutable B-trees.
+// Batches of records bulk-load into a new small tree; when the newest tree
+// grows to the size of its neighbor, both merge (a linear pass, since
+// leaves are sorted) into a fresh tree, and one lock-free head update
+// publishes the replacement. Readers traverse whatever immutable trees they
+// see — natural concurrency with no locking.
+//
+// For time-series data the tree list doubles as a secondary index on time:
+// each tree records its key range, so range queries prune whole trees.
+package lsm
+
+import (
+	"aurochs/internal/dram"
+	"aurochs/internal/index/btree"
+)
+
+// CostModel prices index maintenance on the accelerator: bulk loads run
+// the Gorgon merge sort, tree merges a linear streaming pass (paper §IV-B
+// "lsm trees require only merge sort to implement"). perfmodel provides a
+// calibrated implementation.
+type CostModel interface {
+	// SortCycles prices bulk-loading a batch of n entries.
+	SortCycles(n int) float64
+	// MergeCycles prices merging two sorted runs of n and m entries.
+	MergeCycles(n, m int) float64
+}
+
+// Index is an LSM list of immutable B-trees, newest first.
+type Index struct {
+	hbm  *dram.HBM
+	base uint32 // arena start
+	next uint32 // bump pointer within the arena
+	cap  uint32 // arena words
+	cost CostModel
+
+	trees []*btree.Tree // newest first
+
+	// MergesDone counts tree merges (exposed for benchmarks/tests).
+	MergesDone int
+	// WordsWritten tallies DRAM words written by loads and merges — the
+	// write-amplification measure the batch-size trade-off controls.
+	WordsWritten uint64
+	// MaintenanceCycles accumulates the CostModel's price of all inserts
+	// and merges (zero without a cost model).
+	MaintenanceCycles float64
+}
+
+// New creates an empty index with a DRAM arena of cap words at base.
+// The arena is append-only; superseded trees are not reclaimed (the
+// paper's structures are persistent/append-only by design).
+func New(h *dram.HBM, base, cap uint32) *Index {
+	return &Index{hbm: h, base: base, next: base, cap: cap}
+}
+
+// NewWithCost is New plus a maintenance cost model; every insert and merge
+// adds its accelerator price to MaintenanceCycles.
+func NewWithCost(h *dram.HBM, base, cap uint32, cost CostModel) *Index {
+	x := New(h, base, cap)
+	x.cost = cost
+	return x
+}
+
+// Len returns the total indexed entries.
+func (x *Index) Len() int {
+	n := 0
+	for _, t := range x.trees {
+		n += t.Len
+	}
+	return n
+}
+
+// Trees returns the live trees, newest first.
+func (x *Index) Trees() []*btree.Tree {
+	return append([]*btree.Tree(nil), x.trees...)
+}
+
+// alloc reserves words in the arena.
+func (x *Index) alloc(words uint32) uint32 {
+	if x.next+words > x.base+x.cap {
+		panic("lsm: arena exhausted")
+	}
+	a := x.next
+	x.next += words
+	return a
+}
+
+// Insert bulk-loads a batch as a new tree, then restores the exponential
+// size invariant by merging the newest tree into its neighbor while it is
+// at least as large (paper: "recursively merging the list of trees to
+// maintain the exponential size difference").
+func (x *Index) Insert(batch []btree.KV) {
+	if len(batch) == 0 {
+		return
+	}
+	if x.cost != nil {
+		x.MaintenanceCycles += x.cost.SortCycles(len(batch))
+	}
+	t := x.build(batch)
+	x.trees = append([]*btree.Tree{t}, x.trees...)
+	for len(x.trees) >= 2 && x.trees[0].Len >= x.trees[1].Len {
+		if x.cost != nil {
+			x.MaintenanceCycles += x.cost.MergeCycles(x.trees[0].Len, x.trees[1].Len)
+		}
+		merged := x.mergeTrees(x.trees[0], x.trees[1])
+		x.trees = append([]*btree.Tree{merged}, x.trees[2:]...)
+		x.MergesDone++
+	}
+}
+
+func (x *Index) build(items []btree.KV) *btree.Tree {
+	// Conservative sizing: one node per Fanout entries per level.
+	nodes := uint32(1)
+	for lvl := (len(items) + btree.Fanout - 1) / btree.Fanout; lvl > 1; lvl = (lvl + btree.Fanout - 1) / btree.Fanout {
+		nodes += uint32(lvl)
+	}
+	base := x.alloc((nodes + 1) * btree.NodeWords)
+	t := btree.Build(x.hbm, base, items)
+	x.WordsWritten += uint64(t.WordsUsed())
+	return t
+}
+
+// mergeTrees merges two trees' sorted leaves in linear time and rebuilds
+// the internal nodes from scratch (the Gorgon merge-sort kernel in
+// hardware; a two-way merge here).
+func (x *Index) mergeTrees(a, b *btree.Tree) *btree.Tree {
+	ia, ib := a.Items(), b.Items()
+	out := make([]btree.KV, 0, len(ia)+len(ib))
+	i, j := 0, 0
+	for i < len(ia) && j < len(ib) {
+		if ia[i].Key <= ib[j].Key {
+			out = append(out, ia[i])
+			i++
+		} else {
+			out = append(out, ib[j])
+			j++
+		}
+	}
+	out = append(out, ia[i:]...)
+	out = append(out, ib[j:]...)
+	return x.build(out)
+}
+
+// Lookup returns every value stored under key across all trees.
+func (x *Index) Lookup(key uint32) []uint32 {
+	var out []uint32
+	for _, t := range x.trees {
+		out = append(out, t.Lookup(key)...)
+	}
+	return out
+}
+
+// Range returns all entries in [lo, hi] across all trees, pruning trees
+// whose key range cannot intersect. Order is per-tree (newest tree first);
+// callers needing global order sort the result.
+func (x *Index) Range(lo, hi uint32) []btree.KV {
+	var out []btree.KV
+	for _, t := range x.trees {
+		if t.Len == 0 || hi < t.MinKey || lo > t.MaxKey {
+			continue
+		}
+		out = append(out, t.Range(lo, hi)...)
+	}
+	return out
+}
+
+// TreesScanned reports how many trees a [lo,hi] query must visit after
+// pruning — the "secondary index on time" effect (paper §IV-B).
+func (x *Index) TreesScanned(lo, hi uint32) int {
+	n := 0
+	for _, t := range x.trees {
+		if t.Len > 0 && hi >= t.MinKey && lo <= t.MaxKey {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package lsm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"aurochs/internal/dram"
+	"aurochs/internal/index/btree"
+)
+
+func newIndex() *Index {
+	return New(dramDev(), 0, 1<<26)
+}
+
+func dramDev() *dram.HBM { return dram.New(dram.DefaultConfig()) }
+
+func TestInsertAndLookup(t *testing.T) {
+	x := newIndex()
+	rng := rand.New(rand.NewSource(1))
+	want := map[uint32][]uint32{}
+	for b := 0; b < 20; b++ {
+		batch := make([]btree.KV, 100)
+		for i := range batch {
+			k := rng.Uint32() % 500
+			batch[i] = btree.KV{Key: k, Val: uint32(b*100 + i)}
+			want[k] = append(want[k], batch[i].Val)
+		}
+		x.Insert(batch)
+	}
+	if x.Len() != 2000 {
+		t.Fatalf("len=%d", x.Len())
+	}
+	for k, vs := range want {
+		got := x.Lookup(k)
+		if len(got) != len(vs) {
+			t.Fatalf("key %d: %d values, want %d", k, len(got), len(vs))
+		}
+	}
+}
+
+func TestExponentialInvariant(t *testing.T) {
+	x := newIndex()
+	for b := 0; b < 64; b++ {
+		batch := make([]btree.KV, 32)
+		for i := range batch {
+			batch[i] = btree.KV{Key: uint32(b*32 + i), Val: 1}
+		}
+		x.Insert(batch)
+	}
+	trees := x.Trees()
+	for i := 0; i+1 < len(trees); i++ {
+		if trees[i].Len >= trees[i+1].Len {
+			t.Fatalf("tree %d (%d entries) not smaller than tree %d (%d)", i, trees[i].Len, i+1, trees[i+1].Len)
+		}
+	}
+	// 64 equal batches must collapse into very few trees.
+	if len(trees) > 7 {
+		t.Errorf("%d trees after 64 equal batches", len(trees))
+	}
+	if x.MergesDone == 0 {
+		t.Error("no merges happened")
+	}
+}
+
+func TestRangeAcrossTrees(t *testing.T) {
+	x := newIndex()
+	var all []btree.KV
+	rng := rand.New(rand.NewSource(2))
+	for b := 0; b < 10; b++ {
+		batch := make([]btree.KV, 200)
+		for i := range batch {
+			batch[i] = btree.KV{Key: rng.Uint32() % 10000, Val: uint32(b)}
+			all = append(all, batch[i])
+		}
+		x.Insert(batch)
+	}
+	got := x.Range(2500, 7500)
+	want := 0
+	for _, kv := range all {
+		if kv.Key >= 2500 && kv.Key <= 7500 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("range: %d want %d", len(got), want)
+	}
+}
+
+// TestTimePruning: batches arriving in time order mean old trees hold old
+// keys; a recent-window query must prune most trees.
+func TestTimePruning(t *testing.T) {
+	x := newIndex()
+	ts := uint32(0)
+	// 42 batches: popcount(42)=3, so three trees survive the merge
+	// cascade (a power-of-two batch count would collapse to one tree).
+	for b := 0; b < 42; b++ {
+		batch := make([]btree.KV, 64)
+		for i := range batch {
+			batch[i] = btree.KV{Key: ts, Val: ts}
+			ts++
+		}
+		x.Insert(batch)
+	}
+	total := len(x.Trees())
+	scanned := x.TreesScanned(ts-64, ts)
+	if scanned >= total {
+		t.Errorf("recent-window query scanned all %d trees", total)
+	}
+	got := x.Range(ts-64, ts)
+	if len(got) != 64 {
+		t.Fatalf("recent window returned %d entries", len(got))
+	}
+}
+
+// TestWriteAmplificationTradeoff: larger batches must reduce total words
+// written per entry (the paper's batch-size trade-off between update
+// latency and work amortization).
+func TestWriteAmplificationTradeoff(t *testing.T) {
+	const total = 8192
+	run := func(batchSize int) float64 {
+		x := newIndex()
+		rng := rand.New(rand.NewSource(3))
+		for off := 0; off < total; off += batchSize {
+			batch := make([]btree.KV, batchSize)
+			for i := range batch {
+				batch[i] = btree.KV{Key: rng.Uint32(), Val: 1}
+			}
+			x.Insert(batch)
+		}
+		return float64(x.WordsWritten) / float64(total)
+	}
+	small, large := run(64), run(2048)
+	if large >= small {
+		t.Errorf("write amplification: batch=2048 wrote %.1f words/entry, batch=64 %.1f — amortization missing", large, small)
+	}
+}
+
+func TestEmptyBatchNoop(t *testing.T) {
+	x := newIndex()
+	x.Insert(nil)
+	if x.Len() != 0 || len(x.Trees()) != 0 {
+		t.Error("empty insert changed the index")
+	}
+}
+
+func TestLookupSortedWithinTree(t *testing.T) {
+	x := newIndex()
+	batch := make([]btree.KV, 500)
+	for i := range batch {
+		batch[i] = btree.KV{Key: uint32(500 - i), Val: uint32(i)}
+	}
+	x.Insert(batch)
+	got := x.Range(0, 1000)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+		t.Error("single-tree range not sorted")
+	}
+}
+
+// fixedCost prices sorts super-linearly and merges linearly, enough to
+// exercise the accounting.
+type fixedCost struct{}
+
+func (fixedCost) SortCycles(n int) float64     { return float64(n) * 2 }
+func (fixedCost) MergeCycles(n, m int) float64 { return float64(n + m) }
+
+func TestMaintenanceCostAccumulates(t *testing.T) {
+	x := NewWithCost(dramDev(), 0, 1<<26, fixedCost{})
+	for b := 0; b < 8; b++ {
+		batch := make([]btree.KV, 100)
+		for i := range batch {
+			batch[i] = btree.KV{Key: uint32(b*100 + i), Val: 1}
+		}
+		x.Insert(batch)
+	}
+	// 8 batches × 200 sort cycles plus merge passes.
+	if x.MaintenanceCycles <= 8*200 {
+		t.Fatalf("maintenance cycles %.0f; merges not priced", x.MaintenanceCycles)
+	}
+	plain := New(dramDev(), 0, 1<<26)
+	plain.Insert([]btree.KV{{Key: 1, Val: 1}})
+	if plain.MaintenanceCycles != 0 {
+		t.Error("cost accrued without a model")
+	}
+}

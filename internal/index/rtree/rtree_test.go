@@ -1,0 +1,127 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aurochs/internal/dram"
+)
+
+func randomPoints(n int, maxCoord uint32, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entry, n)
+	for i := range out {
+		x, y := rng.Uint32()%maxCoord, rng.Uint32()%maxCoord
+		out[i] = Entry{Rect: Rect{x, y, x, y}, ID: uint32(i)}
+	}
+	return out
+}
+
+func refWindow(entries []Entry, q Rect) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, e := range entries {
+		if e.Rect.Intersects(q) {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+func TestWindowMatchesReference(t *testing.T) {
+	const maxC = 100000
+	entries := randomPoints(5000, maxC, 1)
+	tr := Build(dram.New(dram.DefaultConfig()), 0, entries, maxC)
+	if err := quick.Check(func(ax, ay, w, h uint32) bool {
+		q := Rect{ax % maxC, ay % maxC, 0, 0}
+		q.MaxX = q.MinX + w%(maxC/10)
+		q.MaxY = q.MinY + h%(maxC/10)
+		want := refWindow(entries, q)
+		got := tr.Window(q)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectEntriesOverlap(t *testing.T) {
+	// Rectangles (not points) with real overlap.
+	entries := []Entry{
+		{Rect: Rect{0, 0, 10, 10}, ID: 1},
+		{Rect: Rect{5, 5, 15, 15}, ID: 2},
+		{Rect: Rect{20, 20, 30, 30}, ID: 3},
+	}
+	tr := Build(dram.New(dram.DefaultConfig()), 0, entries, 100)
+	got := tr.Window(Rect{8, 8, 9, 9})
+	if len(got) != 2 {
+		t.Fatalf("window hit %v, want ids 1,2", got)
+	}
+	if got := tr.Window(Rect{40, 40, 50, 50}); len(got) != 0 {
+		t.Errorf("empty window returned %v", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(dram.New(dram.DefaultConfig()), 0, nil, 100)
+	if got := tr.Window(Rect{0, 0, 100, 100}); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+}
+
+func TestBoundsCoverEverything(t *testing.T) {
+	entries := randomPoints(1000, 50000, 2)
+	tr := Build(dram.New(dram.DefaultConfig()), 0, entries, 50000)
+	for _, e := range entries[:50] {
+		if !tr.Bounds.Intersects(e.Rect) {
+			t.Fatalf("root MBR %+v misses entry %+v", tr.Bounds, e)
+		}
+	}
+	got := tr.Window(tr.Bounds)
+	if len(got) != len(entries) {
+		t.Fatalf("full-bounds window: %d of %d", len(got), len(entries))
+	}
+}
+
+// TestLogarithmicVisits: a small window on a large index must touch far
+// fewer nodes than the tree holds — the asymptotic advantage of fig. 11b.
+func TestLogarithmicVisits(t *testing.T) {
+	const maxC = 1 << 20
+	entries := randomPoints(20000, maxC, 3)
+	tr := Build(dram.New(dram.DefaultConfig()), 0, entries, maxC)
+	visited := tr.NodesVisited(Rect{maxC / 2, maxC / 2, maxC/2 + 1000, maxC/2 + 1000})
+	if visited > int(tr.Nodes)/10 {
+		t.Errorf("small window visited %d of %d nodes", visited, tr.Nodes)
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	small := Build(dram.New(dram.DefaultConfig()), 0, randomPoints(Fanout, 100, 4), 100)
+	big := Build(dram.New(dram.DefaultConfig()), 0, randomPoints(4096, 1<<20, 5), 1<<20)
+	if small.Height != 1 {
+		t.Errorf("fanout entries: height %d", small.Height)
+	}
+	if big.Height < 3 {
+		t.Errorf("4096 entries at fanout 8: height %d", big.Height)
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if !a.Intersects(Rect{10, 10, 20, 20}) {
+		t.Error("touching rectangles must intersect (inclusive bounds)")
+	}
+	if a.Intersects(Rect{11, 0, 20, 10}) {
+		t.Error("disjoint rectangles intersect")
+	}
+	if !a.Contains(10, 0) || a.Contains(11, 0) {
+		t.Error("contains broken")
+	}
+}

@@ -1,0 +1,47 @@
+// Package zorder implements the Morton (Z-order) space-filling curve used
+// to impose a locality-preserving linear order on two-dimensional keys
+// (paper §IV-C): R-tree bulk loading transforms coordinates to the Z-curve,
+// sorts on the Z-value, and packs leaves in that order.
+package zorder
+
+// spread distributes the low 16 bits of v into the even bit positions.
+func spread(v uint32) uint32 {
+	v &= 0xFFFF
+	v = (v | v<<8) & 0x00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F
+	v = (v | v<<2) & 0x33333333
+	v = (v | v<<1) & 0x55555555
+	return v
+}
+
+// compact inverts spread.
+func compact(v uint32) uint32 {
+	v &= 0x55555555
+	v = (v | v>>1) & 0x33333333
+	v = (v | v>>2) & 0x0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF
+	v = (v | v>>8) & 0x0000FFFF
+	return v
+}
+
+// Encode interleaves two 16-bit coordinates into a 32-bit Z-value, x in
+// the even bits and y in the odd bits.
+func Encode(x, y uint16) uint32 {
+	return spread(uint32(x)) | spread(uint32(y))<<1
+}
+
+// Decode inverts Encode.
+func Decode(z uint32) (x, y uint16) {
+	return uint16(compact(z)), uint16(compact(z >> 1))
+}
+
+// Quantize maps a coordinate in [0, max] onto the 16-bit curve grid.
+func Quantize(v, max uint32) uint16 {
+	if max == 0 {
+		return 0
+	}
+	if v > max {
+		v = max
+	}
+	return uint16(uint64(v) * 0xFFFF / uint64(max))
+}

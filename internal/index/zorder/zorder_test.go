@@ -1,0 +1,72 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(x, y uint16) bool {
+		gx, gy := Decode(Encode(x, y))
+		return gx == x && gy == y
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint16
+		z    uint32
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{0xFFFF, 0xFFFF, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if z := Encode(c.x, c.y); z != c.z {
+			t.Errorf("Encode(%d,%d)=%d, want %d", c.x, c.y, z, c.z)
+		}
+	}
+}
+
+// TestLocality: points close in space should mostly be close on the curve —
+// check that a small square's Z-range is far smaller than the full range.
+func TestLocality(t *testing.T) {
+	min, max := ^uint32(0), uint32(0)
+	for dx := uint16(0); dx < 8; dx++ {
+		for dy := uint16(0); dy < 8; dy++ {
+			z := Encode(1024+dx, 2048+dy)
+			if z < min {
+				min = z
+			}
+			if z > max {
+				max = z
+			}
+		}
+	}
+	if span := max - min; span > 1<<12 {
+		t.Errorf("8x8 square spans %d Z-values; locality broken", span)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(0, 1000) != 0 {
+		t.Error("zero quantizes nonzero")
+	}
+	if Quantize(1000, 1000) != 0xFFFF {
+		t.Error("max must hit the grid ceiling")
+	}
+	if Quantize(2000, 1000) != 0xFFFF {
+		t.Error("out-of-range must clamp")
+	}
+	if Quantize(5, 0) != 0 {
+		t.Error("max=0 must be safe")
+	}
+	if a, b := Quantize(250, 1000), Quantize(750, 1000); a >= b {
+		t.Error("quantization not monotone")
+	}
+}

@@ -1,0 +1,78 @@
+// Package ml implements the shallow model inference the benchmark queries
+// invoke (paper fig. 13, Q5-Q8): linear regression, logistic regression,
+// and k-means cluster assignment. Analytics pipelines increasingly end in
+// exactly these low-latency predictors, which is the DB+ML co-location
+// argument behind Gorgon and Aurochs.
+package ml
+
+import "math"
+
+// Linear is a linear-regression model: y = bias + Σ w·x.
+type Linear struct {
+	Weights []float32
+	Bias    float32
+}
+
+// Predict evaluates the model on one feature vector.
+func (m *Linear) Predict(x []float32) float32 {
+	if len(x) != len(m.Weights) {
+		panic("ml: feature width mismatch")
+	}
+	acc := m.Bias
+	for i, w := range m.Weights {
+		acc += w * x[i]
+	}
+	return acc
+}
+
+// Logistic is a logistic-regression classifier over the linear model.
+type Logistic struct {
+	Linear
+}
+
+// Prob returns the positive-class probability.
+func (m *Logistic) Prob(x []float32) float32 {
+	z := m.Linear.Predict(x)
+	return float32(1 / (1 + math.Exp(-float64(z))))
+}
+
+// Predict returns the hard class at threshold 0.5.
+func (m *Logistic) Predict(x []float32) bool {
+	return m.Prob(x) >= 0.5
+}
+
+// KMeans is a k-means model used for cluster inference.
+type KMeans struct {
+	Centroids [][]float32
+}
+
+// Assign returns the index of the nearest centroid (squared Euclidean).
+func (m *KMeans) Assign(x []float32) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range m.Centroids {
+		if len(cent) != len(x) {
+			panic("ml: centroid width mismatch")
+		}
+		d := 0.0
+		for i := range cent {
+			diff := float64(cent[i] - x[i])
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// FlopsPerPredict returns the multiply-accumulate count of one inference —
+// what the executors charge when timing the predict operators.
+func (m *Linear) FlopsPerPredict() int { return 2 * len(m.Weights) }
+
+// FlopsPerAssign returns the op count of one k-means assignment.
+func (m *KMeans) FlopsPerAssign() int {
+	if len(m.Centroids) == 0 {
+		return 0
+	}
+	return 3 * len(m.Centroids) * len(m.Centroids[0])
+}

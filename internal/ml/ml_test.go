@@ -1,0 +1,56 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearPredict(t *testing.T) {
+	m := &Linear{Weights: []float32{1, 2, 3}, Bias: 0.5}
+	if got := m.Predict([]float32{1, 1, 1}); math.Abs(float64(got-6.5)) > 1e-6 {
+		t.Errorf("got %f", got)
+	}
+	if m.FlopsPerPredict() != 6 {
+		t.Errorf("flops %d", m.FlopsPerPredict())
+	}
+}
+
+func TestLinearWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&Linear{Weights: []float32{1}}).Predict([]float32{1, 2})
+}
+
+func TestLogisticBounds(t *testing.T) {
+	m := &Logistic{Linear: Linear{Weights: []float32{1}, Bias: 0}}
+	if err := quick.Check(func(x float32) bool {
+		p := m.Prob([]float32{x})
+		return p >= 0 && p <= 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if !m.Predict([]float32{10}) || m.Predict([]float32{-10}) {
+		t.Error("hard classification wrong at extremes")
+	}
+}
+
+func TestKMeansAssign(t *testing.T) {
+	m := &KMeans{Centroids: [][]float32{{0, 0}, {10, 10}, {20, 0}}}
+	cases := map[int][]float32{
+		0: {1, 1},
+		1: {9, 11},
+		2: {19, -1},
+	}
+	for want, x := range cases {
+		if got := m.Assign(x); got != want {
+			t.Errorf("Assign(%v)=%d, want %d", x, got, want)
+		}
+	}
+	if m.FlopsPerAssign() != 18 {
+		t.Errorf("flops %d", m.FlopsPerAssign())
+	}
+}

@@ -1,0 +1,214 @@
+// Package queries implements the paper's ridesharing benchmark (fig. 13,
+// table 2): nine end-to-end analytics queries over synthetic geospatial and
+// time-series data, each runnable on three engines — the Aurochs fabric
+// simulator, the multicore CPU baseline, and the SIMT GPU model — with
+// results cross-checked between engines.
+package queries
+
+import (
+	"math/rand"
+)
+
+// Coordinates live on a MaxCoord × MaxCoord meter grid (a ~65 km city);
+// times are seconds.
+const (
+	MaxCoord = 1 << 16
+	// KM is 1000 grid units (meters).
+	KM = 1000
+	// Day in seconds.
+	Day = 86400
+)
+
+// Scale sets table cardinalities (Table 2's knobs).
+type Scale struct {
+	Rides        int
+	Riders       int
+	Drivers      int
+	Locations    int
+	RideReqs     int
+	DriverStatus int
+}
+
+// SmallScale keeps cycle simulation fast (tests).
+func SmallScale() Scale {
+	return Scale{Rides: 20000, Riders: 2000, Drivers: 500, Locations: 64, RideReqs: 2000, DriverStatus: 1500}
+}
+
+// BenchScale is the harness default: large enough for asymptotic shape,
+// small enough for simulation (the paper notes the same practical limit).
+func BenchScale() Scale {
+	return Scale{Rides: 200000, Riders: 20000, Drivers: 5000, Locations: 256, RideReqs: 20000, DriverStatus: 15000}
+}
+
+// Ride is one completed trip (fact table).
+type Ride struct {
+	RideID    uint32
+	RiderID   uint32
+	DriverID  uint32
+	StartX    uint32
+	StartY    uint32
+	StartTime uint32
+	Duration  uint32
+	Fare      uint32 // cents
+}
+
+// Rider is a customer.
+type Rider struct {
+	RiderID uint32
+	Rating  uint32 // 0..500 (hundredths of stars)
+}
+
+// Driver is a supply-side participant.
+type Driver struct {
+	DriverID uint32
+	Seats    uint32 // 1..6
+	Rating   uint32
+}
+
+// Location is a city zone with a bounding rectangle.
+type Location struct {
+	LocationID             uint32
+	MinX, MinY, MaxX, MaxY uint32
+}
+
+// RideReq is one streaming ride request.
+type RideReq struct {
+	ReqID   uint32
+	RiderID uint32
+	X, Y    uint32
+	Time    uint32
+	Seats   uint32
+}
+
+// DriverStatus is one streaming driver position report.
+type DriverStatus struct {
+	DriverID uint32
+	X, Y     uint32
+	Time     uint32
+	Free     uint32 // 1 = available
+}
+
+// Dataset is a generated workload instance.
+type Dataset struct {
+	Scale        Scale
+	Rides        []Ride
+	Riders       []Rider
+	Drivers      []Driver
+	Locations    []Location
+	RideReqs     []RideReq
+	DriverStatus []DriverStatus
+	// Now is the stream timestamp frontier; historical data reaches back
+	// 30+ days from it.
+	Now uint32
+}
+
+// Generate builds a seeded synthetic dataset. Demand is spatially clustered
+// around a handful of hotspots (cities are not uniform), timestamps are
+// spread over 35 days with recency bias in the streams — the distributions
+// the time-window and geospatial predicates of Q1-Q9 care about.
+func Generate(s Scale, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Scale: s, Now: 35 * Day}
+
+	// Hotspots for spatial clustering.
+	type spot struct{ x, y, sd float64 }
+	spots := make([]spot, 8)
+	for i := range spots {
+		spots[i] = spot{
+			x:  float64(rng.Intn(MaxCoord)),
+			y:  float64(rng.Intn(MaxCoord)),
+			sd: 2*KM + 6*KM*rng.Float64(),
+		}
+	}
+	point := func() (uint32, uint32) {
+		sp := spots[rng.Intn(len(spots))]
+		clamp := func(v float64) uint32 {
+			if v < 0 {
+				return 0
+			}
+			if v >= MaxCoord {
+				return MaxCoord - 1
+			}
+			return uint32(v)
+		}
+		return clamp(sp.x + rng.NormFloat64()*sp.sd), clamp(sp.y + rng.NormFloat64()*sp.sd)
+	}
+
+	d.Riders = make([]Rider, s.Riders)
+	for i := range d.Riders {
+		d.Riders[i] = Rider{RiderID: uint32(i), Rating: uint32(300 + rng.Intn(201))}
+	}
+	d.Drivers = make([]Driver, s.Drivers)
+	for i := range d.Drivers {
+		d.Drivers[i] = Driver{DriverID: uint32(i), Seats: uint32(1 + rng.Intn(6)), Rating: uint32(300 + rng.Intn(201))}
+	}
+
+	// Locations tile the grid coarsely with jittered rectangles.
+	d.Locations = make([]Location, s.Locations)
+	side := 1
+	for side*side < s.Locations {
+		side++
+	}
+	cell := uint32(MaxCoord / side)
+	for i := range d.Locations {
+		cx := uint32(i%side) * cell
+		cy := uint32(i/side) * cell
+		d.Locations[i] = Location{
+			LocationID: uint32(i),
+			MinX:       cx, MinY: cy,
+			MaxX: cx + cell - 1, MaxY: cy + cell - 1,
+		}
+	}
+
+	d.Rides = make([]Ride, s.Rides)
+	for i := range d.Rides {
+		x, y := point()
+		d.Rides[i] = Ride{
+			RideID:    uint32(i),
+			RiderID:   uint32(rng.Intn(s.Riders)),
+			DriverID:  uint32(rng.Intn(s.Drivers)),
+			StartX:    x,
+			StartY:    y,
+			StartTime: uint32(rng.Intn(int(d.Now))),
+			Duration:  uint32(300 + rng.Intn(3300)),
+			Fare:      uint32(500 + rng.Intn(5000)),
+		}
+	}
+
+	d.RideReqs = make([]RideReq, s.RideReqs)
+	for i := range d.RideReqs {
+		x, y := point()
+		// Recency bias: most requests in the last day.
+		t := d.Now - uint32(rng.ExpFloat64()*float64(Day)/4)
+		if t > d.Now {
+			t = d.Now
+		}
+		d.RideReqs[i] = RideReq{
+			ReqID:   uint32(i),
+			RiderID: uint32(rng.Intn(s.Riders)),
+			X:       x, Y: y,
+			Time:  t,
+			Seats: uint32(1 + rng.Intn(4)),
+		}
+	}
+
+	d.DriverStatus = make([]DriverStatus, s.DriverStatus)
+	for i := range d.DriverStatus {
+		x, y := point()
+		t := d.Now - uint32(rng.ExpFloat64()*float64(Day)/8)
+		if t > d.Now {
+			t = d.Now
+		}
+		free := uint32(0)
+		if rng.Float64() < 0.6 {
+			free = 1
+		}
+		d.DriverStatus[i] = DriverStatus{
+			DriverID: uint32(rng.Intn(s.Drivers)),
+			X:        x, Y: y,
+			Time: t,
+			Free: free,
+		}
+	}
+	return d
+}

@@ -1,0 +1,171 @@
+package queries
+
+import (
+	"sort"
+	"testing"
+)
+
+// Operator-level cross-engine tests: tighter than the whole-query
+// fingerprints, these compare operator outputs element by element.
+
+func enginesUnderTest() []Engine {
+	return []Engine{NewCPU(), NewGPU(), NewAurochs(2)}
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.BuildVal != b.BuildVal {
+			return a.BuildVal < b.BuildVal
+		}
+		return a.ProbeVal < b.ProbeVal
+	})
+}
+
+func TestEquiJoinAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle simulation in -short mode")
+	}
+	build := make([]KV, 3000)
+	probe := make([]KV, 2500)
+	for i := range build {
+		build[i] = KV{Key: uint32(i*7) % 900, Val: uint32(i)}
+	}
+	for i := range probe {
+		probe[i] = KV{Key: uint32(i*13) % 1100, Val: uint32(10000 + i)}
+	}
+	var ref []Pair
+	for _, e := range enginesUnderTest() {
+		got, cost, err := e.EquiJoin(build, probe)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if cost.Seconds <= 0 {
+			t.Errorf("%s: no cost", e.Name())
+		}
+		sortPairs(got)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d pairs, cpu got %d", e.Name(), len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: pair %d = %+v, want %+v", e.Name(), i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSpatialProbeAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle simulation in -short mode")
+	}
+	d := Generate(SmallScale(), 6)
+	pts := statusPoints(d)
+	queries := make([]CircleQ, 64)
+	for i := range queries {
+		r := d.RideReqs[i]
+		queries[i] = CircleQ{X: r.X, Y: r.Y, R: 2 * KM, Tag: uint32(i)}
+	}
+	type key struct{ id, tag uint32 }
+	var ref map[key]bool
+	for _, e := range enginesUnderTest() {
+		got, _, err := e.SpatialProbe(pts, queries)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		m := map[key]bool{}
+		for _, h := range got {
+			m[key{h.ID, h.Tag}] = true
+		}
+		if ref == nil {
+			ref = m
+			continue
+		}
+		if len(m) != len(ref) {
+			t.Fatalf("%s: %d hits, cpu got %d", e.Name(), len(m), len(ref))
+		}
+		for k := range ref {
+			if !m[k] {
+				t.Fatalf("%s missing hit %+v", e.Name(), k)
+			}
+		}
+	}
+}
+
+func TestTimeRangeAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle simulation in -short mode")
+	}
+	entries := make([]KV, 5000)
+	for i := range entries {
+		entries[i] = KV{Key: uint32(i * 17 % 100000), Val: uint32(i)}
+	}
+	var ref map[uint32]bool
+	for _, e := range enginesUnderTest() {
+		got, _, err := e.TimeRange(entries, 20000, 60000)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		m := map[uint32]bool{}
+		for _, v := range got {
+			m[v] = true
+		}
+		if ref == nil {
+			ref = m
+			continue
+		}
+		if len(m) != len(ref) {
+			t.Fatalf("%s: %d rows, cpu got %d", e.Name(), len(m), len(ref))
+		}
+	}
+}
+
+func TestGroupCountAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle simulation in -short mode")
+	}
+	keys := make([]uint32, 4000)
+	for i := range keys {
+		keys[i] = uint32(i % 123)
+	}
+	var ref map[uint32]int64
+	for _, e := range enginesUnderTest() {
+		got, _, err := e.GroupCount(keys)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d groups, want %d", e.Name(), len(got), len(ref))
+		}
+		for k, n := range ref {
+			if got[k] != n {
+				t.Fatalf("%s: group %d = %d, want %d", e.Name(), k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestEmptyOperatorInputs(t *testing.T) {
+	for _, e := range enginesUnderTest() {
+		if pairs, _, err := e.EquiJoin(nil, nil); err != nil || len(pairs) != 0 {
+			t.Errorf("%s: empty join: %v %v", e.Name(), pairs, err)
+		}
+		if m, _, err := e.GroupCount(nil); err != nil || len(m) != 0 {
+			t.Errorf("%s: empty groupcount: %v %v", e.Name(), m, err)
+		}
+		if _, err := e.Sort(0, 8); err != nil {
+			t.Errorf("%s: empty sort: %v", e.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeGetSet(t *testing.T) {
+	r := Make(1, 2, 3)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	for i, want := range []uint32{1, 2, 3} {
+		if got := r.Get(i); got != want {
+			t.Errorf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	r2 := r.Set(1, 99)
+	if r2.Get(1) != 99 || r.Get(1) != 2 {
+		t.Errorf("Set must copy: got r2[1]=%d r[1]=%d", r2.Get(1), r.Get(1))
+	}
+	r3 := r.Set(5, 7)
+	if r3.Len() != 6 || r3.Get(5) != 7 || r3.Get(3) != 0 {
+		t.Errorf("Set beyond N should grow: %v", r3)
+	}
+}
+
+func TestAppendTruncate(t *testing.T) {
+	r := Make(1).Append(2).Append(3)
+	if r.Len() != 3 || r.Get(2) != 3 {
+		t.Fatalf("append chain broken: %v", r)
+	}
+	tr := r.Truncate(1)
+	if tr.Len() != 1 || tr.F[1] != 0 || tr.F[2] != 0 {
+		t.Errorf("truncate must zero dropped fields: %v", tr)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"get":       func() { Make(1).Get(1) },
+		"get-neg":   func() { Make(1).Get(-1) },
+		"set-max":   func() { Make(1).Set(MaxFields, 0) },
+		"trunc-big": func() { Make(1).Truncate(2) },
+		"make-wide": func() { Make(make([]uint32, MaxFields+1)...) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		r := Make(0, 0, 0).SetU64(1, v)
+		return r.U64(1) == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF32AndI32RoundTrip(t *testing.T) {
+	if err := quick.Check(func(f float32, i int32) bool {
+		r := Make(0, 0).SetF32(0, f).SetI32(1, i)
+		// NaN != NaN, so compare bit patterns.
+		return r.Get(0) == Make(0).SetF32(0, f).Get(0) && r.I32(1) == i
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := Make(1, 2), Make(1, 2)
+	if !a.Equal(b) {
+		t.Error("identical records must be equal")
+	}
+	if a.Equal(Make(1, 2, 0)) {
+		t.Error("different N must not be equal")
+	}
+	if a.Equal(Make(1, 3)) {
+		t.Error("different fields must not be equal")
+	}
+}
+
+func TestVectorPushCount(t *testing.T) {
+	var v Vector
+	for i := 0; i < NumLanes; i++ {
+		full := v.Push(Make(uint32(i)))
+		if full != (i == NumLanes-1) {
+			t.Errorf("Push %d: full=%v", i, full)
+		}
+	}
+	if v.Count() != NumLanes || !v.Dense() {
+		t.Fatalf("count=%d dense=%v", v.Count(), v.Dense())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("push to full vector must panic")
+		}
+	}()
+	v.Push(Make(0))
+}
+
+func TestVectorCompact(t *testing.T) {
+	var v Vector
+	v.Lane[3] = Make(3)
+	v.Lane[7] = Make(7)
+	v.Lane[12] = Make(12)
+	v.Mask = 1<<3 | 1<<7 | 1<<12
+	c := v.Compact()
+	if !c.Dense() || c.Count() != 3 {
+		t.Fatalf("compact not dense: %v", c)
+	}
+	want := []uint32{3, 7, 12}
+	for i, r := range c.Records() {
+		if r.Get(0) != want[i] {
+			t.Errorf("lane %d = %d, want %d (order preserved)", i, r.Get(0), want[i])
+		}
+	}
+}
+
+func TestVectorizeFlattenRoundTrip(t *testing.T) {
+	if err := quick.Check(func(n uint8) bool {
+		recs := make([]Rec, int(n))
+		for i := range recs {
+			recs[i] = Make(uint32(i), rand.Uint32())
+		}
+		got := Flatten(Vectorize(recs))
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if !got[i].Equal(recs[i]) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorizeDensity(t *testing.T) {
+	recs := make([]Rec, 37)
+	vecs := Vectorize(recs)
+	if len(vecs) != 3 {
+		t.Fatalf("37 records -> %d vectors, want 3", len(vecs))
+	}
+	if vecs[0].Count() != 16 || vecs[1].Count() != 16 || vecs[2].Count() != 5 {
+		t.Errorf("counts: %d %d %d", vecs[0].Count(), vecs[1].Count(), vecs[2].Count())
+	}
+	for _, v := range vecs {
+		if !v.Dense() {
+			t.Error("vectorize must emit dense vectors")
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := NewSchema("key", "ptr", "val")
+	if s.Len() != 3 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	if i := s.MustField("ptr"); i != 1 {
+		t.Errorf("ptr at %d, want 1", i)
+	}
+	if _, ok := s.Field("nope"); ok {
+		t.Error("missing field reported present")
+	}
+	s2 := s.With("extra")
+	if s2.MustField("extra") != 3 || s.Len() != 3 {
+		t.Error("With must not mutate the receiver")
+	}
+	proj, fn := s.Project("val", "key")
+	if proj.MustField("val") != 0 {
+		t.Error("projection order wrong")
+	}
+	r := fn(Make(10, 20, 30))
+	if r.Get(0) != 30 || r.Get(1) != 10 || r.Len() != 2 {
+		t.Errorf("projection record wrong: %v", r)
+	}
+}
+
+func TestSchemaPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dup":     func() { NewSchema("a", "a") },
+		"empty":   func() { NewSchema("") },
+		"missing": func() { NewSchema("a").MustField("b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+package record
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema names the fields of every record in a stream. Schemas are static
+// per stream — the hardware analogue is the per-tile reconfiguration that
+// fixes a record layout before a kernel runs. All field lookups happen at
+// graph-construction time, never per record.
+type Schema struct {
+	names []string
+	idx   map[string]int
+}
+
+// NewSchema builds a schema from ordered field names. Names must be unique
+// and non-empty.
+func NewSchema(names ...string) *Schema {
+	if len(names) > MaxFields {
+		panic(fmt.Sprintf("record: schema with %d fields exceeds MaxFields=%d", len(names), MaxFields))
+	}
+	s := &Schema{names: append([]string(nil), names...), idx: make(map[string]int, len(names))}
+	for i, n := range names {
+		if n == "" {
+			panic("record: empty field name")
+		}
+		if _, dup := s.idx[n]; dup {
+			panic(fmt.Sprintf("record: duplicate field %q", n))
+		}
+		s.idx[n] = i
+	}
+	return s
+}
+
+// Len reports the number of fields.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns the field names in order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Field returns the index of the named field and whether it exists.
+func (s *Schema) Field(name string) (int, bool) {
+	i, ok := s.idx[name]
+	return i, ok
+}
+
+// MustField returns the index of the named field, panicking if absent.
+// Use at graph-construction time where a missing field is a programming
+// error in the kernel mapping.
+func (s *Schema) MustField(name string) int {
+	i, ok := s.idx[name]
+	if !ok {
+		panic(fmt.Sprintf("record: schema has no field %q (have %s)", name, strings.Join(s.names, ", ")))
+	}
+	return i
+}
+
+// With returns a new schema with extra trailing fields appended.
+func (s *Schema) With(names ...string) *Schema {
+	return NewSchema(append(s.Names(), names...)...)
+}
+
+// Project returns a new schema containing only the named fields, in the
+// given order, plus a projection function mapping records of s to records
+// of the new schema.
+func (s *Schema) Project(names ...string) (*Schema, func(Rec) Rec) {
+	idxs := make([]int, len(names))
+	for i, n := range names {
+		idxs[i] = s.MustField(n)
+	}
+	out := NewSchema(names...)
+	proj := func(r Rec) Rec {
+		var o Rec
+		for _, i := range idxs {
+			o = o.Append(r.Get(i))
+		}
+		return o
+	}
+	return out, proj
+}
+
+// String renders the schema for debugging.
+func (s *Schema) String() string {
+	return "schema(" + strings.Join(s.names, ", ") + ")"
+}

@@ -1,0 +1,106 @@
+package record
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is one SIMD beat through a 16-lane tile: up to NumLanes records
+// plus a valid mask. Thread compaction (paper §III-A, fig. 5c) produces
+// dense vectors — all valid lanes packed low — which is the form every tile
+// in this simulator emits.
+type Vector struct {
+	Lane [NumLanes]Rec
+	Mask uint16
+}
+
+// Count returns the number of valid lanes.
+func (v Vector) Count() int { return bits.OnesCount16(v.Mask) }
+
+// Valid reports whether lane i holds a live record.
+func (v Vector) Valid(i int) bool { return v.Mask&(1<<uint(i)) != 0 }
+
+// Dense reports whether all valid lanes are packed at the low end.
+func (v Vector) Dense() bool {
+	n := v.Count()
+	return v.Mask == uint16(1<<uint(n))-1
+}
+
+// Push appends a record to the next free low lane of a dense vector and
+// reports whether the vector is now full. It panics on a full vector.
+func (v *Vector) Push(r Rec) bool {
+	n := v.Count()
+	if n >= NumLanes {
+		panic("record: push to full vector")
+	}
+	v.Lane[n] = r
+	v.Mask |= 1 << uint(n)
+	return n+1 == NumLanes
+}
+
+// Compact returns a dense copy of v: valid lanes shuffled low, mask packed.
+// This is the functional effect of the shuffle network + barrel shifter in
+// the compute tile's compaction datapath.
+func (v Vector) Compact() Vector {
+	var out Vector
+	for i := 0; i < NumLanes; i++ {
+		if v.Valid(i) {
+			out.Push(v.Lane[i])
+		}
+	}
+	return out
+}
+
+// Records returns the valid records in lane order.
+func (v Vector) Records() []Rec {
+	out := make([]Rec, 0, v.Count())
+	for i := 0; i < NumLanes; i++ {
+		if v.Valid(i) {
+			out = append(out, v.Lane[i])
+		}
+	}
+	return out
+}
+
+// String renders the vector for debugging.
+func (v Vector) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vec{mask=%016b", v.Mask)
+	for i := 0; i < NumLanes; i++ {
+		if v.Valid(i) {
+			fmt.Fprintf(&b, " %d:%s", i, v.Lane[i])
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Vectorize packs a record slice into dense vectors, NumLanes per vector.
+func Vectorize(recs []Rec) []Vector {
+	out := make([]Vector, 0, (len(recs)+NumLanes-1)/NumLanes)
+	var cur Vector
+	for _, r := range recs {
+		if cur.Push(r) {
+			out = append(out, cur)
+			cur = Vector{}
+		}
+	}
+	if cur.Count() > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Flatten concatenates the valid records of a vector slice.
+func Flatten(vecs []Vector) []Rec {
+	n := 0
+	for _, v := range vecs {
+		n += v.Count()
+	}
+	out := make([]Rec, 0, n)
+	for _, v := range vecs {
+		out = append(out, v.Records()...)
+	}
+	return out
+}

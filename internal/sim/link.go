@@ -1,0 +1,108 @@
+package sim
+
+import "aurochs/internal/record"
+
+// Flit is one beat on a link: either a vector of records or the
+// end-of-stream pulse that a tile sends downstream once all of its upstream
+// producers have signalled stream end (paper §III-A).
+type Flit struct {
+	Vec record.Vector
+	EOS bool
+}
+
+// Link is a registered, latency-annotated FIFO between two components.
+//
+// Semantics:
+//   - Push in cycle N is visible to Pop no earlier than cycle N+latency.
+//   - Capacity bounds the entries buffered at the consumer side (the skid
+//     buffer); in-flight entries within the latency window occupy pipeline
+//     registers and do not count against capacity.
+//   - CanPush applies credit-based flow control: the producer may push only
+//     when consumer-side space is guaranteed on arrival.
+type Link struct {
+	name    string
+	cap     int
+	latency int
+
+	buf      []Flit   // visible to the consumer
+	inflight []timedF // pushed, not yet arrived
+
+	pushes int64
+	pops   int64
+}
+
+type timedF struct {
+	f     Flit
+	ready int64 // first cycle the flit may enter buf
+}
+
+func newLink(name string, capacity, latency int) *Link {
+	if capacity < 1 {
+		panic("sim: link capacity must be >= 1")
+	}
+	if latency < 1 {
+		panic("sim: link latency must be >= 1 (links are registered)")
+	}
+	return &Link{name: name, cap: capacity, latency: latency}
+}
+
+// Name returns the link's identifier.
+func (l *Link) Name() string { return l.name }
+
+// CanPush reports whether the producer may push this cycle.
+func (l *Link) CanPush() bool {
+	return len(l.buf)+len(l.inflight) < l.cap
+}
+
+// Push stages a flit for delivery after the link latency. The caller must
+// check CanPush first; pushing a full link is a modelling bug and panics.
+func (l *Link) Push(cycle int64, f Flit) {
+	if !l.CanPush() {
+		panic("sim: push to full link " + l.name)
+	}
+	l.inflight = append(l.inflight, timedF{f: f, ready: cycle + int64(l.latency)})
+	l.pushes++
+}
+
+// Empty reports whether the consumer has nothing to pop this cycle.
+func (l *Link) Empty() bool { return len(l.buf) == 0 }
+
+// Peek returns the head flit without consuming it. Panics if empty.
+func (l *Link) Peek() Flit {
+	if len(l.buf) == 0 {
+		panic("sim: peek on empty link " + l.name)
+	}
+	return l.buf[0]
+}
+
+// Pop consumes and returns the head flit. Panics if empty.
+func (l *Link) Pop() Flit {
+	f := l.Peek()
+	l.buf = l.buf[1:]
+	l.pops++
+	return f
+}
+
+// Drained reports whether no flits remain anywhere in the link.
+func (l *Link) Drained() bool { return len(l.buf) == 0 && len(l.inflight) == 0 }
+
+// Pushes returns the total flits ever pushed (for stats/deadlock detection).
+func (l *Link) Pushes() int64 { return l.pushes }
+
+// Pops returns the total flits ever popped.
+func (l *Link) Pops() int64 { return l.pops }
+
+// commit moves arrived in-flight flits into the visible buffer at the end
+// of a cycle. It reports whether the link saw any activity this cycle.
+func (l *Link) commit(cycle int64) bool {
+	before := len(l.buf)
+	n := 0
+	for n < len(l.inflight) && l.inflight[n].ready <= cycle+1 {
+		// ready <= cycle+1: a flit pushed at cycle C with latency 1 is
+		// visible at cycle C+1, i.e. after this commit.
+		l.buf = append(l.buf, l.inflight[n].f)
+		n++
+	}
+	l.inflight = l.inflight[n:]
+	return n > 0 || before != len(l.buf)
+}

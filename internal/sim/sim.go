@@ -1,0 +1,156 @@
+// Package sim is the cycle-level simulation kernel underneath the Aurochs
+// fabric model. It provides a synchronous clock, registered links between
+// components, and a runner with progress-based deadlock detection.
+//
+// The timing discipline is the one that makes cyclic dataflow graphs (the
+// paper's recirculating while-loops) safe to simulate deterministically:
+// every link is *registered* — a value pushed in cycle N becomes visible to
+// the consumer in cycle N+1 at the earliest — so the order in which
+// components tick within a cycle can never change the result. This mirrors
+// the skid-buffered ready-valid streaming interface that loosely times
+// Gorgon's tiles (paper §III-A).
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Component is one clocked element of the fabric: a compute tile, a
+// scratchpad pipeline, a DRAM channel group. Tick is called once per cycle
+// with the current cycle number; components observe link state as committed
+// at the end of the previous cycle and stage pushes for the next.
+type Component interface {
+	// Name identifies the component in stats and error messages.
+	Name() string
+	// Tick advances the component by one cycle.
+	Tick(cycle int64)
+	// Done reports whether the component has fully drained: it has seen
+	// end-of-stream on all inputs, forwarded it, and holds no state that
+	// could still produce output.
+	Done() bool
+}
+
+// System owns the clock, components, and links of one simulation.
+type System struct {
+	comps []Component
+	links []*Link
+	cycle int64
+	stats *Stats
+}
+
+// NewSystem creates an empty simulation.
+func NewSystem() *System {
+	return &System{stats: NewStats()}
+}
+
+// Stats returns the system-wide counter set.
+func (s *System) Stats() *Stats { return s.stats }
+
+// Cycle returns the current cycle number.
+func (s *System) Cycle() int64 { return s.cycle }
+
+// Add registers a component. Components tick in registration order; because
+// links are registered, the order is not observable in results.
+func (s *System) Add(c Component) {
+	s.comps = append(s.comps, c)
+}
+
+// NewLink creates and registers a link with the given capacity and latency.
+// Capacity is the skid-buffer depth (entries buffered at the consumer);
+// latency models interconnect hops and must be >= 1 (registered).
+func (s *System) NewLink(name string, capacity, latency int) *Link {
+	l := newLink(name, capacity, latency)
+	s.links = append(s.links, l)
+	return l
+}
+
+// DeadlockError reports a simulation that stopped making progress before
+// all components drained.
+type DeadlockError struct {
+	Cycle int64
+	Stuck []string // components not Done
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d; stuck components: %v", e.Cycle, e.Stuck)
+}
+
+// Run ticks the system until every component reports Done, the cycle budget
+// is exhausted, or no progress is observed for a grace window. It returns
+// the number of cycles simulated.
+func (s *System) Run(maxCycles int64) (int64, error) {
+	// grace must exceed the longest internal latency any component can
+	// hide from the links (DRAM round trips are the worst case).
+	const grace = 4096
+	idle := 0
+	start := s.cycle
+	for s.cycle-start < maxCycles {
+		if s.allDone() {
+			return s.cycle - start, nil
+		}
+		moved := s.step()
+		if moved {
+			idle = 0
+		} else {
+			idle++
+			if idle > grace {
+				return s.cycle - start, &DeadlockError{Cycle: s.cycle, Stuck: s.stuckNames()}
+			}
+		}
+	}
+	if s.allDone() {
+		return s.cycle - start, nil
+	}
+	return s.cycle - start, fmt.Errorf("sim: cycle budget %d exhausted; stuck components: %v", maxCycles, s.stuckNames())
+}
+
+// step advances one cycle and reports whether any link carried traffic.
+func (s *System) step() bool {
+	var before int64
+	for _, l := range s.links {
+		before += l.Pushes() + l.Pops()
+	}
+	for _, c := range s.comps {
+		c.Tick(s.cycle)
+	}
+	for _, l := range s.links {
+		l.commit(s.cycle)
+	}
+	var after int64
+	for _, l := range s.links {
+		after += l.Pushes() + l.Pops()
+	}
+	s.cycle++
+	return after != before
+}
+
+func (s *System) allDone() bool {
+	for _, c := range s.comps {
+		if !c.Done() {
+			return false
+		}
+	}
+	for _, l := range s.links {
+		if !l.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) stuckNames() []string {
+	var out []string
+	for _, c := range s.comps {
+		if !c.Done() {
+			out = append(out, c.Name())
+		}
+	}
+	for _, l := range s.links {
+		if !l.Drained() {
+			out = append(out, "link:"+l.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

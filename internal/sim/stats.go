@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a named-counter set shared across a simulation. Components
+// record microarchitectural events (bank conflicts, grants, stalls,
+// compactions, DRAM row hits/misses) that the benchmark harness and tests
+// read back to explain throughput numbers.
+type Stats struct {
+	counters map[string]int64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]int64)}
+}
+
+// Add increments counter name by delta.
+func (s *Stats) Add(name string, delta int64) {
+	s.counters[name] += delta
+}
+
+// Get returns counter name (zero if never written).
+func (s *Stats) Get(name string) int64 {
+	return s.counters[name]
+}
+
+// Ratio returns num/den as a float, or 0 when den is zero.
+func (s *Stats) Ratio(num, den string) float64 {
+	d := s.counters[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(s.counters[num]) / float64(d)
+}
+
+// Names returns all counter names, sorted.
+func (s *Stats) Names() []string {
+	out := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders all counters, one per line, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, k := range s.Names() {
+		fmt.Fprintf(&b, "%-40s %12d\n", k, s.counters[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+// Package spad models Aurochs' scratchpad tile: a banked SRAM with the
+// sparse memory reordering pipeline the paper adds to Gorgon (§II-C,
+// §III-B). Requests arrive as vectors of thread records, wait in per-lane
+// issue queues, bid to a single-cycle lane↔bank allocator, and execute out
+// of order; granted requests are invalidated in place so a lane's slot
+// frees immediately for a new thread — the property that lets Aurochs'
+// queues be half as deep as Capstan's.
+//
+// The package also retains Capstan's in-order dequeue discipline behind a
+// config flag, used by the ablation benchmarks to quantify what thread
+// reordering buys.
+package spad
+
+import "fmt"
+
+// Mem is the SRAM storage of one scratchpad tile: Banks × BankWords 32-bit
+// words. Two Tiles (one per port of the dual-ported SRAM) may share a Mem.
+type Mem struct {
+	words     []uint32
+	banks     int
+	bankWords int
+	lineShift uint
+}
+
+// NewMem allocates a scratchpad of banks × bankWords words. lineShift sets
+// the bank interleaving granularity: bank = (addr >> lineShift) % banks.
+// Use lineShift = log2(node words) so a multi-word node read stays within
+// one bank, matching Gorgon's one-record-per-lane, fields-in-time layout.
+func NewMem(banks, bankWords int, lineShift uint) *Mem {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("spad: banks must be a power of two, got %d", banks))
+	}
+	if bankWords <= 0 {
+		panic("spad: bankWords must be positive")
+	}
+	return &Mem{
+		words:     make([]uint32, banks*bankWords),
+		banks:     banks,
+		bankWords: bankWords,
+		lineShift: lineShift,
+	}
+}
+
+// Words returns the total word capacity.
+func (m *Mem) Words() int { return len(m.words) }
+
+// Banks returns the bank count.
+func (m *Mem) Banks() int { return m.banks }
+
+// Bank maps a word address to its bank.
+func (m *Mem) Bank(addr uint32) int {
+	return int(addr>>m.lineShift) & (m.banks - 1)
+}
+
+// Read returns the word at addr.
+func (m *Mem) Read(addr uint32) uint32 {
+	return m.words[addr]
+}
+
+// Write stores v at addr.
+func (m *Mem) Write(addr uint32, v uint32) {
+	m.words[addr] = v
+}
+
+// Fill sets every word to v (typically 0 or a NIL sentinel).
+func (m *Mem) Fill(v uint32) {
+	for i := range m.words {
+		m.words[i] = v
+	}
+}
+
+// Load copies data into the scratchpad starting at base.
+func (m *Mem) Load(base uint32, data []uint32) {
+	copy(m.words[base:], data)
+}
+
+// Snapshot copies out n words starting at base (for tests and readback).
+func (m *Mem) Snapshot(base uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	copy(out, m.words[base:int(base)+n])
+	return out
+}

@@ -1,0 +1,93 @@
+package spad
+
+import "aurochs/internal/record"
+
+// Op selects the operation a scratchpad stream performs. Each of the two
+// streams of a scratchpad is statically configured as a read, write, or
+// read-modify-write stream (paper §III-B).
+type Op uint8
+
+const (
+	// OpRead gathers Width words starting at the request address.
+	OpRead Op = iota
+	// OpWrite scatters Width words starting at the request address.
+	OpWrite
+	// OpCAS atomically compares word[addr] with the expected value and
+	// stores the new value on match; the response carries the observed
+	// value. Width is implicitly 1.
+	OpCAS
+	// OpFAA atomically fetches word[addr] and adds a delta; the response
+	// carries the pre-add value. Width is implicitly 1.
+	OpFAA
+	// OpXCHG atomically exchanges word[addr] with the supplied value; the
+	// response carries the previous value. Width is implicitly 1.
+	OpXCHG
+	// OpModify atomically applies the Spec's Modify combiner to word[addr];
+	// the response carries the pre-modify value. Width is implicitly 1.
+	// This models the small RMW ALU in the scratchpad's fused read-modify-
+	// write pipeline (saturating counters, min/max, etc.).
+	OpModify
+)
+
+// String names the op for stats and errors.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	case OpFAA:
+		return "faa"
+	case OpXCHG:
+		return "xchg"
+	case OpModify:
+		return "modify"
+	}
+	return "op?"
+}
+
+// IsRMW reports whether the op uses the fused read-modify-write pipeline.
+func (o Op) IsRMW() bool {
+	return o == OpCAS || o == OpFAA || o == OpXCHG || o == OpModify
+}
+
+// Spec is the static reconfiguration of one scratchpad stream: how a thread
+// record encodes its request, and how the response mutates the thread. The
+// closures are fixed at graph-construction time — the software analogue of
+// reconfiguring the tile before a kernel runs — and must be pure functions
+// of the record (plus the memory response).
+type Spec struct {
+	// Op is the stream's operation.
+	Op Op
+	// Width is the words accessed per request for OpRead/OpWrite.
+	// RMW ops always access one word.
+	Width int
+	// Addr extracts the word address from a thread record.
+	Addr func(record.Rec) uint32
+	// Data supplies write data word i (0 <= i < Width) for OpWrite.
+	// For OpCAS, Data(r, 0) is the expected old value and Data(r, 1) the
+	// new value. For OpFAA it is the delta; for OpXCHG the new value.
+	Data func(record.Rec, int) uint32
+	// Modify is the combiner for OpModify: it receives the current memory
+	// word and the thread record and returns the value to store.
+	Modify func(cur uint32, r record.Rec) uint32
+	// Apply merges the response into the thread record and returns the
+	// updated thread. resp holds Width words for OpRead and one word (the
+	// pre-op value) for RMW ops; it is nil for OpWrite. Returning keep ==
+	// false drops the thread (rarely used; filtering normally happens in
+	// compute tiles).
+	Apply func(r record.Rec, resp []uint32) (out record.Rec, keep bool)
+}
+
+// width returns the effective words accessed.
+func (s *Spec) width() int {
+	if s.Op.IsRMW() {
+		return 1
+	}
+	if s.Width <= 0 {
+		return 1
+	}
+	return s.Width
+}

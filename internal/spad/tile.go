@@ -1,0 +1,439 @@
+package spad
+
+import (
+	"fmt"
+
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// Config sizes one scratchpad stream pipeline.
+type Config struct {
+	// Name identifies the tile in stats and errors.
+	Name string
+	// Lanes is the request vector width (default record.NumLanes).
+	Lanes int
+	// IssueDepth is the per-lane issue queue depth. Aurochs uses 8; the
+	// Capstan ablation doubles it to 16 because in-order dequeue cannot
+	// free granted slots early (paper §III-B).
+	IssueDepth int
+	// InOrder selects Capstan's discipline: only the oldest vector's
+	// requests bid, and response vectors dequeue in arrival order
+	// (head-of-line blocking). Default false = Aurochs reordering.
+	InOrder bool
+	// ForwardRMW enables the write→read forwarding path that lets
+	// back-to-back RMW ops to the same bank issue every cycle. Without
+	// it an RMW holds its bank for two cycles.
+	ForwardRMW bool
+	// AccessLatency is the SRAM pipeline latency in cycles (default 2).
+	AccessLatency int
+}
+
+func (c *Config) fill() {
+	if c.Lanes == 0 {
+		c.Lanes = record.NumLanes
+	}
+	if c.IssueDepth == 0 {
+		if c.InOrder {
+			c.IssueDepth = 16
+		} else {
+			c.IssueDepth = 8
+		}
+	}
+	if c.AccessLatency == 0 {
+		c.AccessLatency = 2
+	}
+	if c.Name == "" {
+		c.Name = "spad"
+	}
+}
+
+// DefaultConfig returns the Aurochs-mode configuration from the paper:
+// 16 lanes, issue depth 8 (up to 128 requests considered per cycle),
+// reordering allocation, RMW forwarding.
+func DefaultConfig(name string) Config {
+	c := Config{Name: name, ForwardRMW: true}
+	c.fill()
+	return c
+}
+
+type qent struct {
+	rec     record.Rec
+	addr    uint32
+	bank    int
+	seq     int64 // arrival vector sequence (in-order mode)
+	granted bool  // in-order mode: slot stays occupied until vector dequeue
+}
+
+type bankOp struct {
+	rec  record.Rec
+	resp []uint32
+	done int64
+	seq  int64
+	lane int
+}
+
+// Tile is one stream pipeline of a scratchpad: issue queues, allocator,
+// banks, and the response compactor that re-vectorizes completed threads.
+// It is a sim.Component wired between an input and an output link.
+type Tile struct {
+	cfg   Config
+	mem   *Mem
+	spec  Spec
+	in    *sim.Link
+	out   *sim.Link
+	stats *sim.Stats
+
+	queues    [][]qent
+	bankBusy  []int64 // bank free again at this cycle
+	pending   []bankOp
+	ready     []record.Rec // completed threads awaiting output vectorization
+	rob       map[int64][]record.Rec
+	robLive   map[int64]uint32 // lanes with a retired record per seq
+	robCount  map[int64]int    // outstanding requests per seq (in-order mode)
+	robHead   int64
+	seq       int64
+	rr        int
+	eosIn     bool
+	eosSent   bool
+	nameGrant string
+	nameConf  string
+	nameReq   string
+}
+
+// NewTile builds a scratchpad stream pipeline over mem, reading thread
+// vectors from in and writing updated thread vectors to out.
+func NewTile(cfg Config, mem *Mem, spec Spec, in, out *sim.Link, stats *sim.Stats) *Tile {
+	cfg.fill()
+	if spec.Addr == nil {
+		panic("spad: spec.Addr is required")
+	}
+	if spec.Op == OpModify {
+		if spec.Modify == nil {
+			panic("spad: spec.Modify required for modify op")
+		}
+	} else if (spec.Op == OpWrite || spec.Op.IsRMW()) && spec.Data == nil {
+		panic(fmt.Sprintf("spad: spec.Data required for %s", spec.Op))
+	}
+	t := &Tile{
+		cfg:       cfg,
+		mem:       mem,
+		spec:      spec,
+		in:        in,
+		out:       out,
+		stats:     stats,
+		queues:    make([][]qent, cfg.Lanes),
+		bankBusy:  make([]int64, mem.Banks()),
+		rob:       make(map[int64][]record.Rec),
+		robLive:   make(map[int64]uint32),
+		robCount:  make(map[int64]int),
+		nameGrant: cfg.Name + ".grants",
+		nameConf:  cfg.Name + ".conflicts",
+		nameReq:   cfg.Name + ".requests",
+	}
+	return t
+}
+
+// Name implements sim.Component.
+func (t *Tile) Name() string { return t.cfg.Name }
+
+// Done implements sim.Component.
+func (t *Tile) Done() bool { return t.eosSent }
+
+// Tick implements sim.Component: retire, allocate, emit, accept.
+func (t *Tile) Tick(cycle int64) {
+	t.retire(cycle)
+	t.allocate(cycle)
+	t.emit(cycle)
+	t.accept(cycle)
+	t.finishEOS(cycle)
+}
+
+// retire completes bank operations whose latency elapsed and applies the
+// response to the thread record.
+func (t *Tile) retire(cycle int64) {
+	n := 0
+	for _, op := range t.pending {
+		if op.done > cycle {
+			t.pending[n] = op
+			n++
+			continue
+		}
+		out, keep := op.rec, true
+		if t.spec.Apply != nil {
+			out, keep = t.spec.Apply(op.rec, op.resp)
+		}
+		if !keep {
+			t.stats.Add(t.cfg.Name+".dropped", 1)
+			t.retireSeq(op.seq)
+			continue
+		}
+		if t.cfg.InOrder {
+			// Reassemble the vector in lane order: Capstan preserves
+			// stream order exactly.
+			slots := t.rob[op.seq]
+			if slots == nil {
+				slots = make([]record.Rec, t.cfg.Lanes)
+			}
+			slots[op.lane] = out
+			t.rob[op.seq] = slots
+			t.robLive[op.seq] |= 1 << uint(op.lane)
+			t.retireSeq(op.seq)
+		} else {
+			t.ready = append(t.ready, out)
+		}
+	}
+	t.pending = t.pending[:n]
+}
+
+func (t *Tile) retireSeq(seq int64) {
+	if !t.cfg.InOrder {
+		return
+	}
+	t.robCount[seq]--
+}
+
+// allocate is the single-cycle lane↔bank matching (paper fig. 2b): every
+// valid issue-queue slot bids for its bank; each bank grants at most one
+// request and each lane issues at most one. Granted slots are invalidated
+// immediately in Aurochs mode, freeing the slot for a new thread.
+func (t *Tile) allocate(cycle int64) {
+	if len(t.ready)+len(t.pending) >= 4*t.cfg.Lanes {
+		// Response-side backpressure: stop granting when the output
+		// compactor is saturated so the pipeline stays bounded.
+		t.stats.Add(t.cfg.Name+".resp_stall", 1)
+		return
+	}
+	laneIssued := make([]bool, t.cfg.Lanes)
+	granted := 0
+	for b := 0; b < t.mem.Banks(); b++ {
+		bank := (b + t.rr) & (t.mem.Banks() - 1)
+		if t.bankBusy[bank] > cycle {
+			continue
+		}
+		// Find a bidding lane for this bank (greedy maximal matching;
+		// the hardware allocator is combinational and single-cycle).
+		found := false
+		for l := 0; l < t.cfg.Lanes && !found; l++ {
+			lane := (l + t.rr) % t.cfg.Lanes
+			if laneIssued[lane] {
+				continue
+			}
+			// FIFO scan order gives priority to older requests, matching
+			// Capstan's age-based allocation rounds.
+			for si, e := range t.queues[lane] {
+				if e.granted || e.bank != bank {
+					continue
+				}
+				t.grant(cycle, lane, si)
+				laneIssued[lane] = true
+				granted++
+				found = true
+				break
+			}
+		}
+	}
+	t.rr++
+	t.stats.Add(t.nameGrant, int64(granted))
+	// Conflicts: requests that wanted service this cycle but were not
+	// granted (a direct proxy for bank-conflict serialization).
+	queued := 0
+	for _, q := range t.queues {
+		queued += len(q)
+	}
+	if queued > granted {
+		t.stats.Add(t.nameConf, int64(queued-granted))
+	}
+}
+
+// grant executes queue slot si of lane and schedules its retirement.
+// Memory state mutates at grant time, which is what serializes same-address
+// atomics (same address ⇒ same bank ⇒ at most one grant per cycle).
+//
+// In Aurochs mode the slot is invalidated immediately — the property that
+// halves the required queue depth. In Capstan (in-order) mode the slot
+// stays occupied until its whole vector dequeues.
+func (t *Tile) grant(cycle int64, lane, si int) {
+	e := t.queues[lane][si]
+	if t.cfg.InOrder {
+		t.queues[lane][si].granted = true
+	} else {
+		t.queues[lane] = append(t.queues[lane][:si], t.queues[lane][si+1:]...)
+	}
+
+	w := t.spec.width()
+	var resp []uint32
+	switch t.spec.Op {
+	case OpRead:
+		resp = make([]uint32, w)
+		for i := 0; i < w; i++ {
+			resp[i] = t.mem.Read(e.addr + uint32(i))
+		}
+	case OpWrite:
+		for i := 0; i < w; i++ {
+			t.mem.Write(e.addr+uint32(i), t.spec.Data(e.rec, i))
+		}
+	case OpCAS:
+		cur := t.mem.Read(e.addr)
+		if cur == t.spec.Data(e.rec, 0) {
+			t.mem.Write(e.addr, t.spec.Data(e.rec, 1))
+		}
+		resp = []uint32{cur}
+	case OpFAA:
+		cur := t.mem.Read(e.addr)
+		t.mem.Write(e.addr, cur+t.spec.Data(e.rec, 0))
+		resp = []uint32{cur}
+	case OpXCHG:
+		cur := t.mem.Read(e.addr)
+		t.mem.Write(e.addr, t.spec.Data(e.rec, 0))
+		resp = []uint32{cur}
+	case OpModify:
+		cur := t.mem.Read(e.addr)
+		t.mem.Write(e.addr, t.spec.Modify(cur, e.rec))
+		resp = []uint32{cur}
+	}
+
+	// Bank occupancy: a width-w access streams w fields through the bank;
+	// an RMW occupies its bank for two stages unless the forwarding path
+	// lets the next RMW issue back-to-back.
+	busy := int64(w)
+	if t.spec.Op.IsRMW() && !t.cfg.ForwardRMW {
+		busy = 2
+	}
+	bank := t.mem.Bank(e.addr)
+	t.bankBusy[bank] = cycle + busy
+	t.pending = append(t.pending, bankOp{
+		rec:  e.rec,
+		resp: resp,
+		done: cycle + int64(t.cfg.AccessLatency) + busy - 1,
+		seq:  e.seq,
+		lane: lane,
+	})
+}
+
+// emit vectorizes completed threads and pushes at most one dense vector per
+// cycle downstream.
+func (t *Tile) emit(cycle int64) {
+	if !t.out.CanPush() {
+		t.stats.Add(t.cfg.Name+".out_stall", 1)
+		return
+	}
+	if t.cfg.InOrder {
+		t.emitInOrder(cycle)
+		return
+	}
+	if len(t.ready) == 0 {
+		return
+	}
+	var v record.Vector
+	n := len(t.ready)
+	if n > record.NumLanes {
+		n = record.NumLanes
+	}
+	for i := 0; i < n; i++ {
+		v.Push(t.ready[i])
+	}
+	t.ready = t.ready[n:]
+	t.out.Push(cycle, sim.Flit{Vec: v})
+}
+
+// emitInOrder releases the oldest vector only once all of its requests have
+// retired — Capstan's head-of-line-blocking dequeue.
+func (t *Tile) emitInOrder(cycle int64) {
+	if t.robHead >= t.seq {
+		return
+	}
+	if t.robCount[t.robHead] != 0 {
+		return // straggler request still outstanding
+	}
+	slots := t.rob[t.robHead]
+	live := t.robLive[t.robHead]
+	var v record.Vector
+	for lane := 0; lane < t.cfg.Lanes; lane++ {
+		if live&(1<<uint(lane)) != 0 {
+			v.Push(slots[lane])
+		}
+	}
+	delete(t.rob, t.robHead)
+	delete(t.robCount, t.robHead)
+	delete(t.robLive, t.robHead)
+	// Vector dequeue frees this vector's issue-queue slots — the point
+	// where Capstan reclaims space that Aurochs reclaimed at grant time.
+	for lane := range t.queues {
+		n := 0
+		for _, e := range t.queues[lane] {
+			if e.seq != t.robHead {
+				t.queues[lane][n] = e
+				n++
+			}
+		}
+		t.queues[lane] = t.queues[lane][:n]
+	}
+	t.robHead++
+	if v.Count() > 0 {
+		t.out.Push(cycle, sim.Flit{Vec: v})
+	}
+}
+
+// accept pops an input vector when every valid lane has queue space.
+func (t *Tile) accept(cycle int64) {
+	if t.eosIn || t.in.Empty() {
+		return
+	}
+	f := t.in.Peek()
+	if f.EOS {
+		t.in.Pop()
+		t.eosIn = true
+		return
+	}
+	for i := 0; i < record.NumLanes; i++ {
+		if f.Vec.Valid(i) && len(t.queues[i%t.cfg.Lanes]) >= t.cfg.IssueDepth {
+			t.stats.Add(t.cfg.Name+".in_stall", 1)
+			return
+		}
+	}
+	t.in.Pop()
+	seq := t.seq
+	t.seq++
+	count := 0
+	for i := 0; i < record.NumLanes; i++ {
+		if !f.Vec.Valid(i) {
+			continue
+		}
+		r := f.Vec.Lane[i]
+		addr := t.spec.Addr(r)
+		if int(addr)+t.spec.width() > t.mem.Words() {
+			panic(fmt.Sprintf("%s: address %d+%d out of range (%d words)", t.cfg.Name, addr, t.spec.width(), t.mem.Words()))
+		}
+		lane := i % t.cfg.Lanes
+		t.queues[lane] = append(t.queues[lane], qent{rec: r, addr: addr, bank: t.mem.Bank(addr), seq: seq})
+		count++
+	}
+	if t.cfg.InOrder {
+		t.robCount[seq] = count
+	}
+	t.stats.Add(t.nameReq, int64(count))
+}
+
+// finishEOS forwards end-of-stream once the pipeline has fully drained.
+func (t *Tile) finishEOS(cycle int64) {
+	if t.eosSent || !t.eosIn {
+		return
+	}
+	for _, q := range t.queues {
+		if len(q) > 0 {
+			return
+		}
+	}
+	if len(t.pending) > 0 || len(t.ready) > 0 {
+		return
+	}
+	if t.cfg.InOrder && t.robHead < t.seq {
+		return
+	}
+	if !t.out.CanPush() {
+		return
+	}
+	t.out.Push(cycle, sim.Flit{EOS: true})
+	t.eosSent = true
+}
