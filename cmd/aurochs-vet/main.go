@@ -1,0 +1,206 @@
+// aurochs-vet statically verifies the repository's determinism discipline:
+// it runs the internal/lint rules over the simulator packages and reports
+// every construct that could make two runs of the same kernel disagree.
+//
+// Usage:
+//
+//	go run ./cmd/aurochs-vet [-json] [packages]
+//
+// Packages default to ./... — directories are classified by path:
+//
+//   - internal/sim, internal/fabric, internal/spad, internal/dram (the
+//     cycle-level core) get every rule: wallclock, globalrand, maprange,
+//     print;
+//   - other internal packages get print hygiene only;
+//   - internal/bench is exempt (it is the reporting harness — printing is
+//     its job), as are cmd/ and testdata.
+//
+// Exit status is 1 when findings exist, 2 on usage or I/O errors. The
+// dynamic half of the same contract is fabric.Graph.Check, which validates
+// graph topology at Run time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"aurochs/internal/lint"
+)
+
+// cycleLevel lists the packages simulating hardware at cycle granularity;
+// these get the full rule set.
+var cycleLevel = map[string]bool{
+	"internal/sim":    true,
+	"internal/fabric": true,
+	"internal/spad":   true,
+	"internal/dram":   true,
+}
+
+// exempt lists packages the linter skips entirely: the benchmark harness
+// prints tables by design.
+var exempt = map[string]bool{
+	"internal/bench": true,
+}
+
+func classify(rel string) lint.Rules {
+	rel = filepath.ToSlash(rel)
+	switch {
+	case cycleLevel[rel]:
+		return lint.AllRules()
+	case exempt[rel]:
+		return lint.Rules{}
+	case rel == "internal" || strings.HasPrefix(rel, "internal/"):
+		return lint.Rules{Print: true}
+	default:
+		return lint.Rules{}
+	}
+}
+
+// expand resolves package patterns to directories. "dir/..." walks the
+// tree; anything else is taken as a single directory. testdata and hidden
+// directories never participate.
+func expand(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := arg, false
+		if arg == "..." {
+			root, recursive = ".", true
+		} else if strings.HasSuffix(arg, "/...") {
+			root, recursive = strings.TrimSuffix(arg, "/..."), true
+			if root == "" {
+				root = "."
+			}
+		}
+		if !recursive {
+			info, err := os.Stat(root)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// moduleRel maps dir to its path relative to the enclosing Go module, so
+// classification works from any working directory. Outside a module the
+// path is returned as given.
+func moduleRel(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for root := abs; ; {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			rel, err := filepath.Rel(root, abs)
+			if err != nil {
+				return dir
+			}
+			return rel
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return dir
+		}
+		root = parent
+	}
+}
+
+func run() (int, error) {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		return 2, err
+	}
+	var all []lint.Finding
+	for _, dir := range dirs {
+		rules := classify(moduleRel(dir))
+		if rules.None() {
+			continue
+		}
+		fs, err := lint.AnalyzeDir(dir, rules)
+		if err != nil {
+			return 2, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Rule < all[j].Rule
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []lint.Finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range all {
+			fmt.Println(f)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "aurochs-vet: %d findings\n", len(all))
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aurochs-vet:", err)
+	}
+	os.Exit(code)
+}

@@ -55,6 +55,10 @@ func newTileSorter(name string, key fabric.KeyFn, tile int, in, out *sim.Link) *
 
 func (t *tileSorter) Name() string { return t.name }
 
+func (t *tileSorter) InputLinks() []*sim.Link { return []*sim.Link{t.in} }
+
+func (t *tileSorter) OutputLinks() []*sim.Link { return []*sim.Link{t.out} }
+
 func (t *tileSorter) Done() bool { return t.eos }
 
 func (t *tileSorter) Tick(cycle int64) {

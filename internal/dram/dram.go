@@ -220,13 +220,13 @@ func (h *HBM) Submit(req Request) bool {
 	// Reserve queue space across all involved channels first. Writes are
 	// absorbed by the combining buffer but their evictions land in the
 	// same queues, so both directions respect the depth.
-	need := make(map[int]int, n)
+	need := make([]int, len(h.chans))
 	for b := first; b <= last; b++ {
 		ch, _, _ := h.locate(b << h.burstShift)
 		need[ch]++
 	}
 	for ch, k := range need {
-		if len(h.chans[ch].queue)+k > h.cfg.QueueDepth {
+		if k > 0 && len(h.chans[ch].queue)+k > h.cfg.QueueDepth {
 			h.Stalls++
 			return false
 		}
@@ -272,8 +272,10 @@ func (h *HBM) postWrite(c *channel, addr uint32) {
 	if len(c.writeBuf) >= wbCap {
 		var oldest uint32
 		var oldestAt int64 = 1 << 62
+		// lint:maprange-ok — the victim is the deterministic minimum of
+		// (age, address); map iteration order cannot affect the choice.
 		for a, at := range c.writeBuf {
-			if at < oldestAt {
+			if at < oldestAt || (at == oldestAt && a < oldest) {
 				oldest, oldestAt = a, at
 			}
 		}
@@ -306,11 +308,22 @@ func (h *HBM) Tick(cycle int64) {
 	for _, ch := range h.chans {
 		// Age-out flush: one entry per cycle at most.
 		if len(ch.queue) < h.cfg.QueueDepth {
+			var flush uint32
+			var flushAt int64
+			found := false
+			// lint:maprange-ok — the flushed entry is the deterministic
+			// minimum of (age, address) among aged entries; map iteration
+			// order cannot affect the choice.
 			for a, at := range ch.writeBuf {
-				if cycle-at > wbFlushAge {
-					h.evictWrite(ch, a)
-					break
+				if cycle-at <= wbFlushAge {
+					continue
 				}
+				if !found || at < flushAt || (at == flushAt && a < flush) {
+					flush, flushAt, found = a, at, true
+				}
+			}
+			if found {
+				h.evictWrite(ch, flush)
 			}
 		}
 		if len(ch.queue) == 0 || ch.busy > cycle {
@@ -392,6 +405,8 @@ func (h *HBM) ResetClock() {
 	}
 	for _, ch := range h.chans {
 		ch.busy = 0
+		// lint:maprange-ok — every entry is rebased to the same timestamp;
+		// iteration order cannot matter.
 		for a := range ch.writeBuf {
 			ch.writeBuf[a] = 0
 		}
@@ -421,6 +436,8 @@ func (h *HBM) Drained() bool {
 // them).
 func (h *HBM) FlushWrites() {
 	for _, ch := range h.chans {
+		// lint:maprange-ok — every entry is unconditionally drained and the
+		// counter is commutative; iteration order cannot matter.
 		for a := range ch.writeBuf {
 			delete(ch.writeBuf, a)
 			h.WriteBursts++

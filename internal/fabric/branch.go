@@ -100,6 +100,21 @@ func (f *Filter) Cyclic() *Filter {
 // Name implements sim.Component.
 func (f *Filter) Name() string { return f.name }
 
+// InputLinks implements sim.InputPorts.
+func (f *Filter) InputLinks() []*sim.Link { return []*sim.Link{f.in} }
+
+// OutputLinks implements sim.OutputPorts. Nil output links are legitimate
+// thread kills, not wiring bugs, so they are omitted.
+func (f *Filter) OutputLinks() []*sim.Link {
+	var out []*sim.Link
+	for _, o := range f.outs {
+		if o.Link != nil {
+			out = append(out, o.Link)
+		}
+	}
+	return out
+}
+
 // Done implements sim.Component.
 func (f *Filter) Done() bool {
 	if f.cyclic {
@@ -296,6 +311,17 @@ func (m *Merge) Cyclic() *Merge {
 // Name implements sim.Component.
 func (m *Merge) Name() string { return m.name }
 
+// InputLinks implements sim.InputPorts.
+func (m *Merge) InputLinks() []*sim.Link { return []*sim.Link{m.pri, m.sec} }
+
+// OutputLinks implements sim.OutputPorts.
+func (m *Merge) OutputLinks() []*sim.Link { return []*sim.Link{m.out} }
+
+// loopEntry reports whether this merge coordinates a cyclic pipeline's
+// drain protocol (built via NewLoopMerge). Graph.Check requires one on
+// every cycle.
+func (m *Merge) loopEntry() bool { return m.ctl != nil }
+
 // Done implements sim.Component.
 func (m *Merge) Done() bool {
 	if m.cyclic {
@@ -400,6 +426,12 @@ func (f *Fork) Cyclic() *Fork {
 
 // Name implements sim.Component.
 func (f *Fork) Name() string { return f.name }
+
+// InputLinks implements sim.InputPorts.
+func (f *Fork) InputLinks() []*sim.Link { return []*sim.Link{f.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (f *Fork) OutputLinks() []*sim.Link { return []*sim.Link{f.out} }
 
 // Done implements sim.Component.
 func (f *Fork) Done() bool {

@@ -1,0 +1,364 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aurochs/internal/sim"
+)
+
+// This file is the static half of aurochs-vet: Graph.Check verifies a wired
+// dataflow graph before the first cycle ticks. The properties it enforces
+// are exactly the ones that otherwise surface as a deadlock thousands of
+// cycles in (a link nobody drains, a cycle with no drain protocol) or as a
+// silent panic (a push to a zero-capacity link): every link must have
+// exactly one producer and one consumer among the registered components,
+// every cycle must carry a loop-entry Merge implementing the §III-A drain
+// protocol, and every DRAM-backed node must sit on a graph with HBM
+// attached.
+//
+// Topology is reconstructed through the optional sim.InputPorts /
+// sim.OutputPorts interfaces; components implementing neither (the HBM
+// clock adapter) are treated as link-free.
+
+// DiagCode classifies one class of structural defect.
+type DiagCode string
+
+// The defect classes Check distinguishes. Each malformed-graph test in
+// check_test.go asserts one of these.
+const (
+	// DiagNilLink: a component's port list contains a nil link.
+	DiagNilLink DiagCode = "nil-link"
+	// DiagOrphanLink: a link no registered component produces or consumes.
+	DiagOrphanLink DiagCode = "orphan-link"
+	// DiagNoProducer: a link is consumed but nothing pushes it.
+	DiagNoProducer DiagCode = "no-producer"
+	// DiagNoConsumer: a link is produced but nothing pops it.
+	DiagNoConsumer DiagCode = "no-consumer"
+	// DiagMultiProducer: several components push one link (fan-in without a
+	// Merge).
+	DiagMultiProducer DiagCode = "multi-producer"
+	// DiagMultiConsumer: several components pop one link.
+	DiagMultiConsumer DiagCode = "multi-consumer"
+	// DiagZeroCapacity: a link with capacity < 1 can never accept a flit.
+	DiagZeroCapacity DiagCode = "zero-capacity"
+	// DiagBadLatency: links are registered; latency must be >= 1.
+	DiagBadLatency DiagCode = "bad-latency"
+	// DiagDupNode: the same component was added twice.
+	DiagDupNode DiagCode = "dup-node"
+	// DiagDupName: two components share a name (stats would alias).
+	DiagDupName DiagCode = "dup-name"
+	// DiagNoHBM: a DRAM-backed node on a graph without AttachHBM.
+	DiagNoHBM DiagCode = "no-hbm"
+	// DiagNoLoopCtl: a cycle with no loop-entry Merge (NewLoopMerge) to run
+	// the drain protocol.
+	DiagNoLoopCtl DiagCode = "cycle-no-loopctl"
+)
+
+// Diag is one verification finding.
+type Diag struct {
+	Code DiagCode
+	Msg  string
+}
+
+func (d Diag) String() string { return string(d.Code) + ": " + d.Msg }
+
+// CheckError aggregates every finding from one Check pass, sorted by code
+// then message so output is deterministic.
+type CheckError struct {
+	Diags []Diag
+}
+
+func (e *CheckError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric: graph check failed (%d problems)", len(e.Diags))
+	for _, d := range e.Diags {
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// Has reports whether any finding carries the given code — test helper and
+// programmatic triage.
+func (e *CheckError) Has(code DiagCode) bool {
+	for _, d := range e.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// linkEnds records which components (by index) claim a link.
+type linkEnds struct {
+	producers []int
+	consumers []int
+}
+
+// Check statically verifies the wired graph and returns a *CheckError
+// listing every defect found, or nil when the topology is sound. Run calls
+// it automatically; call it directly to validate a graph without
+// simulating.
+func (g *Graph) Check() error {
+	diags := append([]Diag(nil), g.defects...)
+
+	// Deduplicate registrations. Attribution below uses the unique set so a
+	// double-added node is reported once, not as a phantom fan-in.
+	var comps []sim.Component
+	seen := make(map[sim.Component]bool)
+	for _, c := range g.Sys.Components() {
+		if seen[c] {
+			diags = append(diags, Diag{DiagDupNode,
+				fmt.Sprintf("node %q added more than once", c.Name())})
+			continue
+		}
+		seen[c] = true
+		comps = append(comps, c)
+	}
+
+	nameCount := make(map[string]int)
+	for _, c := range comps {
+		nameCount[c.Name()]++
+	}
+	var dupNames []string
+	for name, n := range nameCount {
+		if n > 1 {
+			dupNames = append(dupNames, name)
+		}
+	}
+	sort.Strings(dupNames)
+	for _, name := range dupNames {
+		diags = append(diags, Diag{DiagDupName,
+			fmt.Sprintf("%d components share the name %q", nameCount[name], name)})
+	}
+
+	// Attribute every link to its producing and consuming components. A
+	// component listing the same link twice on one side counts once.
+	ends := make(map[*sim.Link]*linkEnds)
+	at := func(l *sim.Link) *linkEnds {
+		e := ends[l]
+		if e == nil {
+			e = &linkEnds{}
+			ends[l] = e
+		}
+		return e
+	}
+	for i, c := range comps {
+		if op, ok := c.(sim.OutputPorts); ok {
+			claimed := make(map[*sim.Link]bool)
+			for _, l := range op.OutputLinks() {
+				if l == nil {
+					diags = append(diags, Diag{DiagNilLink,
+						fmt.Sprintf("node %q has a nil output link", c.Name())})
+					continue
+				}
+				if !claimed[l] {
+					claimed[l] = true
+					at(l).producers = append(at(l).producers, i)
+				}
+			}
+		}
+		if ip, ok := c.(sim.InputPorts); ok {
+			claimed := make(map[*sim.Link]bool)
+			for _, l := range ip.InputLinks() {
+				if l == nil {
+					diags = append(diags, Diag{DiagNilLink,
+						fmt.Sprintf("node %q has a nil input link", c.Name())})
+					continue
+				}
+				if !claimed[l] {
+					claimed[l] = true
+					at(l).consumers = append(at(l).consumers, i)
+				}
+			}
+		}
+	}
+
+	names := func(idx []int) string {
+		out := make([]string, len(idx))
+		for i, k := range idx {
+			out[i] = comps[k].Name()
+		}
+		sort.Strings(out)
+		return strings.Join(out, ", ")
+	}
+
+	for _, l := range g.Sys.Links() {
+		if l.Capacity() < 1 {
+			diags = append(diags, Diag{DiagZeroCapacity,
+				fmt.Sprintf("link %q has capacity %d; nothing can ever be pushed", l.Name(), l.Capacity())})
+		}
+		if l.Latency() < 1 {
+			diags = append(diags, Diag{DiagBadLatency,
+				fmt.Sprintf("link %q has latency %d; links are registered and need latency >= 1", l.Name(), l.Latency())})
+		}
+		e := ends[l]
+		if e == nil || (len(e.producers) == 0 && len(e.consumers) == 0) {
+			diags = append(diags, Diag{DiagOrphanLink,
+				fmt.Sprintf("link %q is not connected to any registered node", l.Name())})
+			continue
+		}
+		if len(e.producers) == 0 {
+			diags = append(diags, Diag{DiagNoProducer,
+				fmt.Sprintf("link %q is consumed by [%s] but has no producer — was the producing node registered with Graph.Add?",
+					l.Name(), names(e.consumers))})
+		}
+		if len(e.consumers) == 0 {
+			diags = append(diags, Diag{DiagNoConsumer,
+				fmt.Sprintf("link %q is fed by [%s] but has no consumer — was the consuming node registered with Graph.Add?",
+					l.Name(), names(e.producers))})
+		}
+		if len(e.producers) > 1 {
+			diags = append(diags, Diag{DiagMultiProducer,
+				fmt.Sprintf("link %q is pushed by %d nodes [%s]; fan-in requires a Merge",
+					l.Name(), len(e.producers), names(e.producers))})
+		}
+		if len(e.consumers) > 1 {
+			diags = append(diags, Diag{DiagMultiConsumer,
+				fmt.Sprintf("link %q is popped by %d nodes [%s]; fan-out requires a Fork or explicit duplication",
+					l.Name(), len(e.consumers), names(e.consumers))})
+		}
+	}
+
+	diags = append(diags, g.checkCycles(comps, ends)...)
+
+	if len(diags) == 0 {
+		return nil
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Code != diags[j].Code {
+			return diags[i].Code < diags[j].Code
+		}
+		return diags[i].Msg < diags[j].Msg
+	})
+	return &CheckError{Diags: diags}
+}
+
+// checkCycles finds strongly connected components of the node graph and
+// requires each non-trivial one (a recirculating pipeline) to contain a
+// loop-entry Merge: without the drain protocol, end-of-stream can never
+// leave the cycle and the simulation deadlocks after the work is done.
+func (g *Graph) checkCycles(comps []sim.Component, ends map[*sim.Link]*linkEnds) []Diag {
+	n := len(comps)
+	adj := make([][]int, n)
+	selfLoop := make([]bool, n)
+	// Links() is creation-ordered, so edge lists — and therefore SCC
+	// numbering — are deterministic.
+	for _, l := range g.Sys.Links() {
+		e := ends[l]
+		if e == nil {
+			continue
+		}
+		for _, p := range e.producers {
+			for _, c := range e.consumers {
+				if p == c {
+					selfLoop[p] = true
+				}
+				adj[p] = append(adj[p], c)
+			}
+		}
+	}
+
+	var diags []Diag
+	for _, scc := range tarjanSCC(adj) {
+		if len(scc) == 1 && !selfLoop[scc[0]] {
+			continue
+		}
+		entry := false
+		for _, i := range scc {
+			if m, ok := comps[i].(*Merge); ok && m.loopEntry() {
+				entry = true
+				break
+			}
+		}
+		if entry {
+			continue
+		}
+		member := make([]string, len(scc))
+		for i, k := range scc {
+			member[i] = comps[k].Name()
+		}
+		sort.Strings(member)
+		diags = append(diags, Diag{DiagNoLoopCtl,
+			fmt.Sprintf("cycle through [%s] has no loop-entry Merge (NewLoopMerge); end-of-stream can never drain it",
+				strings.Join(member, ", "))})
+	}
+	return diags
+}
+
+// tarjanSCC returns the strongly connected components of adj, iteratively
+// (no recursion: graph size is caller-controlled).
+func tarjanSCC(adj [][]int) [][]int {
+	n := len(adj)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		sccs   [][]int
+		next   int
+		frames []struct{ v, ei int }
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], struct{ v, ei int }{root, 0})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					frames = append(frames, struct{ v, ei int }{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished; pop its frame and propagate lowlink.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

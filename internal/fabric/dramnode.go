@@ -36,7 +36,7 @@ type DRAMNode struct {
 // NewDRAMNode builds a DRAM access node on graph g.
 func NewDRAMNode(g *Graph, name string, spec spad.Spec, in, out *sim.Link) *DRAMNode {
 	if g.HBM == nil {
-		panic("fabric: graph has no HBM attached")
+		g.defectf(DiagNoHBM, "node %q accesses DRAM but the graph has no HBM attached (call AttachHBM first)", name)
 	}
 	if spec.Addr == nil {
 		panic("fabric: dram spec.Addr is required")
@@ -62,6 +62,12 @@ func NewDRAMNode(g *Graph, name string, spec spad.Spec, in, out *sim.Link) *DRAM
 
 // Name implements sim.Component.
 func (d *DRAMNode) Name() string { return d.name }
+
+// InputLinks implements sim.InputPorts.
+func (d *DRAMNode) InputLinks() []*sim.Link { return []*sim.Link{d.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (d *DRAMNode) OutputLinks() []*sim.Link { return []*sim.Link{d.out} }
 
 // Done implements sim.Component.
 func (d *DRAMNode) Done() bool { return d.eos }

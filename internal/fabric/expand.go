@@ -39,7 +39,7 @@ type DRAMExpand struct {
 func NewDRAMExpand(g *Graph, name string, width int, addrFn func(record.Rec) uint32,
 	expand func(record.Rec, []uint32) []record.Rec, ctl *LoopCtl, in, out *sim.Link) *DRAMExpand {
 	if g.HBM == nil {
-		panic("fabric: graph has no HBM attached")
+		g.defectf(DiagNoHBM, "node %q accesses DRAM but the graph has no HBM attached (call AttachHBM first)", name)
 	}
 	n := &DRAMExpand{
 		name: name, h: g.HBM, width: width, addrFn: addrFn, expand: expand,
@@ -51,6 +51,12 @@ func NewDRAMExpand(g *Graph, name string, width int, addrFn func(record.Rec) uin
 
 // Name implements sim.Component.
 func (d *DRAMExpand) Name() string { return d.name }
+
+// InputLinks implements sim.InputPorts.
+func (d *DRAMExpand) InputLinks() []*sim.Link { return []*sim.Link{d.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (d *DRAMExpand) OutputLinks() []*sim.Link { return []*sim.Link{d.out} }
 
 // Done implements sim.Component.
 func (d *DRAMExpand) Done() bool { return d.eos }

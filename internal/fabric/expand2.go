@@ -38,7 +38,7 @@ func NewDRAMExpand2(g *Graph, name string, widthA, widthB int,
 	expand func(r record.Rec, blockA, blockB []uint32) []record.Rec,
 	ctl *LoopCtl, in, out *sim.Link) *DRAMExpand2 {
 	if g.HBM == nil {
-		panic("fabric: graph has no HBM attached")
+		g.defectf(DiagNoHBM, "node %q accesses DRAM but the graph has no HBM attached (call AttachHBM first)", name)
 	}
 	n := &DRAMExpand2{
 		name: name, h: g.HBM, widthA: widthA, widthB: widthB,
@@ -51,6 +51,12 @@ func NewDRAMExpand2(g *Graph, name string, widthA, widthB int,
 
 // Name implements sim.Component.
 func (d *DRAMExpand2) Name() string { return d.name }
+
+// InputLinks implements sim.InputPorts.
+func (d *DRAMExpand2) InputLinks() []*sim.Link { return []*sim.Link{d.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (d *DRAMExpand2) OutputLinks() []*sim.Link { return []*sim.Link{d.out} }
 
 // Done implements sim.Component.
 func (d *DRAMExpand2) Done() bool { return d.eos }

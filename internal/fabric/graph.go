@@ -19,6 +19,8 @@
 package fabric
 
 import (
+	"fmt"
+
 	"aurochs/internal/dram"
 	"aurochs/internal/sim"
 )
@@ -37,12 +39,17 @@ const (
 )
 
 // Graph assembles a dataflow kernel: it owns the sim.System, the shared
-// HBM (if any), and construction helpers. After wiring, call Run.
+// HBM (if any), and construction helpers. After wiring, call Run; it
+// verifies the topology with Check before the first cycle ticks.
 type Graph struct {
 	Sys *sim.System
 	HBM *dram.HBM
 
 	hbmTicker *hbmComponent
+	// defects collects construction-time wiring errors (e.g. a DRAM node
+	// on a graph with no HBM attached) for Check to report alongside the
+	// topology diagnostics.
+	defects []Diag
 }
 
 // NewGraph creates an empty kernel graph with its own simulation system.
@@ -81,9 +88,19 @@ func (g *Graph) AttachHBM(h *dram.HBM) {
 	g.Sys.Add(g.hbmTicker)
 }
 
-// Run simulates until the graph drains and returns elapsed cycles.
+// Run verifies the graph topology, then simulates until the graph drains
+// and returns elapsed cycles. A malformed graph is rejected before the
+// first cycle with a *CheckError naming each structural bug.
 func (g *Graph) Run(maxCycles int64) (int64, error) {
+	if err := g.Check(); err != nil {
+		return 0, err
+	}
 	return g.Sys.Run(maxCycles)
+}
+
+// defectf records a construction-time wiring error for Check.
+func (g *Graph) defectf(code DiagCode, format string, args ...any) {
+	g.defects = append(g.defects, Diag{Code: code, Msg: fmt.Sprintf(format, args...)})
 }
 
 // hbmComponent adapts the HBM model to the component interface.

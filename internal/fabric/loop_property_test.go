@@ -64,8 +64,9 @@ func TestPropertyCountdownLoops(t *testing.T) {
 }
 
 // TestMiswiredLoopIsCaughtAsDeadlock: failure injection — a loop whose exit
-// filter forgets the LoopCtl never proves its drain, and the runner must
-// report a deadlock instead of hanging or silently completing.
+// filter forgets the LoopCtl is structurally sound (Check passes: the cycle
+// is wired and has its entry merge) but never proves its drain, and the
+// runner must report a deadlock instead of hanging or silently completing.
 func TestMiswiredLoopIsCaughtAsDeadlock(t *testing.T) {
 	g := NewGraph()
 	ext, body, exit, recirc := g.Link("ext"), g.Link("body"), g.Link("exit"), g.Link("recirc")
@@ -75,6 +76,7 @@ func TestMiswiredLoopIsCaughtAsDeadlock(t *testing.T) {
 	// BUG under test: ctl is nil here, so exits are never counted.
 	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
 		{Link: exit, Exit: true},
+		{Link: recirc, NoEOS: true},
 	}, nil))
 	snk := NewSink("snk", exit)
 	g.Add(snk)
@@ -82,6 +84,27 @@ func TestMiswiredLoopIsCaughtAsDeadlock(t *testing.T) {
 	var dl *sim.DeadlockError
 	if !errors.As(err, &dl) {
 		t.Fatalf("mis-wired loop should deadlock-detect, got %v", err)
+	}
+}
+
+// TestHalfWiredLoopIsCaughtStatically: the grosser form of the same mistake
+// — the recirculating link is never produced at all — must not survive to
+// simulation: Check rejects it before the first cycle.
+func TestHalfWiredLoopIsCaughtStatically(t *testing.T) {
+	g := NewGraph()
+	ext, body, exit, recirc := g.Link("ext"), g.Link("body"), g.Link("exit"), g.Link("recirc")
+	ctl := NewLoopCtl()
+	g.Add(NewSource("src", []record.Rec{record.Make(0, 0)}, ext))
+	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
+	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
+		{Link: exit, Exit: true},
+	}, nil))
+	snk := NewSink("snk", exit)
+	g.Add(snk)
+	_, err := g.Run(1_000_000)
+	var ce *CheckError
+	if !errors.As(err, &ce) || !ce.Has(DiagNoProducer) {
+		t.Fatalf("half-wired loop should fail Check with no-producer, got %v", err)
 	}
 }
 

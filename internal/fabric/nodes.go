@@ -23,6 +23,9 @@ func NewSource(name string, recs []record.Rec, out *sim.Link) *Source {
 // Name implements sim.Component.
 func (s *Source) Name() string { return s.name }
 
+// OutputLinks implements sim.OutputPorts.
+func (s *Source) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
+
 // Done implements sim.Component.
 func (s *Source) Done() bool { return s.eos }
 
@@ -55,6 +58,9 @@ func NewSink(name string, in *sim.Link) *Sink {
 
 // Name implements sim.Component.
 func (s *Sink) Name() string { return s.name }
+
+// InputLinks implements sim.InputPorts.
+func (s *Sink) InputLinks() []*sim.Link { return []*sim.Link{s.in} }
 
 // Done implements sim.Component.
 func (s *Sink) Done() bool { return s.eos }
@@ -115,6 +121,12 @@ func (m *Map) Cyclic() *Map {
 
 // Name implements sim.Component.
 func (m *Map) Name() string { return m.name }
+
+// InputLinks implements sim.InputPorts.
+func (m *Map) InputLinks() []*sim.Link { return []*sim.Link{m.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (m *Map) OutputLinks() []*sim.Link { return []*sim.Link{m.out} }
 
 // Done implements sim.Component.
 func (m *Map) Done() bool {

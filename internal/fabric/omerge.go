@@ -41,6 +41,12 @@ func NewOrderedMerge(name string, key KeyFn, ins []*sim.Link, out *sim.Link) *Or
 // Name implements sim.Component.
 func (m *OrderedMerge) Name() string { return m.name }
 
+// InputLinks implements sim.InputPorts.
+func (m *OrderedMerge) InputLinks() []*sim.Link { return m.ins }
+
+// OutputLinks implements sim.OutputPorts.
+func (m *OrderedMerge) OutputLinks() []*sim.Link { return []*sim.Link{m.out} }
+
 // Done implements sim.Component.
 func (m *OrderedMerge) Done() bool { return m.eos }
 
@@ -136,6 +142,12 @@ func NewMergeJoin(name string, keyA, keyB KeyFn, combine func(a, b record.Rec) r
 
 // Name implements sim.Component.
 func (j *MergeJoin) Name() string { return j.name }
+
+// InputLinks implements sim.InputPorts.
+func (j *MergeJoin) InputLinks() []*sim.Link { return []*sim.Link{j.a, j.b} }
+
+// OutputLinks implements sim.OutputPorts.
+func (j *MergeJoin) OutputLinks() []*sim.Link { return []*sim.Link{j.out} }
 
 // Done implements sim.Component.
 func (j *MergeJoin) Done() bool { return j.eos }

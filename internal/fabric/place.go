@@ -118,6 +118,41 @@ func Place(n Netlist, grid Coord) (*Placement, error) {
 	return p, nil
 }
 
+// Validate checks a placement against its netlist: every declared node is
+// placed (and nothing else), every coordinate is inside the grid, and no
+// two tiles share a coordinate. Hand-edited or merged placements go through
+// here before anyone trusts their Latency numbers.
+func (p *Placement) Validate(n Netlist) error {
+	declared := make(map[string]bool, len(n.Nodes))
+	for _, name := range n.Nodes {
+		declared[name] = true
+		if _, ok := p.Coord[name]; !ok {
+			return fmt.Errorf("fabric: node %q is declared but not placed", name)
+		}
+	}
+	placed := make([]string, 0, len(p.Coord))
+	for name := range p.Coord {
+		placed = append(placed, name)
+	}
+	sort.Strings(placed)
+	occupied := make(map[Coord]string, len(placed))
+	for _, name := range placed {
+		if !declared[name] {
+			return fmt.Errorf("fabric: placement includes undeclared node %q", name)
+		}
+		c := p.Coord[name]
+		if c.X < 0 || c.X >= p.Grid.X || c.Y < 0 || c.Y >= p.Grid.Y {
+			return fmt.Errorf("fabric: node %q placed at (%d,%d), outside the %dx%d grid",
+				name, c.X, c.Y, p.Grid.X, p.Grid.Y)
+		}
+		if prev, ok := occupied[c]; ok {
+			return fmt.Errorf("fabric: nodes %q and %q share tile (%d,%d)", prev, name, c.X, c.Y)
+		}
+		occupied[c] = name
+	}
+	return nil
+}
+
 // Latency returns the link latency between two placed tiles: one cycle of
 // registering plus the Manhattan hop count.
 func (p *Placement) Latency(a, b string) (int, error) {
@@ -162,8 +197,8 @@ func (p *Placement) Render() string {
 	}
 	out := ""
 	maxY := 0
-	for _, c := range p.Coord {
-		if c.Y > maxY {
+	for _, name := range names {
+		if c := p.Coord[name]; c.Y > maxY {
 			maxY = c.Y
 		}
 	}

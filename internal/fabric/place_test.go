@@ -46,6 +46,81 @@ func TestPlaceRejectsOverflowAndBadEdges(t *testing.T) {
 	if _, err := Place(Netlist{Nodes: []string{"a", "a"}}, GorgonGrid); err == nil {
 		t.Error("duplicate node accepted")
 	}
+	if _, err := Place(Netlist{Nodes: []string{""}}, GorgonGrid); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := Place(Netlist{Nodes: []string{"a", "b"}, Edges: [][2]string{{"c", "b"}}}, GorgonGrid); err == nil {
+		t.Error("undeclared edge source accepted")
+	}
+}
+
+// TestPlaceMixedCycleAndDAG: a netlist whose cycle hangs off a DAG prefix —
+// the shape of every looped kernel — places all nodes exactly once.
+func TestPlaceMixedCycleAndDAG(t *testing.T) {
+	nl := Netlist{
+		Nodes: []string{"src", "entry", "body", "exit"},
+		Edges: [][2]string{
+			{"src", "entry"}, {"entry", "body"},
+			{"body", "entry"}, // recirculation
+			{"body", "exit"},
+		},
+	}
+	p, err := Place(nl, GorgonGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Coord) != len(nl.Nodes) {
+		t.Fatalf("placed %d of %d", len(p.Coord), len(nl.Nodes))
+	}
+	if err := p.Validate(nl); err != nil {
+		t.Fatalf("computed placement fails its own validation: %v", err)
+	}
+}
+
+// TestValidateRejectsCorruptPlacements: each way a hand-edited placement can
+// go wrong is a distinct error.
+func TestValidateRejectsCorruptPlacements(t *testing.T) {
+	nl := Netlist{Nodes: []string{"a", "b"}, Edges: [][2]string{{"a", "b"}}}
+	fresh := func() *Placement {
+		p, err := Place(nl, Coord{X: 4, Y: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if err := fresh().Validate(nl); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+
+	p := fresh()
+	delete(p.Coord, "b")
+	if err := p.Validate(nl); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Errorf("missing node: got %v", err)
+	}
+
+	p = fresh()
+	p.Coord["ghost"] = Coord{X: 3, Y: 3}
+	if err := p.Validate(nl); err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("undeclared node: got %v", err)
+	}
+
+	p = fresh()
+	p.Coord["b"] = p.Coord["a"]
+	if err := p.Validate(nl); err == nil || !strings.Contains(err.Error(), "share tile") {
+		t.Errorf("duplicate coordinate: got %v", err)
+	}
+
+	p = fresh()
+	p.Coord["b"] = Coord{X: 4, Y: 0}
+	if err := p.Validate(nl); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-grid: got %v", err)
+	}
+	p = fresh()
+	p.Coord["b"] = Coord{X: 0, Y: -1}
+	if err := p.Validate(nl); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("negative coordinate: got %v", err)
+	}
 }
 
 // TestProbeKernelPlacementMatchesDefault: the default LinkLatency used by

@@ -42,7 +42,7 @@ type SpillQueue struct {
 // spill ring; onChipRecs the scratchpad-backed capacity.
 func NewSpillQueue(g *Graph, name string, base uint32, recWords, onChipRecs int, in, out *sim.Link) *SpillQueue {
 	if g.HBM == nil {
-		panic("fabric: graph has no HBM attached")
+		g.defectf(DiagNoHBM, "node %q accesses DRAM but the graph has no HBM attached (call AttachHBM first)", name)
 	}
 	s := &SpillQueue{
 		name: name, h: g.HBM, base: base, recWords: recWords,
@@ -54,6 +54,12 @@ func NewSpillQueue(g *Graph, name string, base uint32, recWords, onChipRecs int,
 
 // Name implements sim.Component.
 func (s *SpillQueue) Name() string { return s.name }
+
+// InputLinks implements sim.InputPorts.
+func (s *SpillQueue) InputLinks() []*sim.Link { return []*sim.Link{s.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (s *SpillQueue) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
 
 // Done implements sim.Component: a spill queue sits on cyclic paths and
 // never sees EOS; it is done when empty.

@@ -40,7 +40,7 @@ const scanChunkWords = 512
 // NewDRAMScan builds a scan over extents, emitting recWords-word records.
 func NewDRAMScan(g *Graph, name string, extents []Extent, recWords int, out *sim.Link) *DRAMScan {
 	if g.HBM == nil {
-		panic("fabric: graph has no HBM attached")
+		g.defectf(DiagNoHBM, "node %q accesses DRAM but the graph has no HBM attached (call AttachHBM first)", name)
 	}
 	if recWords <= 0 || recWords > record.MaxFields {
 		panic("fabric: scan recWords out of range")
@@ -62,6 +62,9 @@ func NewDRAMScan(g *Graph, name string, extents []Extent, recWords int, out *sim
 
 // Name implements sim.Component.
 func (s *DRAMScan) Name() string { return s.name }
+
+// OutputLinks implements sim.OutputPorts.
+func (s *DRAMScan) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
 
 // Done implements sim.Component.
 func (s *DRAMScan) Done() bool { return s.eos }
@@ -131,7 +134,7 @@ type DRAMAppend struct {
 // NewDRAMAppend builds an appending writer at base.
 func NewDRAMAppend(g *Graph, name string, base uint32, recWords int, in *sim.Link) *DRAMAppend {
 	if g.HBM == nil {
-		panic("fabric: graph has no HBM attached")
+		g.defectf(DiagNoHBM, "node %q accesses DRAM but the graph has no HBM attached (call AttachHBM first)", name)
 	}
 	a := &DRAMAppend{name: name, h: g.HBM, base: base, recWords: recWords, in: in}
 	g.Add(a)
@@ -140,6 +143,9 @@ func NewDRAMAppend(g *Graph, name string, base uint32, recWords int, in *sim.Lin
 
 // Name implements sim.Component.
 func (a *DRAMAppend) Name() string { return a.name }
+
+// InputLinks implements sim.InputPorts.
+func (a *DRAMAppend) InputLinks() []*sim.Link { return []*sim.Link{a.in} }
 
 // Done implements sim.Component.
 func (a *DRAMAppend) Done() bool { return a.eos }

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -101,9 +102,9 @@ func TestOrderedMergeProducesSortedStream(t *testing.T) {
 	var ins []*sim.Link
 	total := 0
 	for i := 0; i < 5; i++ {
-		l := g.Link("in")
+		l := g.Link(fmt.Sprintf("in%d", i))
 		n := 100 + i*57
-		g.Add(NewSource("src", mkSorted(n), l))
+		g.Add(NewSource(fmt.Sprintf("src%d", i), mkSorted(n), l))
 		ins = append(ins, l)
 		total += n
 	}
@@ -180,6 +181,8 @@ type slowSink struct {
 
 func (s *slowSink) Name() string { return "slow" }
 func (s *slowSink) Done() bool   { return len(s.recs) >= s.want }
+
+func (s *slowSink) InputLinks() []*sim.Link { return []*sim.Link{s.in} }
 func (s *slowSink) Tick(c int64) {
 	if c%4 != 0 || s.in.Empty() {
 		return

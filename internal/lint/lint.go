@@ -1,0 +1,355 @@
+// Package lint is the determinism linter behind cmd/aurochs-vet. The
+// simulator's correctness argument rests on runs being bit-reproducible —
+// registered links make tick order unobservable, so the only ways
+// nondeterminism can creep in are the ones Go hands out for free: wall-clock
+// reads, the globally seeded math/rand, and map iteration order. This
+// package finds those by walking source ASTs; no build, no type checker,
+// stdlib only.
+//
+// Rules:
+//
+//   - wallclock: time.Now / time.Since / friends in cycle-level code. Time
+//     inside the simulation is the cycle counter; the host clock must never
+//     leak into results.
+//   - globalrand: package-level math/rand calls (rand.Intn, rand.Shuffle,
+//     ...). Seeded generators via rand.New(rand.NewSource(seed)) are fine.
+//   - maprange: a for-range over a map whose iteration order can reach
+//     simulation state. Sanctioned when the enclosing function sorts after
+//     the loop (collect-then-sort, the sim.Stats.Names idiom) or when the
+//     loop carries a "lint:maprange-ok" comment asserting the reduction is
+//     order-independent.
+//   - print: fmt.Print / Println / Printf in library packages — reporting
+//     belongs to the callers (cmd/, internal/bench), not the model.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation, JSON-ready for -json output.
+type Finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Rules selects which checks run; the caller classifies packages (cycle-level
+// code gets everything, other library code just print hygiene).
+type Rules struct {
+	WallClock  bool
+	GlobalRand bool
+	MapRange   bool
+	Print      bool
+}
+
+// AllRules enables every check — for the cycle-level packages.
+func AllRules() Rules {
+	return Rules{WallClock: true, GlobalRand: true, MapRange: true, Print: true}
+}
+
+// None reports whether no rule is enabled.
+func (r Rules) None() bool {
+	return !r.WallClock && !r.GlobalRand && !r.MapRange && !r.Print
+}
+
+// MaprangeWaiver is the comment marker that suppresses the maprange rule on
+// the loop it annotates.
+const MaprangeWaiver = "lint:maprange-ok"
+
+// wallClockFuncs are the time package entry points that read the host clock
+// (or schedule against it).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// randAllowed are the math/rand package functions that construct seeded
+// generators rather than consuming the global one.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// printFuncs are the fmt entry points that write to stdout.
+var printFuncs = map[string]bool{"Print": true, "Println": true, "Printf": true}
+
+// AnalyzeDir lints every non-test .go file directly in dir (testdata and
+// subdirectories are the caller's concern). Findings come back sorted by
+// (file, line, rule).
+func AnalyzeDir(dir string, rules Rules) ([]Finding, error) {
+	if rules.None() {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fs, err := AnalyzeFile(filepath.Join(dir, name), rules)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// AnalyzeFile lints one source file.
+func AnalyzeFile(path string, rules Rules) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	a := &analysis{fset: fset, file: f, rules: rules, path: path}
+	out := a.run()
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].Rule < fs[j].Rule
+	})
+}
+
+type analysis struct {
+	fset  *token.FileSet
+	file  *ast.File
+	rules Rules
+	path  string
+
+	imports  map[string]string // local name -> import path
+	mapNames map[string]bool   // identifiers declared with a map type
+	waived   map[int]bool      // lines covered by a maprange waiver
+	findings []Finding
+}
+
+func (a *analysis) run() []Finding {
+	a.imports = importTable(a.file)
+	a.mapNames = mapTypedNames(a.file)
+	a.waived = waivedLines(a.fset, a.file)
+
+	ast.Inspect(a.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn := sel.Sel.Name
+		switch a.imports[pkg.Name] {
+		case "time":
+			if a.rules.WallClock && wallClockFuncs[fn] {
+				a.report(call.Pos(), "wallclock",
+					fmt.Sprintf("time.%s reads the host clock; cycle-level code must derive time from the cycle counter", fn))
+			}
+		case "math/rand", "math/rand/v2":
+			if a.rules.GlobalRand && !randAllowed[fn] {
+				a.report(call.Pos(), "globalrand",
+					fmt.Sprintf("global rand.%s is seeded per-process; use rand.New(rand.NewSource(seed)) for reproducible runs", fn))
+			}
+		case "fmt":
+			if a.rules.Print && printFuncs[fn] {
+				a.report(call.Pos(), "print",
+					fmt.Sprintf("fmt.%s in a library package; reporting belongs to cmd/ or internal/bench", fn))
+			}
+		}
+		return true
+	})
+
+	if a.rules.MapRange {
+		for _, decl := range a.file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkMapRanges(fd)
+		}
+	}
+	return a.findings
+}
+
+// checkMapRanges flags map iterations in fd unless sanctioned by a
+// following sort call or an explicit waiver comment.
+func (a *analysis) checkMapRanges(fd *ast.FuncDecl) {
+	// Positions of sort.* calls in this function: a range loop that
+	// collects keys and sorts them afterwards is the sanctioned idiom.
+	var sortCalls []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && a.imports[pkg.Name] == "sort" {
+					sortCalls = append(sortCalls, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !a.rangesOverMap(rs.X) {
+			return true
+		}
+		line := a.fset.Position(rs.Pos()).Line
+		if a.waived[line] {
+			return true
+		}
+		for _, p := range sortCalls {
+			if p >= rs.Pos() {
+				return true // collect-then-sort: order cannot escape
+			}
+		}
+		a.report(rs.Pos(), "maprange",
+			"map iteration order is randomized; sort the keys first, or mark an order-independent reduction with a lint:maprange-ok comment")
+		return true
+	})
+}
+
+// rangesOverMap reports whether expr names something this file declares
+// with a map type. Heuristic (no type checker): tracks declared fields,
+// variables, parameters, make(map...) and map-literal assignments, matching
+// range expressions by their final identifier.
+func (a *analysis) rangesOverMap(expr ast.Expr) bool {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		return a.mapNames[x.Name]
+	case *ast.SelectorExpr:
+		return a.mapNames[x.Sel.Name]
+	}
+	return false
+}
+
+func (a *analysis) report(pos token.Pos, rule, msg string) {
+	p := a.fset.Position(pos)
+	a.findings = append(a.findings, Finding{File: a.path, Line: p.Line, Rule: rule, Msg: msg})
+}
+
+// importTable maps local package names to import paths, honouring aliases.
+func importTable(f *ast.File) map[string]string {
+	out := make(map[string]string)
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// mapTypedNames collects every identifier the file declares with a map type:
+// struct fields, variables, parameters, and assignments from make(map...)
+// or map literals.
+func mapTypedNames(f *ast.File) map[string]bool {
+	names := make(map[string]bool)
+	add := func(idents []*ast.Ident) {
+		for _, id := range idents {
+			if id.Name != "_" {
+				names[id.Name] = true
+			}
+		}
+	}
+	isMapExpr := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.MapType:
+			return true
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+				_, isMap := x.Args[0].(*ast.MapType)
+				return isMap
+			}
+		case *ast.CompositeLit:
+			_, isMap := x.Type.(*ast.MapType)
+			return isMap
+		}
+		return false
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Field:
+			if _, ok := x.Type.(*ast.MapType); ok {
+				add(x.Names)
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				if _, ok := x.Type.(*ast.MapType); ok {
+					add(x.Names)
+				}
+			}
+			for i, v := range x.Values {
+				if isMapExpr(v) && i < len(x.Names) {
+					add(x.Names[i : i+1])
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if !isMapExpr(rhs) || i >= len(x.Lhs) {
+					continue
+				}
+				switch lhs := x.Lhs[i].(type) {
+				case *ast.Ident:
+					add([]*ast.Ident{lhs})
+				case *ast.SelectorExpr:
+					add([]*ast.Ident{lhs.Sel})
+				}
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// waivedLines marks the source lines a lint:maprange-ok comment covers: the
+// lines of the comment itself and the line immediately after it, so both
+// inline and preceding-comment placements work.
+func waivedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range f.Comments {
+		if !strings.Contains(cg.Text(), MaprangeWaiver) && !strings.Contains(cg.List[0].Text, MaprangeWaiver) {
+			continue
+		}
+		start := fset.Position(cg.Pos()).Line
+		end := fset.Position(cg.End()).Line
+		for l := start; l <= end+1; l++ {
+			out[l] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+func analyze(t *testing.T, dir string, rules Rules) []Finding {
+	t.Helper()
+	fs, err := AnalyzeDir(filepath.Join("testdata", "src", dir), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func countRule(fs []Finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBadFixtureTripsEveryRule: the bad fixture violates each rule a known
+// number of times.
+func TestBadFixtureTripsEveryRule(t *testing.T) {
+	fs := analyze(t, "bad", AllRules())
+	want := map[string]int{
+		"wallclock":  2, // time.Now, time.Since
+		"globalrand": 3, // rand.Shuffle, rand.Intn, mrand.Int (aliased)
+		"maprange":   2, // direct range, selector range
+		"print":      2, // Println, Printf
+	}
+	for _, rule := range []string{"wallclock", "globalrand", "maprange", "print"} {
+		if got := countRule(fs, rule); got != want[rule] {
+			t.Errorf("%s: got %d findings, want %d\nall: %v", rule, got, want[rule], fs)
+		}
+	}
+}
+
+// TestCleanFixtureIsQuiet: sanctioned idioms — collect-then-sort, the
+// maprange waiver, seeded rand, fmt.Sprintf/Errorf, slice and array ranges —
+// produce no findings.
+func TestCleanFixtureIsQuiet(t *testing.T) {
+	if fs := analyze(t, "clean", AllRules()); len(fs) != 0 {
+		t.Errorf("clean fixture flagged:\n%v", fs)
+	}
+}
+
+// TestRuleSelection: disabled rules stay silent.
+func TestRuleSelection(t *testing.T) {
+	fs := analyze(t, "bad", Rules{Print: true})
+	if got := countRule(fs, "print"); got != 2 {
+		t.Errorf("print findings: got %d, want 2", got)
+	}
+	if len(fs) != 2 {
+		t.Errorf("print-only run reported other rules: %v", fs)
+	}
+	if fs2 := analyze(t, "bad", Rules{}); fs2 != nil {
+		t.Errorf("no-rules run reported findings: %v", fs2)
+	}
+}
+
+// TestFindingsAreOrderedAndSerializable: output is sorted by (file, line,
+// rule) and round-trips through JSON with stable field names.
+func TestFindingsAreOrderedAndSerializable(t *testing.T) {
+	fs := analyze(t, "bad", AllRules())
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	for i := 1; i < len(fs); i++ {
+		a, b := fs[i-1], fs[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings out of order at %d: %v then %v", i, a, b)
+		}
+	}
+	blob, err := json.Marshal(fs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"file", "line", "rule", "msg"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON output missing %q: %s", key, blob)
+		}
+	}
+}
+
+// TestAnalyzeFileBadSource: unparseable input is an error, not a pass.
+func TestAnalyzeFileBadSource(t *testing.T) {
+	if _, err := AnalyzeFile(filepath.Join("testdata", "src", "broken", "broken.go.txt"), AllRules()); err == nil {
+		t.Error("want parse error for missing file")
+	}
+}

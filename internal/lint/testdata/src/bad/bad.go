@@ -1,0 +1,50 @@
+// Package bad is a lint fixture: every function violates one rule.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	mrand "math/rand"
+	"time"
+)
+
+var counters = map[string]int64{}
+
+// wallClock violates the wallclock rule twice.
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// globalRand violates the globalrand rule, including through an alias.
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {})
+	return rand.Intn(10) + mrand.Int()
+}
+
+// mapOrder violates the maprange rule: no sort, no waiver.
+func mapOrder() int64 {
+	var total int64
+	for _, v := range counters {
+		total += v
+	}
+	return total
+}
+
+// mapOrderField ranges over a map reached through a selector.
+type holder struct {
+	seen map[uint32]bool
+}
+
+func (h *holder) first() uint32 {
+	for k := range h.seen {
+		return k
+	}
+	return 0
+}
+
+// printy violates the print rule.
+func printy() {
+	fmt.Println("cycle done")
+	fmt.Printf("%d\n", 1)
+}

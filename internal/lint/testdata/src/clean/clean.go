@@ -1,0 +1,58 @@
+// Package clean is a lint fixture: every function uses the sanctioned form
+// of a pattern the linter would otherwise flag.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+var counters = map[string]int64{}
+
+// sortedKeys is the collect-then-sort idiom (sim.Stats.Names): iteration
+// order never escapes because the keys are sorted before use.
+func sortedKeys() []string {
+	out := make([]string, 0, len(counters))
+	for name := range counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// waived carries the explicit order-independence waiver.
+func waived() int64 {
+	var total int64
+	// lint:maprange-ok — addition is commutative; order cannot matter.
+	for _, v := range counters {
+		total += v
+	}
+	return total
+}
+
+// seeded uses a locally seeded generator, not the global one.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// formats uses fmt for strings and errors, never stdout.
+func formats(n int) (string, error) {
+	if n < 0 {
+		return "", fmt.Errorf("negative: %d", n)
+	}
+	return fmt.Sprintf("%d", n), nil
+}
+
+// slices ranges over non-maps; the maprange heuristic must stay quiet.
+func slices(rows []int, open [4]bool) int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	for b := range open {
+		_ = b
+	}
+	return total
+}

@@ -37,17 +37,21 @@ type timedF struct {
 }
 
 func newLink(name string, capacity, latency int) *Link {
-	if capacity < 1 {
-		panic("sim: link capacity must be >= 1")
-	}
-	if latency < 1 {
-		panic("sim: link latency must be >= 1 (links are registered)")
-	}
+	// Invalid capacities/latencies are not rejected here: the fabric's
+	// static verifier (fabric.Graph.Check) reports them with a diagnostic
+	// before any simulation runs, which beats a construction-time panic
+	// when a whole graph is being assembled.
 	return &Link{name: name, cap: capacity, latency: latency}
 }
 
 // Name returns the link's identifier.
 func (l *Link) Name() string { return l.name }
+
+// Capacity returns the skid-buffer depth.
+func (l *Link) Capacity() int { return l.cap }
+
+// Latency returns the link latency in cycles.
+func (l *Link) Latency() int { return l.latency }
 
 // CanPush reports whether the producer may push this cycle.
 func (l *Link) CanPush() bool {

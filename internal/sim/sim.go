@@ -31,6 +31,25 @@ type Component interface {
 	Done() bool
 }
 
+// InputPorts is implemented by components that can report the links they
+// pop from. Together with OutputPorts it lets the fabric's static verifier
+// (fabric.Graph.Check) reconstruct the graph topology without instrumenting
+// the simulation path. Every component shipped in this repository
+// implements the interfaces; custom components wired into a fabric.Graph
+// must too, or Check will report their links as unclaimed.
+type InputPorts interface {
+	// InputLinks returns the links the component consumes. Nil entries
+	// are reported as wiring bugs.
+	InputLinks() []*Link
+}
+
+// OutputPorts is the producer-side counterpart of InputPorts.
+type OutputPorts interface {
+	// OutputLinks returns the links the component pushes to. Nil entries
+	// are reported as wiring bugs.
+	OutputLinks() []*Link
+}
+
 // System owns the clock, components, and links of one simulation.
 type System struct {
 	comps []Component
@@ -55,6 +74,12 @@ func (s *System) Cycle() int64 { return s.cycle }
 func (s *System) Add(c Component) {
 	s.comps = append(s.comps, c)
 }
+
+// Components returns the registered components in registration order.
+func (s *System) Components() []Component { return s.comps }
+
+// Links returns the registered links in creation order.
+func (s *System) Links() []*Link { return s.links }
 
 // NewLink creates and registers a link with the given capacity and latency.
 // Capacity is the skid-buffer depth (entries buffered at the consumer);

@@ -4,13 +4,19 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Stats is a named-counter set shared across a simulation. Components
 // record microarchitectural events (bank conflicts, grants, stalls,
 // compactions, DRAM row hits/misses) that the benchmark harness and tests
 // read back to explain throughput numbers.
+//
+// The counter map is mutex-guarded: a single simulation is synchronous,
+// but harnesses run several simulations (and the parallel CPU baselines)
+// from concurrent goroutines, and a Stats handle outlives its run.
 type Stats struct {
+	mu       sync.Mutex
 	counters map[string]int64
 }
 
@@ -21,16 +27,22 @@ func NewStats() *Stats {
 
 // Add increments counter name by delta.
 func (s *Stats) Add(name string, delta int64) {
+	s.mu.Lock()
 	s.counters[name] += delta
+	s.mu.Unlock()
 }
 
 // Get returns counter name (zero if never written).
 func (s *Stats) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.counters[name]
 }
 
 // Ratio returns num/den as a float, or 0 when den is zero.
 func (s *Stats) Ratio(num, den string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	d := s.counters[den]
 	if d == 0 {
 		return 0
@@ -40,6 +52,8 @@ func (s *Stats) Ratio(num, den string) float64 {
 
 // Names returns all counter names, sorted.
 func (s *Stats) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.counters))
 	for k := range s.counters {
 		out = append(out, k)
@@ -52,7 +66,7 @@ func (s *Stats) Names() []string {
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, k := range s.Names() {
-		fmt.Fprintf(&b, "%-40s %12d\n", k, s.counters[k])
+		fmt.Fprintf(&b, "%-40s %12d\n", k, s.Get(k))
 	}
 	return b.String()
 }

@@ -137,6 +137,12 @@ func NewTile(cfg Config, mem *Mem, spec Spec, in, out *sim.Link, stats *sim.Stat
 // Name implements sim.Component.
 func (t *Tile) Name() string { return t.cfg.Name }
 
+// InputLinks implements sim.InputPorts.
+func (t *Tile) InputLinks() []*sim.Link { return []*sim.Link{t.in} }
+
+// OutputLinks implements sim.OutputPorts.
+func (t *Tile) OutputLinks() []*sim.Link { return []*sim.Link{t.out} }
+
 // Done implements sim.Component.
 func (t *Tile) Done() bool { return t.eosSent }
 
