@@ -10,6 +10,7 @@
 //	aurochs-bench                  # everything
 //	aurochs-bench -fig 11a         # one experiment
 //	aurochs-bench -fig 14 -scale bench
+//	aurochs-bench -json BENCH_2.json -quick   # serial-vs-parallel kernel perf
 package main
 
 import (
@@ -26,7 +27,17 @@ func main() {
 	fig := flag.String("fig", "all", "experiment: 10, 11a, 11b, 12, 14, warp, ablation, table2, all")
 	scale := flag.String("scale", "small", "dataset scale for -fig 14: small | bench")
 	pipelines := flag.Int("p", 4, "Aurochs pipelines for query execution")
+	jsonOut := flag.String("json", "", "run the serial-vs-parallel kernel benchmark and write the report to this path")
+	quick := flag.Bool("quick", false, "shrink -json benchmark datasets (CI-sized)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the -json benchmark's parallel runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := bench.Perf(*jsonOut, *quick, *parallel); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	runs := map[string]func() error{
 		"10":       bench.Fig10,

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aurochs/internal/core"
+	"aurochs/internal/record"
+)
+
+// PerfRun is one timed kernel execution in one kernel configuration.
+type PerfRun struct {
+	Workers      int     `json:"workers"`
+	Cycles       int64   `json:"cycles"`
+	DRAMBytes    int64   `json:"dram_bytes"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// PerfExperiment compares the serial and parallel simulator kernels on one
+// workload. Identical is the bit-identity check: same cycle count, same
+// DRAM traffic, same output records.
+type PerfExperiment struct {
+	Name      string  `json:"name"`
+	Rows      int     `json:"rows"`
+	Serial    PerfRun `json:"serial"`
+	Parallel  PerfRun `json:"parallel"`
+	Identical bool    `json:"identical"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// PerfReport is the top-level BENCH_2.json document.
+type PerfReport struct {
+	Benchmark   string           `json:"benchmark"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Quick       bool             `json:"quick"`
+	Experiments []PerfExperiment `json:"experiments"`
+}
+
+// timedKernel runs fn once and reports wall clock plus simulated
+// throughput. fn returns (cycles, dramBytes, output fingerprint).
+func timedKernel(workers int, fn func(workers int) (int64, int64, []record.Rec, error)) (PerfRun, []record.Rec, error) {
+	start := time.Now()
+	cycles, bytes, out, err := fn(workers)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return PerfRun{}, nil, err
+	}
+	r := PerfRun{Workers: workers, Cycles: cycles, DRAMBytes: bytes, WallSeconds: wall}
+	if wall > 0 {
+		r.CyclesPerSec = float64(cycles) / wall
+	}
+	return r, out, nil
+}
+
+func sameOutput(a, b []record.Rec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// perfExperiment runs fn serially and with `workers` goroutines and packages
+// the comparison. The serial run is the correctness reference; the parallel
+// run must reproduce it bit-for-bit.
+func perfExperiment(name string, rows, workers int, fn func(workers int) (int64, int64, []record.Rec, error)) (PerfExperiment, error) {
+	serial, sOut, err := timedKernel(0, fn)
+	if err != nil {
+		return PerfExperiment{}, fmt.Errorf("%s serial: %w", name, err)
+	}
+	par, pOut, err := timedKernel(workers, fn)
+	if err != nil {
+		return PerfExperiment{}, fmt.Errorf("%s parallel: %w", name, err)
+	}
+	e := PerfExperiment{
+		Name:      name,
+		Rows:      rows,
+		Serial:    serial,
+		Parallel:  par,
+		Identical: serial.Cycles == par.Cycles && serial.DRAMBytes == par.DRAMBytes && sameOutput(sOut, pOut),
+	}
+	if serial.WallSeconds > 0 && par.WallSeconds > 0 {
+		e.Speedup = serial.WallSeconds / par.WallSeconds
+	}
+	return e, nil
+}
+
+// Perf runs the serial-vs-parallel kernel benchmark and writes the report to
+// jsonPath (and a human summary to stdout). quick shrinks the datasets for
+// CI; workers <= 0 means GOMAXPROCS.
+func Perf(jsonPath string, quick bool, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Always exercise the parallel kernel: with one worker RunWith falls back
+	// to the serial path and the comparison would measure nothing.
+	if workers < 2 {
+		workers = 2
+	}
+	rep := PerfReport{
+		Benchmark:  "aurochs-sim serial vs parallel kernel",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	joinN := 1 << 15
+	aggN := 1 << 16
+	partN := 1 << 16
+	if quick {
+		joinN = 1 << 13
+		aggN = 1 << 14
+		partN = 1 << 14
+	}
+
+	// Fig. 11a join shape at the paper's "when parallelized" pipeline count:
+	// this is the experiment the acceptance speedup is measured on.
+	join, err := perfExperiment("fig11a-hashjoin-p16", joinN, workers, func(w int) (int64, int64, []record.Rec, error) {
+		matches, res, err := core.HashJoin(nil, mkKV(joinN, 1), mkKV(joinN, 2), core.HashJoinOptions{
+			Pipelines: 16,
+			Tuning:    core.Tuning{Parallelism: w},
+		})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return res.Cycles, res.DRAMBytes, matches, nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.Experiments = append(rep.Experiments, join)
+
+	agg, err := perfExperiment("hash-aggregate", aggN, workers, func(w int) (int64, int64, []record.Rec, error) {
+		keys := make([]uint32, aggN)
+		for i := range keys {
+			keys[i] = uint32(i % 997)
+		}
+		p := core.DefaultHashTableParams(1024)
+		p.Tuning = core.Tuning{Parallelism: w}
+		res, rres, err := core.HashAggregate(p, keys, nil)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		// Fingerprint the group counts deterministically.
+		groups := res.Groups()
+		out := make([]record.Rec, 0, len(groups))
+		for k := uint32(0); k < 997; k++ {
+			if c, ok := groups[k]; ok {
+				out = append(out, record.Make(k, uint32(c)))
+			}
+		}
+		return rres.Cycles, rres.DRAMBytes, out, nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.Experiments = append(rep.Experiments, agg)
+
+	part, err := perfExperiment("partition-8way", partN, workers, func(w int) (int64, int64, []record.Rec, error) {
+		p := core.DefaultPartitionParams(partN, 8, 2)
+		p.Tuning = core.Tuning{Parallelism: w}
+		ps, res, err := core.Partition(p, mkKV(partN, 9), nil)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		var out []record.Rec
+		for pt := uint32(0); pt < 8; pt++ {
+			out = append(out, ps.ReadPartition(pt)...)
+		}
+		return res.Cycles, res.DRAMBytes, out, nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.Experiments = append(rep.Experiments, part)
+
+	fmt.Printf("== serial vs parallel kernel (workers=%d, GOMAXPROCS=%d) ==\n", workers, rep.GOMAXPROCS)
+	for _, e := range rep.Experiments {
+		status := "IDENTICAL"
+		if !e.Identical {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-22s rows=%-7d serial %.2fs (%.0f cyc/s)  parallel %.2fs (%.0f cyc/s)  speedup %.2fx  %s\n",
+			e.Name, e.Rows, e.Serial.WallSeconds, e.Serial.CyclesPerSec,
+			e.Parallel.WallSeconds, e.Parallel.CyclesPerSec, e.Speedup, status)
+		if !e.Identical {
+			return fmt.Errorf("%s: parallel kernel diverged from serial (cycles %d vs %d, bytes %d vs %d)",
+				e.Name, e.Parallel.Cycles, e.Serial.Cycles, e.Parallel.DRAMBytes, e.Serial.DRAMBytes)
+		}
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

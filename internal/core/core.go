@@ -77,6 +77,10 @@ type Tuning struct {
 	InOrderSpad bool
 	// NoForwarding disables the RMW write→read forwarding path.
 	NoForwarding bool
+	// Parallelism is the number of simulator worker goroutines per kernel
+	// graph (0 or 1 = serial). Purely a host-side speed knob: the parallel
+	// kernel is cycle-for-cycle identical to the serial one.
+	Parallelism int
 }
 
 // spadConfig builds a scratchpad config honoring the tuning knobs.

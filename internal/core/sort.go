@@ -61,6 +61,24 @@ func (t *tileSorter) OutputLinks() []*sim.Link { return []*sim.Link{t.out} }
 
 func (t *tileSorter) Done() bool { return t.eos }
 
+// Idle implements sim.Idler: nothing draining, nothing fillable, no swap
+// due, and no EOS pending.
+func (t *tileSorter) Idle(int64) bool {
+	if len(t.drain) > 0 {
+		return false
+	}
+	if !t.eosIn && !t.in.Empty() && len(t.fill) < t.tile {
+		return false
+	}
+	if len(t.fill) >= t.tile || (t.eosIn && len(t.fill) > 0) {
+		return false
+	}
+	if t.eosIn && !t.eos {
+		return false
+	}
+	return true
+}
+
 func (t *tileSorter) Tick(cycle int64) {
 	// Drain one vector.
 	if len(t.drain) > 0 && t.out.CanPush() {

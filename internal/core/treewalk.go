@@ -46,6 +46,7 @@ func BTreeSearchP(t *btree.Tree, queries []RangeQuery, tun Tuning, p int) ([]rec
 	}
 	g := fabric.NewGraph()
 	g.AttachHBM(t.HBM)
+	g.Workers = tun.Parallelism
 
 	sinks := make([]*fabric.Sink, p)
 	for k := 0; k < p; k++ {
@@ -185,6 +186,7 @@ func RTreeWindowP(t *rtree.Tree, queries []WindowQuery, tun Tuning, p int) ([]re
 	}
 	g := fabric.NewGraph()
 	g.AttachHBM(t.HBM)
+	g.Workers = tun.Parallelism
 
 	sinks := make([]*fabric.Sink, p)
 	for k := 0; k < p; k++ {

@@ -414,6 +414,39 @@ func (h *HBM) ResetClock() {
 	h.now = 0
 }
 
+// WorstCaseInternalLatency bounds how many cycles the HBM can hold work
+// without any fabric-visible completion: a full channel queue draining at
+// one burst per BurstCycles, the slowest single access (row miss), a full
+// write buffer's evictions, and the write-buffer age-out horizon. The sim
+// runner sums this into its deadlock grace window — the reason a deep
+// queue with a large RowMissPenalty can no longer be misreported as
+// deadlock by a hard-coded constant.
+func (h *HBM) WorstCaseInternalLatency() int64 {
+	perBurst := int64(h.cfg.RowHitLatency + h.cfg.RowMissPenalty + h.cfg.BurstCycles)
+	queueDrain := int64(h.cfg.QueueDepth+wbCap) * int64(h.cfg.BurstCycles)
+	return queueDrain + perBurst + wbFlushAge
+}
+
+// Idle reports whether a Tick would be a no-op: no queued bursts, nothing
+// in flight, and no posted writes whose age-out flush a tick would advance.
+func (h *HBM) Idle() bool {
+	if len(h.inflight.items) > 0 {
+		return false
+	}
+	for _, ch := range h.chans {
+		if len(ch.queue) > 0 || len(ch.writeBuf) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetNow advances the model's notion of the current cycle without doing
+// channel work. The ticking component calls this when it skips an idle
+// Tick, so a write posted later in the same cycle is timestamped with the
+// real cycle rather than the cycle of the last non-idle tick.
+func (h *HBM) SetNow(cycle int64) { h.now = cycle }
+
 // BytesMoved returns total bytes transferred so far.
 func (h *HBM) BytesMoved() int64 {
 	return (h.ReadBursts + h.WriteBursts) * int64(h.cfg.BurstWords) * 4

@@ -147,6 +147,44 @@ func (f *Filter) Done() bool {
 	return true
 }
 
+// Idle implements sim.Idler: the filter can act only when a matured vector
+// waits in the pipe, an accumulator holds records, input is available, or
+// an EOS still needs forwarding.
+func (f *Filter) Idle(cycle int64) bool {
+	if len(f.pipe) > 0 && f.pipe[0].ready <= cycle {
+		return false
+	}
+	for _, a := range f.acc {
+		if len(a) > 0 {
+			return false
+		}
+	}
+	if !f.eosIn && !f.in.Empty() {
+		return false
+	}
+	if f.eosIn && len(f.pipe) == 0 {
+		for i, o := range f.outs {
+			if o.Link != nil && !o.NoEOS && !f.eos[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: filters inside a loop mutate the
+// loop's in-flight count.
+func (f *Filter) SharedState() []any {
+	if f.ctl == nil {
+		return nil
+	}
+	return []any{f.ctl}
+}
+
+// WorstCaseInternalLatency implements sim.LatencyBound: records can wait
+// out the pipeline plus the compaction-buffer flush timeout.
+func (f *Filter) WorstCaseInternalLatency() int64 { return PipelineDepth + flushAge }
+
 // Tick implements sim.Component.
 func (f *Filter) Tick(cycle int64) {
 	accepted := f.drainPipe(cycle)
@@ -330,6 +368,43 @@ func (m *Merge) Done() bool {
 	return m.eos
 }
 
+// Idle implements sim.Idler. A loop-entry merge may also fire its EOS
+// decision off the loop's in-flight count and its recirculating input's
+// drain state; both are covered by SharedState, so the owning worker may
+// read them here.
+func (m *Merge) Idle(int64) bool {
+	if len(m.acc) > 0 {
+		return false
+	}
+	if !m.priEOS && !m.pri.Empty() {
+		return false
+	}
+	if !m.secEOS && !m.sec.Empty() {
+		return false
+	}
+	if !m.eos {
+		if m.ctl != nil {
+			if m.secEOS && m.ctl.Inflight() == 0 && m.pri.Drained() {
+				return false
+			}
+		} else if m.priEOS && m.secEOS {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: a loop-entry merge counts
+// entering threads into the loop control and reads the recirculating
+// link's producer-side drain state, so it must share a worker with the
+// loop's members and with that link's producer.
+func (m *Merge) SharedState() []any {
+	if m.ctl == nil {
+		return nil
+	}
+	return []any{m.ctl, m.pri}
+}
+
 // Tick implements sim.Component.
 func (m *Merge) Tick(cycle int64) {
 	// Pull at most one vector from each input, priority first.
@@ -440,6 +515,33 @@ func (f *Fork) Done() bool {
 	}
 	return f.eos
 }
+
+// Idle implements sim.Idler: mirrors Tick's emit/accept/EOS conditions.
+func (f *Fork) Idle(cycle int64) bool {
+	if len(f.buf) > 0 && f.buf[0].ready <= cycle && f.out.CanPush() {
+		return false
+	}
+	if !f.eosIn && !f.in.Empty() && len(f.buf) < 4*record.NumLanes {
+		return false
+	}
+	if f.eosIn && !f.eos && len(f.buf) == 0 && f.out.CanPush() {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: forks inside a loop mutate the
+// loop's in-flight count.
+func (f *Fork) SharedState() []any {
+	if f.ctl == nil {
+		return nil
+	}
+	return []any{f.ctl}
+}
+
+// WorstCaseInternalLatency implements sim.LatencyBound: children mature
+// after the pipeline depth.
+func (f *Fork) WorstCaseInternalLatency() int64 { return PipelineDepth }
 
 // Tick implements sim.Component.
 func (f *Fork) Tick(cycle int64) {

@@ -72,6 +72,25 @@ func (d *DRAMNode) OutputLinks() []*sim.Link { return []*sim.Link{d.out} }
 // Done implements sim.Component.
 func (d *DRAMNode) Done() bool { return d.eos }
 
+// Idle implements sim.Idler: with nothing buffered on either side the node
+// can only wait — completions arrive via the HBM's tick, not this one.
+func (d *DRAMNode) Idle(int64) bool {
+	if len(d.ready) > 0 || len(d.backlog) > 0 {
+		return false
+	}
+	if !d.eosIn && !d.in.Empty() {
+		return false
+	}
+	if d.eosIn && !d.eos && d.outstanding == 0 {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: submissions and completion
+// callbacks interleave with the HBM's tick.
+func (d *DRAMNode) SharedState() []any { return []any{d.h} }
+
 func (d *DRAMNode) width() int {
 	if d.spec.Width <= 0 {
 		return 1

@@ -61,6 +61,29 @@ func (d *DRAMExpand) OutputLinks() []*sim.Link { return []*sim.Link{d.out} }
 // Done implements sim.Component.
 func (d *DRAMExpand) Done() bool { return d.eos }
 
+// Idle implements sim.Idler: see DRAMNode.Idle.
+func (d *DRAMExpand) Idle(int64) bool {
+	if len(d.ready) > 0 || len(d.backlog) > 0 {
+		return false
+	}
+	if !d.eosIn && !d.in.Empty() {
+		return false
+	}
+	if d.eosIn && !d.eos && d.outstanding == 0 {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: the HBM fires this node's
+// completion callbacks, and expansions inside a loop mutate its control.
+func (d *DRAMExpand) SharedState() []any {
+	if d.ctl != nil {
+		return []any{d.h, d.ctl}
+	}
+	return []any{d.h}
+}
+
 // Tick implements sim.Component.
 func (d *DRAMExpand) Tick(cycle int64) {
 	// Emit matured children, one dense vector per cycle.

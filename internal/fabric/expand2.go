@@ -61,6 +61,28 @@ func (d *DRAMExpand2) OutputLinks() []*sim.Link { return []*sim.Link{d.out} }
 // Done implements sim.Component.
 func (d *DRAMExpand2) Done() bool { return d.eos }
 
+// Idle implements sim.Idler: see DRAMNode.Idle.
+func (d *DRAMExpand2) Idle(int64) bool {
+	if len(d.ready) > 0 || len(d.backlog) > 0 {
+		return false
+	}
+	if !d.eosIn && !d.in.Empty() {
+		return false
+	}
+	if d.eosIn && !d.eos && d.outstanding == 0 {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: see DRAMExpand.SharedState.
+func (d *DRAMExpand2) SharedState() []any {
+	if d.ctl != nil {
+		return []any{d.h, d.ctl}
+	}
+	return []any{d.h}
+}
+
 // Tick implements sim.Component.
 func (d *DRAMExpand2) Tick(cycle int64) {
 	// Emit matured children.

@@ -45,6 +45,12 @@ type Graph struct {
 	Sys *sim.System
 	HBM *dram.HBM
 
+	// Workers selects the simulation kernel: values > 1 tick components on
+	// that many goroutines per cycle (sim.RunOptions.Workers). Results are
+	// bit-identical to the serial kernel at any worker count; kernels
+	// thread core.Tuning.Parallelism into this field.
+	Workers int
+
 	hbmTicker *hbmComponent
 	// defects collects construction-time wiring errors (e.g. a DRAM node
 	// on a graph with no HBM attached) for Check to report alongside the
@@ -95,7 +101,7 @@ func (g *Graph) Run(maxCycles int64) (int64, error) {
 	if err := g.Check(); err != nil {
 		return 0, err
 	}
-	return g.Sys.Run(maxCycles)
+	return g.Sys.RunWith(maxCycles, sim.RunOptions{Workers: g.Workers})
 }
 
 // defectf records a construction-time wiring error for Check.
@@ -116,3 +122,25 @@ func (c *hbmComponent) Tick(cycle int64) { c.h.Tick(cycle) }
 // wait on it stay !Done until their responses arrive, so reporting drained
 // here is safe.
 func (c *hbmComponent) Done() bool { return c.h.Drained() }
+
+// Idle implements sim.Idler: ticking an HBM with no queued, in-flight, or
+// posted work is a no-op. The clock is kept current so a write posted
+// later in a skipped cycle is timestamped correctly.
+func (c *hbmComponent) Idle(cycle int64) bool {
+	if c.h.Idle() {
+		c.h.SetNow(cycle)
+		return true
+	}
+	return false
+}
+
+// SharedState implements sim.StateSharer: every DRAM node submitting to
+// this HBM (and receiving completion callbacks from its Tick) must tick on
+// the same worker.
+func (c *hbmComponent) SharedState() []any { return []any{c.h} }
+
+// WorstCaseInternalLatency implements sim.LatencyBound: DRAM round trips
+// are the longest link-invisible stretch in any graph.
+func (c *hbmComponent) WorstCaseInternalLatency() int64 {
+	return c.h.WorstCaseInternalLatency()
+}

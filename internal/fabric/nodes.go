@@ -29,6 +29,9 @@ func (s *Source) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
 // Done implements sim.Component.
 func (s *Source) Done() bool { return s.eos }
 
+// Idle implements sim.Idler: nothing to do once drained or backpressured.
+func (s *Source) Idle(int64) bool { return s.eos || !s.out.CanPush() }
+
 // Tick implements sim.Component.
 func (s *Source) Tick(cycle int64) {
 	if s.eos || !s.out.CanPush() {
@@ -64,6 +67,9 @@ func (s *Sink) InputLinks() []*sim.Link { return []*sim.Link{s.in} }
 
 // Done implements sim.Component.
 func (s *Sink) Done() bool { return s.eos }
+
+// Idle implements sim.Idler: nothing to do without input.
+func (s *Sink) Idle(int64) bool { return s.eos || s.in.Empty() }
 
 // Tick implements sim.Component.
 func (s *Sink) Tick(cycle int64) {
@@ -135,6 +141,26 @@ func (m *Map) Done() bool {
 	}
 	return m.eos
 }
+
+// Idle implements sim.Idler: mirrors Tick's three actions — drain a
+// matured head, accept input, forward EOS — returning true only when none
+// can fire this cycle.
+func (m *Map) Idle(cycle int64) bool {
+	if len(m.pipe) > 0 && m.pipe[0].ready <= cycle && m.out.CanPush() {
+		return false
+	}
+	if !m.eosIn && !m.in.Empty() && len(m.pipe) < PipelineDepth+2 {
+		return false
+	}
+	if m.eosIn && !m.eos && len(m.pipe) == 0 && m.out.CanPush() {
+		return false
+	}
+	return true
+}
+
+// WorstCaseInternalLatency implements sim.LatencyBound: a vector can sit
+// in the datapath for the pipeline depth without link activity.
+func (m *Map) WorstCaseInternalLatency() int64 { return PipelineDepth }
 
 // Tick implements sim.Component.
 func (m *Map) Tick(cycle int64) {

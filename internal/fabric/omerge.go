@@ -50,6 +50,25 @@ func (m *OrderedMerge) OutputLinks() []*sim.Link { return []*sim.Link{m.out} }
 // Done implements sim.Component.
 func (m *OrderedMerge) Done() bool { return m.eos }
 
+// Idle implements sim.Idler: no refill possible, and either the output is
+// blocked or a live input with an empty buffer stalls the merge.
+func (m *OrderedMerge) Idle(int64) bool {
+	for i, in := range m.ins {
+		if !m.eosv[i] && len(m.bufs[i]) < record.NumLanes && !in.Empty() {
+			return false
+		}
+	}
+	if m.eos || !m.out.CanPush() {
+		return true
+	}
+	for i := range m.ins {
+		if len(m.bufs[i]) == 0 && !m.eosv[i] {
+			return true // cannot prove the minimum; the link is also empty
+		}
+	}
+	return false // can emit records or the final EOS
+}
+
 // Tick implements sim.Component.
 func (m *OrderedMerge) Tick(cycle int64) {
 	// Refill: pull one vector per starved input.
@@ -154,6 +173,30 @@ func (j *MergeJoin) Done() bool { return j.eos }
 
 // Matches returns the pairs emitted so far.
 func (j *MergeJoin) Matches() int64 { return j.matches }
+
+// Idle implements sim.Idler: conservative — false whenever any buffered
+// work, poppable input, or terminal transition could advance the join.
+func (j *MergeJoin) Idle(int64) bool {
+	if len(j.pending) > 0 {
+		return false
+	}
+	if !j.eosA && len(j.bufA) < 2*record.NumLanes && !j.a.Empty() {
+		return false
+	}
+	if !j.eosB && len(j.bufB) < 2*record.NumLanes && !j.b.Empty() {
+		return false
+	}
+	if len(j.bufA) > 0 || len(j.bufB) > 0 {
+		return false
+	}
+	if j.eosA && (j.groupOpen || len(j.groupA) > 0) {
+		return false
+	}
+	if j.eosA && j.eosB && !j.eos {
+		return false
+	}
+	return true
+}
 
 // Tick implements sim.Component.
 func (j *MergeJoin) Tick(cycle int64) {

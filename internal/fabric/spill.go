@@ -67,6 +67,25 @@ func (s *SpillQueue) Done() bool {
 	return len(s.front) == 0 && len(s.spilled) == 0 && s.refill == 0
 }
 
+// Idle implements sim.Idler: nothing on chip, nothing spilled that could
+// start a refill, and no poppable input.
+func (s *SpillQueue) Idle(int64) bool {
+	if len(s.front) > 0 {
+		return false
+	}
+	if len(s.spilled) > 0 && s.refill == 0 {
+		return false
+	}
+	if !s.eosIn && !s.in.Empty() {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: spills and refills are real HBM
+// requests whose completions fire from the HBM's tick.
+func (s *SpillQueue) SharedState() []any { return []any{s.h} }
+
 // Tick implements sim.Component.
 func (s *SpillQueue) Tick(cycle int64) {
 	// Emit one vector from the on-chip segment.

@@ -69,6 +69,24 @@ func (s *DRAMScan) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
 // Done implements sim.Component.
 func (s *DRAMScan) Done() bool { return s.eos }
 
+// Idle implements sim.Idler: mirrors Tick's issue/emit/EOS conditions.
+func (s *DRAMScan) Idle(int64) bool {
+	if s.next < len(s.chunks) && s.outstanding < 8 && len(s.buf) < 4096 {
+		return false
+	}
+	if len(s.buf) >= s.recWords && s.out.CanPush() {
+		return false
+	}
+	if !s.eos && s.next == len(s.chunks) && s.outstanding == 0 {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: the HBM fires this node's
+// completion callbacks.
+func (s *DRAMScan) SharedState() []any { return []any{s.h} }
+
 // Tick implements sim.Component.
 func (s *DRAMScan) Tick(cycle int64) {
 	// Issue chunk reads while the reorder window has room. Completions
@@ -155,6 +173,24 @@ func (a *DRAMAppend) Count() int { return a.count }
 
 // Words returns the total words appended.
 func (a *DRAMAppend) Words() uint32 { return a.written }
+
+// Idle implements sim.Idler: mirrors Tick's accept/flush/EOS conditions.
+func (a *DRAMAppend) Idle(int64) bool {
+	if !a.eosIn && !a.in.Empty() && a.outstanding < 8 {
+		return false
+	}
+	if len(a.buf) >= 256 || (a.eosIn && len(a.buf) > 0) {
+		return false
+	}
+	if a.eosIn && !a.eos && a.outstanding == 0 {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: the HBM fires this node's
+// completion callbacks.
+func (a *DRAMAppend) SharedState() []any { return []any{a.h} }
 
 // Tick implements sim.Component.
 func (a *DRAMAppend) Tick(cycle int64) {

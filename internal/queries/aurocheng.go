@@ -150,7 +150,9 @@ func (e *AurochsEngine) GroupCount(keys []uint32) (map[uint32]int64, Cost, error
 	if len(keys) == 0 {
 		return map[uint32]int64{}, Cost{}, nil
 	}
-	agg, res, err := core.HashAggregate(core.DefaultHashTableParams(len(keys)), keys, nil)
+	hp := core.DefaultHashTableParams(len(keys))
+	hp.Tuning = e.Tuning
+	agg, res, err := core.HashAggregate(hp, keys, nil)
 	if err != nil {
 		return nil, Cost{}, fmt.Errorf("aurochs groupcount: %w", err)
 	}

@@ -14,11 +14,17 @@ type Flit struct {
 //
 // Semantics:
 //   - Push in cycle N is visible to Pop no earlier than cycle N+latency.
-//   - Capacity bounds the entries buffered at the consumer side (the skid
-//     buffer); in-flight entries within the latency window occupy pipeline
-//     registers and do not count against capacity.
-//   - CanPush applies credit-based flow control: the producer may push only
-//     when consumer-side space is guaranteed on arrival.
+//   - Flow control is credit-based: the producer holds one credit per slot
+//     of consumer-side space that is guaranteed to exist when the flit
+//     arrives. A push consumes a credit; a pop frees a slot, but the credit
+//     returns to the producer only at the end-of-cycle commit (the credit
+//     wire is registered too). Entries in flight within the latency window
+//     therefore hold a credit even though they occupy pipeline registers,
+//     not buffer slots — the skid buffer must have room for every flit the
+//     producer has launched.
+//   - CanPush is a pure function of state committed at the end of the
+//     previous cycle: pops performed earlier in the same cycle cannot make
+//     it flip from false to true, so tick order stays unobservable.
 type Link struct {
 	name    string
 	cap     int
@@ -27,8 +33,15 @@ type Link struct {
 	buf      []Flit   // visible to the consumer
 	inflight []timedF // pushed, not yet arrived
 
+	credits int // producer-side: pushes permitted before the next commit
+
 	pushes int64
 	pops   int64
+
+	// pushedNow/poppedNow record per-cycle activity; commit collects and
+	// clears them so the runner detects progress without sweeping counters.
+	pushedNow bool
+	poppedNow bool
 }
 
 type timedF struct {
@@ -41,7 +54,11 @@ func newLink(name string, capacity, latency int) *Link {
 	// static verifier (fabric.Graph.Check) reports them with a diagnostic
 	// before any simulation runs, which beats a construction-time panic
 	// when a whole graph is being assembled.
-	return &Link{name: name, cap: capacity, latency: latency}
+	credits := capacity
+	if credits < 0 {
+		credits = 0
+	}
+	return &Link{name: name, cap: capacity, latency: latency, credits: credits}
 }
 
 // Name returns the link's identifier.
@@ -53,19 +70,23 @@ func (l *Link) Capacity() int { return l.cap }
 // Latency returns the link latency in cycles.
 func (l *Link) Latency() int { return l.latency }
 
-// CanPush reports whether the producer may push this cycle.
+// CanPush reports whether the producer holds a credit this cycle. Credits
+// are recomputed only at commit, so the answer cannot change mid-cycle.
 func (l *Link) CanPush() bool {
-	return len(l.buf)+len(l.inflight) < l.cap
+	return l.credits > 0
 }
 
-// Push stages a flit for delivery after the link latency. The caller must
-// check CanPush first; pushing a full link is a modelling bug and panics.
+// Push stages a flit for delivery after the link latency, consuming one
+// credit. The caller must check CanPush first; pushing without a credit is
+// a modelling bug and panics.
 func (l *Link) Push(cycle int64, f Flit) {
-	if !l.CanPush() {
+	if l.credits <= 0 {
 		panic("sim: push to full link " + l.name)
 	}
+	l.credits--
 	l.inflight = append(l.inflight, timedF{f: f, ready: cycle + int64(l.latency)})
 	l.pushes++
+	l.pushedNow = true
 }
 
 // Empty reports whether the consumer has nothing to pop this cycle.
@@ -84,6 +105,7 @@ func (l *Link) Pop() Flit {
 	f := l.Peek()
 	l.buf = l.buf[1:]
 	l.pops++
+	l.poppedNow = true
 	return f
 }
 
@@ -96,10 +118,12 @@ func (l *Link) Pushes() int64 { return l.pushes }
 // Pops returns the total flits ever popped.
 func (l *Link) Pops() int64 { return l.pops }
 
-// commit moves arrived in-flight flits into the visible buffer at the end
-// of a cycle. It reports whether the link saw any activity this cycle.
+// commit ends the link's cycle: arrived in-flight flits move into the
+// visible buffer, the producer's credits are recomputed from the space the
+// consumer freed, and the per-cycle activity flags are collected. It
+// reports whether the link saw a push or a pop this cycle — the progress
+// signal the runner's deadlock detector consumes.
 func (l *Link) commit(cycle int64) bool {
-	before := len(l.buf)
 	n := 0
 	for n < len(l.inflight) && l.inflight[n].ready <= cycle+1 {
 		// ready <= cycle+1: a flit pushed at cycle C with latency 1 is
@@ -108,5 +132,14 @@ func (l *Link) commit(cycle int64) bool {
 		n++
 	}
 	l.inflight = l.inflight[n:]
-	return n > 0 || before != len(l.buf)
+	// Credit return: every buffer slot not occupied (and not promised to a
+	// flit still in flight) is a credit for the producer's next cycle.
+	l.credits = l.cap - len(l.buf) - len(l.inflight)
+	if l.credits < 0 {
+		l.credits = 0
+	}
+	active := l.pushedNow || l.poppedNow
+	l.pushedNow = false
+	l.poppedNow = false
+	return active
 }

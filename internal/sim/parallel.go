@@ -1,0 +1,252 @@
+package sim
+
+import "sort"
+
+// Parallel tick kernel. Registered links make tick order unobservable
+// (package doc), so components may tick concurrently within a cycle — with
+// two provisos the scheduler enforces statically, before the first cycle:
+//
+//  1. Components touching shared state outside links (one scratchpad Mem
+//     behind several tiles, the HBM behind every DRAM node, a LoopCtl
+//     behind a loop's members) must stay on one worker, in registration
+//     order, so their interleaving matches the serial kernel exactly.
+//     Components declare this state via StateSharer; the scheduler unions
+//     components over the declared keys.
+//  2. A link's endpoints mutate the link from both sides (producer pushes,
+//     consumer pops — disjoint fields, safe concurrently), but two
+//     producers or two consumers of the same link would race, so the
+//     scheduler unions same-side endpoints. Components without port
+//     interfaces are unioned into one conservative group.
+//
+// Each cycle: the coordinator broadcasts the cycle number, every worker
+// ticks its components (skipping ones whose Idler proves a no-op), a
+// barrier waits for all workers, then link commit runs serially. Because
+// commit is the only place credits return and arrivals surface, the
+// barrier placement — after all ticks, before commit — is what preserves
+// the synchronous-clock semantics.
+type workerPool struct {
+	start []chan int64
+	done  chan struct{}
+	live  int
+}
+
+// compEntry pairs a component with its pre-resolved optional interfaces so
+// the per-cycle loop does no type assertions.
+type compEntry struct {
+	c    Component
+	idle Idler
+}
+
+// newWorkerPool partitions s.comps into independent groups, packs the
+// groups onto opt.Workers workers, and starts the worker goroutines.
+func newWorkerPool(s *System, opt RunOptions) *workerPool {
+	bins := shardComponents(s, opt.Workers)
+	p := &workerPool{done: make(chan struct{}, len(bins))}
+	for _, bin := range bins {
+		entries := make([]compEntry, len(bin))
+		for i, ci := range bin {
+			entries[i] = compEntry{c: s.comps[ci], idle: s.idlers[ci]}
+		}
+		ch := make(chan int64)
+		p.start = append(p.start, ch)
+		p.live++
+		go func(work []compEntry, start <-chan int64) {
+			for cycle := range start {
+				for _, e := range work {
+					if !opt.NoIdleSkip && e.idle != nil && e.idle.Idle(cycle) {
+						continue
+					}
+					e.c.Tick(cycle)
+				}
+				p.done <- struct{}{}
+			}
+		}(entries, ch)
+	}
+	return p
+}
+
+// stop terminates the worker goroutines.
+func (p *workerPool) stop() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// stepParallel advances one cycle on the worker pool: broadcast, barrier,
+// serial link commit. Progress detection is identical to the serial
+// kernel's — commit's collected per-cycle activity flags.
+func (s *System) stepParallel(p *workerPool) bool {
+	cycle := s.cycle
+	for _, ch := range p.start {
+		ch <- cycle
+	}
+	for i := 0; i < p.live; i++ {
+		<-p.done
+	}
+	moved := false
+	for _, l := range s.links {
+		if l.commit(cycle) {
+			moved = true
+		}
+	}
+	s.cycle++
+	return moved
+}
+
+// shardComponents groups components that must share a worker, then packs
+// the groups onto at most workers bins, largest groups first. Everything
+// here is deterministic: groups are identified by their smallest member
+// index, ties break on index, and bin contents are sorted back into
+// registration order.
+func shardComponents(s *System, workers int) [][]int {
+	n := len(s.comps)
+	uf := newUnionFind(n)
+
+	// Same-side link endpoints race; union them. (A single producer and a
+	// single consumer on one link touch disjoint link state and may run
+	// concurrently — that is the whole point of registered links.)
+	prod := make(map[*Link][]int)
+	cons := make(map[*Link][]int)
+	opaque := -1 // first component with no ports and no shared-state claim
+	for i, c := range s.comps {
+		op, hasOut := c.(OutputPorts)
+		ip, hasIn := c.(InputPorts)
+		if hasOut {
+			for _, l := range op.OutputLinks() {
+				if l != nil {
+					prod[l] = append(prod[l], i)
+				}
+			}
+		}
+		if hasIn {
+			for _, l := range ip.InputLinks() {
+				if l != nil {
+					cons[l] = append(cons[l], i)
+				}
+			}
+		}
+		if _, shares := c.(StateSharer); !hasOut && !hasIn && !shares {
+			if opaque < 0 {
+				opaque = i
+			} else {
+				uf.union(opaque, i)
+			}
+		}
+	}
+	for _, is := range prod { // lint:maprange-ok — union is order-independent
+		for k := 1; k < len(is); k++ {
+			uf.union(is[0], is[k])
+		}
+	}
+	for _, is := range cons { // lint:maprange-ok — union is order-independent
+		for k := 1; k < len(is); k++ {
+			uf.union(is[0], is[k])
+		}
+	}
+
+	// Declared shared state: identity keys union their claimants; a *Link
+	// key also unions the claimant with the link's endpoints.
+	keyOwner := make(map[any]int)
+	for i, c := range s.comps {
+		ss, ok := c.(StateSharer)
+		if !ok {
+			continue
+		}
+		for _, key := range ss.SharedState() {
+			if key == nil {
+				continue
+			}
+			if l, isLink := key.(*Link); isLink {
+				for _, j := range prod[l] {
+					uf.union(i, j)
+				}
+				for _, j := range cons[l] {
+					uf.union(i, j)
+				}
+				continue
+			}
+			if j, seen := keyOwner[key]; seen {
+				uf.union(i, j)
+			} else {
+				keyOwner[key] = i
+			}
+		}
+	}
+
+	// Collect groups in order of their smallest member.
+	groupOf := make(map[int][]int)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		if len(groupOf[r]) == 0 {
+			roots = append(roots, r)
+		}
+		groupOf[r] = append(groupOf[r], i)
+	}
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, groupOf[r])
+	}
+
+	// Pack groups onto workers: largest first onto the lightest bin. Ties
+	// break on first-member index (group) and bin index, so the packing is
+	// a pure function of the topology.
+	sort.SliceStable(groups, func(a, b int) bool {
+		if len(groups[a]) != len(groups[b]) {
+			return len(groups[a]) > len(groups[b])
+		}
+		return groups[a][0] < groups[b][0]
+	})
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	bins := make([][]int, workers)
+	load := make([]int, workers)
+	for _, g := range groups {
+		best := 0
+		for b := 1; b < workers; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], g...)
+		load[best] += len(g)
+	}
+	for _, bin := range bins {
+		sort.Ints(bin)
+	}
+	return bins
+}
+
+// unionFind is a plain disjoint-set with the deterministic convention that
+// the smaller root index wins, so group identities are stable.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+}

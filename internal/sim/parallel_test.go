@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"aurochs/internal/record"
+)
+
+// ---- synthetic port-declaring components for kernel equivalence tests ----
+
+type genSource struct {
+	name string
+	out  *Link
+	next uint32
+	n    uint32
+	eos  bool
+}
+
+func (g *genSource) Name() string         { return g.name }
+func (g *genSource) Done() bool           { return g.eos }
+func (g *genSource) OutputLinks() []*Link { return []*Link{g.out} }
+func (g *genSource) Idle(int64) bool      { return g.eos || !g.out.CanPush() }
+func (g *genSource) Tick(cycle int64) {
+	if g.eos || !g.out.CanPush() {
+		return
+	}
+	if g.next >= g.n {
+		g.out.Push(cycle, Flit{EOS: true})
+		g.eos = true
+		return
+	}
+	var v record.Vector
+	for i := 0; i < record.NumLanes && g.next < g.n; i++ {
+		v.Push(record.Make(g.next))
+		g.next++
+	}
+	g.out.Push(cycle, Flit{Vec: v})
+}
+
+type addStage struct {
+	name string
+	in   *Link
+	out  *Link
+	add  uint32
+	eos  bool
+}
+
+func (a *addStage) Name() string         { return a.name }
+func (a *addStage) Done() bool           { return a.eos }
+func (a *addStage) InputLinks() []*Link  { return []*Link{a.in} }
+func (a *addStage) OutputLinks() []*Link { return []*Link{a.out} }
+func (a *addStage) Idle(int64) bool      { return a.eos || a.in.Empty() || !a.out.CanPush() }
+func (a *addStage) Tick(cycle int64) {
+	if a.eos || a.in.Empty() || !a.out.CanPush() {
+		return
+	}
+	f := a.in.Pop()
+	if f.EOS {
+		a.out.Push(cycle, f)
+		a.eos = true
+		return
+	}
+	var v record.Vector
+	for _, r := range f.Vec.Records() {
+		v.Push(record.Make(r.Get(0) + a.add))
+	}
+	a.out.Push(cycle, Flit{Vec: v})
+}
+
+type collector struct {
+	name string
+	in   *Link
+	got  []uint32
+	eos  bool
+}
+
+func (c *collector) Name() string        { return c.name }
+func (c *collector) Done() bool          { return c.eos }
+func (c *collector) InputLinks() []*Link { return []*Link{c.in} }
+func (c *collector) Idle(int64) bool     { return c.eos || c.in.Empty() }
+func (c *collector) Tick(int64) {
+	if c.eos || c.in.Empty() {
+		return
+	}
+	f := c.in.Pop()
+	if f.EOS {
+		c.eos = true
+		return
+	}
+	for _, r := range f.Vec.Records() {
+		c.got = append(c.got, r.Get(0))
+	}
+}
+
+// sharedCounter pairs: both components bump one Go-side counter each tick,
+// declared via SharedState, so the scheduler must co-locate them.
+type sharedCounter struct {
+	name  string
+	state *int64
+	in    *Link
+	out   *Link
+	eos   bool
+}
+
+func (sc *sharedCounter) Name() string         { return sc.name }
+func (sc *sharedCounter) Done() bool           { return sc.eos }
+func (sc *sharedCounter) InputLinks() []*Link  { return []*Link{sc.in} }
+func (sc *sharedCounter) OutputLinks() []*Link { return []*Link{sc.out} }
+func (sc *sharedCounter) SharedState() []any   { return []any{sc.state} }
+func (sc *sharedCounter) Idle(int64) bool      { return sc.eos || sc.in.Empty() || !sc.out.CanPush() }
+func (sc *sharedCounter) Tick(cycle int64) {
+	if sc.eos || sc.in.Empty() || !sc.out.CanPush() {
+		return
+	}
+	f := sc.in.Pop()
+	if f.EOS {
+		sc.out.Push(cycle, f)
+		sc.eos = true
+		return
+	}
+	var v record.Vector
+	for _, r := range f.Vec.Records() {
+		*sc.state++
+		v.Push(record.Make(r.Get(0), uint32(*sc.state)))
+	}
+	sc.out.Push(cycle, Flit{Vec: v})
+}
+
+// buildChains wires `chains` independent 3-stage pipelines plus one pair of
+// stages coupled through a shared counter, and returns the system and its
+// collectors.
+func buildChains(chains, recsPer int) (*System, []*collector) {
+	s := NewSystem()
+	var sinks []*collector
+	for c := 0; c < chains; c++ {
+		l0 := s.NewLink("l0", 4, 1)
+		l1 := s.NewLink("l1", 4, 2)
+		l2 := s.NewLink("l2", 4, 1)
+		l3 := s.NewLink("l3", 4, 3)
+		s.Add(&genSource{name: "src", out: l0, n: uint32(recsPer)})
+		s.Add(&addStage{name: "s1", in: l0, out: l1, add: 1})
+		s.Add(&addStage{name: "s2", in: l1, out: l2, add: 10})
+		s.Add(&addStage{name: "s3", in: l2, out: l3, add: 100})
+		snk := &collector{name: "snk", in: l3}
+		s.Add(snk)
+		sinks = append(sinks, snk)
+	}
+	// Coupled pair: stamps a shared sequence across two chains.
+	shared := new(int64)
+	for k := 0; k < 2; k++ {
+		in := s.NewLink("cin", 4, 1)
+		out := s.NewLink("cout", 4, 1)
+		s.Add(&genSource{name: "csrc", out: in, n: uint32(recsPer)})
+		s.Add(&sharedCounter{name: "cnt", state: shared, in: in, out: out})
+		snk := &collector{name: "csnk", in: out}
+		s.Add(snk)
+		sinks = append(sinks, snk)
+	}
+	return s, sinks
+}
+
+func runChains(t *testing.T, opt RunOptions) (int64, [][]uint32, map[string]int64) {
+	t.Helper()
+	s, sinks := buildChains(6, 500)
+	cycles, err := s.RunWith(1_000_000, opt)
+	if err != nil {
+		t.Fatalf("run %+v: %v", opt, err)
+	}
+	outs := make([][]uint32, len(sinks))
+	for i, snk := range sinks {
+		outs[i] = snk.got
+	}
+	return cycles, outs, s.Stats().Snapshot()
+}
+
+// TestParallelMatchesSerial: the parallel kernel is bit-identical to the
+// serial kernel — same cycle count, same outputs in order, same stats — at
+// every worker count, with and without idle skipping.
+func TestParallelMatchesSerial(t *testing.T) {
+	refCycles, refOuts, refStats := runChains(t, RunOptions{})
+	for _, opt := range []RunOptions{
+		{NoIdleSkip: true},
+		{Workers: 2},
+		{Workers: 3, NoIdleSkip: true},
+		{Workers: runtime.GOMAXPROCS(0)},
+		{Workers: 16},
+	} {
+		cycles, outs, stats := runChains(t, opt)
+		if cycles != refCycles {
+			t.Errorf("%+v: cycles %d != serial %d", opt, cycles, refCycles)
+		}
+		if !reflect.DeepEqual(outs, refOuts) {
+			t.Errorf("%+v: outputs differ from serial", opt)
+		}
+		if !reflect.DeepEqual(stats, refStats) {
+			t.Errorf("%+v: stats differ from serial", opt)
+		}
+	}
+}
+
+// TestShardingDeterministic: the component→worker assignment is a pure
+// function of the topology.
+func TestShardingDeterministic(t *testing.T) {
+	s1, _ := buildChains(5, 10)
+	s2, _ := buildChains(5, 10)
+	b1 := shardComponents(s1, 4)
+	b2 := shardComponents(s2, 4)
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatalf("sharding not deterministic:\n%v\n%v", b1, b2)
+	}
+}
+
+// TestShardingRespectsSharedState: components declaring a common state key
+// land in the same bin; independent chains spread across bins.
+func TestShardingRespectsSharedState(t *testing.T) {
+	s, _ := buildChains(4, 10)
+	bins := shardComponents(s, 4)
+	if len(bins) < 2 {
+		t.Fatalf("expected multiple bins for independent chains, got %d", len(bins))
+	}
+	// Find the two sharedCounter components and check they share a bin.
+	binOf := make(map[int]int)
+	for b, bin := range bins {
+		for _, ci := range bin {
+			binOf[ci] = b
+		}
+	}
+	var counterBins []int
+	for i, c := range s.Components() {
+		if _, ok := c.(*sharedCounter); ok {
+			counterBins = append(counterBins, binOf[i])
+		}
+	}
+	if len(counterBins) != 2 {
+		t.Fatalf("found %d sharedCounter components", len(counterBins))
+	}
+	if counterBins[0] != counterBins[1] {
+		t.Fatalf("shared-state components scheduled on different workers: %v", counterBins)
+	}
+	// Every component must be assigned exactly once.
+	seen := 0
+	for _, bin := range bins {
+		seen += len(bin)
+	}
+	if seen != len(s.Components()) {
+		t.Fatalf("sharding covered %d of %d components", seen, len(s.Components()))
+	}
+}
+
+// TestRunParallelSmoke covers the public entry point.
+func TestRunParallelSmoke(t *testing.T) {
+	s, sinks := buildChains(3, 100)
+	if _, err := s.RunParallel(1_000_000, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, snk := range sinks {
+		if len(snk.got) != 100 {
+			t.Fatalf("sink %s got %d records", snk.name, len(snk.got))
+		}
+	}
+}

@@ -8,7 +8,10 @@
 // the consumer in cycle N+1 at the earliest — so the order in which
 // components tick within a cycle can never change the result. This mirrors
 // the skid-buffered ready-valid streaming interface that loosely times
-// Gorgon's tiles (paper §III-A).
+// Gorgon's tiles (paper §III-A). The same property licenses the parallel
+// tick path (RunOptions.Workers): components that share no state outside
+// links may tick concurrently within a cycle, with a barrier before link
+// commit.
 package sim
 
 import (
@@ -31,10 +34,50 @@ type Component interface {
 	Done() bool
 }
 
+// Idler is optionally implemented by components that can prove a Tick
+// would be a no-op. Idle(cycle) must return true only when Tick(cycle)
+// would neither mutate component state nor touch any link or shared
+// resource — the runner then skips the call entirely. The answer must be a
+// deterministic function of simulation state (never host time or
+// randomness) so the serial and parallel kernels skip identically and runs
+// stay bit-reproducible.
+type Idler interface {
+	Idle(cycle int64) bool
+}
+
+// StateSharer is optionally implemented by components that touch state
+// outside their links: a shared scratchpad memory, the HBM, a loop
+// controller. SharedState returns opaque keys (compared by identity);
+// components returning a common key are scheduled onto the same worker by
+// the parallel kernel and tick in registration order, which keeps their
+// interleaving identical to the serial kernel. A *Link key additionally
+// groups the component with that link's producers and consumers — for
+// components that inspect link state beyond the Pop/Push contract (e.g. a
+// loop-entry merge reading Drained on its recirculating input).
+//
+// A component with no ports (neither InputPorts nor OutputPorts) and no
+// SharedState is conservatively scheduled into one common group: the
+// kernel cannot prove it independent of anything.
+type StateSharer interface {
+	SharedState() []any
+}
+
+// LatencyBound is optionally implemented by components that can hide work
+// from the links for many cycles (DRAM round trips are the canonical
+// case). WorstCaseInternalLatency returns an upper bound, in cycles, on
+// how long the component can go without producing link activity while
+// still holding work. The runner sums these bounds into its deadlock grace
+// window, replacing a hard-coded constant that deep memory queues could
+// legally exceed.
+type LatencyBound interface {
+	WorstCaseInternalLatency() int64
+}
+
 // InputPorts is implemented by components that can report the links they
 // pop from. Together with OutputPorts it lets the fabric's static verifier
 // (fabric.Graph.Check) reconstruct the graph topology without instrumenting
-// the simulation path. Every component shipped in this repository
+// the simulation path, and lets the parallel kernel prove which components
+// may tick concurrently. Every component shipped in this repository
 // implements the interfaces; custom components wired into a fabric.Graph
 // must too, or Check will report their links as unclaimed.
 type InputPorts interface {
@@ -52,10 +95,11 @@ type OutputPorts interface {
 
 // System owns the clock, components, and links of one simulation.
 type System struct {
-	comps []Component
-	links []*Link
-	cycle int64
-	stats *Stats
+	comps  []Component
+	idlers []Idler // parallel to comps; nil where not implemented
+	links  []*Link
+	cycle  int64
+	stats  *Stats
 }
 
 // NewSystem creates an empty simulation.
@@ -73,6 +117,8 @@ func (s *System) Cycle() int64 { return s.cycle }
 // links are registered, the order is not observable in results.
 func (s *System) Add(c Component) {
 	s.comps = append(s.comps, c)
+	idler, _ := c.(Idler)
+	s.idlers = append(s.idlers, idler)
 }
 
 // Components returns the registered components in registration order.
@@ -101,20 +147,67 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at cycle %d; stuck components: %v", e.Cycle, e.Stuck)
 }
 
+// BudgetError reports a simulation that exhausted its cycle budget while
+// components still held work — the runner's other failure mode, typed so
+// harnesses can distinguish "too slow / budget too small" from a genuine
+// deadlock.
+type BudgetError struct {
+	Budget int64
+	Cycle  int64
+	Stuck  []string // components not Done
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: cycle budget %d exhausted at cycle %d; stuck components: %v", e.Budget, e.Cycle, e.Stuck)
+}
+
+// RunOptions selects the tick kernel.
+type RunOptions struct {
+	// Workers is the number of goroutines ticking components each cycle.
+	// Values <= 1 select the serial kernel. Components sharing state
+	// (declared via StateSharer or implied by shared links) stay on one
+	// worker, so results are bit-identical to the serial kernel at any
+	// worker count.
+	Workers int
+	// NoIdleSkip disables per-component quiescence: every component ticks
+	// every cycle, as the pre-quiescence kernel did. Results are identical
+	// either way for components honouring the Idler contract; the knob
+	// exists for A/B validation and debugging.
+	NoIdleSkip bool
+}
+
 // Run ticks the system until every component reports Done, the cycle budget
 // is exhausted, or no progress is observed for a grace window. It returns
 // the number of cycles simulated.
 func (s *System) Run(maxCycles int64) (int64, error) {
-	// grace must exceed the longest internal latency any component can
-	// hide from the links (DRAM round trips are the worst case).
-	const grace = 4096
-	idle := 0
+	return s.RunWith(maxCycles, RunOptions{})
+}
+
+// RunParallel runs with the given worker count (see RunOptions.Workers).
+func (s *System) RunParallel(maxCycles int64, workers int) (int64, error) {
+	return s.RunWith(maxCycles, RunOptions{Workers: workers})
+}
+
+// RunWith is Run with an explicit kernel selection.
+func (s *System) RunWith(maxCycles int64, opt RunOptions) (int64, error) {
+	grace := s.graceWindow()
+	var pool *workerPool
+	if opt.Workers > 1 && len(s.comps) > 1 {
+		pool = newWorkerPool(s, opt)
+		defer pool.stop()
+	}
+	idle := int64(0)
 	start := s.cycle
 	for s.cycle-start < maxCycles {
 		if s.allDone() {
 			return s.cycle - start, nil
 		}
-		moved := s.step()
+		var moved bool
+		if pool != nil {
+			moved = s.stepParallel(pool)
+		} else {
+			moved = s.step(!opt.NoIdleSkip)
+		}
 		if moved {
 			idle = 0
 		} else {
@@ -127,27 +220,52 @@ func (s *System) Run(maxCycles int64) (int64, error) {
 	if s.allDone() {
 		return s.cycle - start, nil
 	}
-	return s.cycle - start, fmt.Errorf("sim: cycle budget %d exhausted; stuck components: %v", maxCycles, s.stuckNames())
+	return s.cycle - start, &BudgetError{Budget: maxCycles, Cycle: s.cycle, Stuck: s.stuckNames()}
 }
 
-// step advances one cycle and reports whether any link carried traffic.
-func (s *System) step() bool {
-	var before int64
+// graceWindow derives the deadlock detector's no-progress tolerance from
+// the registered topology: a base allowance for fabric pipelines, the
+// worst link latency, and every component-declared internal latency bound
+// (DRAM queues, scratchpad pipelines). A fixed constant here was a bug:
+// a legal dram.Config with a deep queue and a large row-miss penalty could
+// exceed any constant and be misreported as deadlock.
+func (s *System) graceWindow() int64 {
+	g := int64(256)
+	maxLat := 0
 	for _, l := range s.links {
-		before += l.Pushes() + l.Pops()
+		if l.latency > maxLat {
+			maxLat = l.latency
+		}
 	}
+	g += int64(4 * maxLat)
 	for _, c := range s.comps {
-		c.Tick(s.cycle)
+		if lb, ok := c.(LatencyBound); ok {
+			g += lb.WorstCaseInternalLatency()
+		}
 	}
-	for _, l := range s.links {
-		l.commit(s.cycle)
+	return g
+}
+
+// step advances one cycle on the serial kernel and reports whether any link
+// carried traffic. Progress detection is O(links) single-pass: commit
+// collects each link's per-cycle push/pop flags, replacing the old kernel's
+// double sweep of cumulative counters before and after the tick loop.
+func (s *System) step(skipIdle bool) bool {
+	cycle := s.cycle
+	for i, c := range s.comps {
+		if skipIdle && s.idlers[i] != nil && s.idlers[i].Idle(cycle) {
+			continue
+		}
+		c.Tick(cycle)
 	}
-	var after int64
+	moved := false
 	for _, l := range s.links {
-		after += l.Pushes() + l.Pops()
+		if l.commit(cycle) {
+			moved = true
+		}
 	}
 	s.cycle++
-	return after != before
+	return moved
 }
 
 func (s *System) allDone() bool {

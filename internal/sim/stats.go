@@ -12,61 +12,113 @@ import (
 // compactions, DRAM row hits/misses) that the benchmark harness and tests
 // read back to explain throughput numbers.
 //
-// The counter map is mutex-guarded: a single simulation is synchronous,
-// but harnesses run several simulations (and the parallel CPU baselines)
-// from concurrent goroutines, and a Stats handle outlives its run.
+// Counters are sharded by name hash: a single simulation running on the
+// parallel tick path has many components incrementing counters in the same
+// cycle, and a single mutex would serialize exactly the hot path the
+// worker pool exists to spread out. Increments are commutative, so the
+// final values are independent of tick order — which is what keeps the
+// parallel kernel bit-identical to the serial one.
 type Stats struct {
+	shards [statsShards]statsShard
+}
+
+type statsShard struct {
 	mu       sync.Mutex
 	counters map[string]int64
 }
 
+// statsShards is the stripe count; a small power of two keeps the hash
+// cheap while spreading contention across more locks than workers.
+const statsShards = 32
+
 // NewStats returns an empty counter set.
 func NewStats() *Stats {
-	return &Stats{counters: make(map[string]int64)}
+	s := &Stats{}
+	for i := range s.shards {
+		s.shards[i].counters = make(map[string]int64)
+	}
+	return s
+}
+
+// shard maps a counter name to its stripe (FNV-1a, deterministic).
+func (s *Stats) shard(name string) *statsShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(statsShards-1)]
 }
 
 // Add increments counter name by delta.
 func (s *Stats) Add(name string, delta int64) {
-	s.mu.Lock()
-	s.counters[name] += delta
-	s.mu.Unlock()
+	sh := s.shard(name)
+	sh.mu.Lock()
+	sh.counters[name] += delta
+	sh.mu.Unlock()
 }
 
 // Get returns counter name (zero if never written).
 func (s *Stats) Get(name string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counters[name]
+	sh := s.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.counters[name]
 }
 
 // Ratio returns num/den as a float, or 0 when den is zero.
 func (s *Stats) Ratio(num, den string) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d := s.counters[den]
+	d := s.Get(den)
 	if d == 0 {
 		return 0
 	}
-	return float64(s.counters[num]) / float64(d)
+	return float64(s.Get(num)) / float64(d)
+}
+
+// Snapshot returns a coherent copy of every counter: all stripe locks are
+// held while the copy is taken, so a reader racing concurrent writers sees
+// one consistent point in time rather than a torn mix of before/after
+// values.
+func (s *Stats) Snapshot() map[string]int64 {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	out := make(map[string]int64)
+	for i := range s.shards {
+		// lint:maprange-ok — copying into a map; order cannot matter.
+		for k, v := range s.shards[i].counters {
+			out[k] = v
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	return out
 }
 
 // Names returns all counter names, sorted.
 func (s *Stats) Names() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.counters))
-	for k := range s.counters {
+	snap := s.Snapshot()
+	out := make([]string, 0, len(snap))
+	for k := range snap {
 		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// String renders all counters, one per line, sorted by name.
+// String renders all counters, one per line, sorted by name. The render
+// works from a single coherent Snapshot, never from per-counter reads.
 func (s *Stats) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
 	var b strings.Builder
-	for _, k := range s.Names() {
-		fmt.Fprintf(&b, "%-40s %12d\n", k, s.Get(k))
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %12d\n", k, snap[k])
 	}
 	return b.String()
 }

@@ -146,6 +146,41 @@ func (t *Tile) OutputLinks() []*sim.Link { return []*sim.Link{t.out} }
 // Done implements sim.Component.
 func (t *Tile) Done() bool { return t.eosSent }
 
+// Idle implements sim.Idler: the pipeline is quiescent when nothing is
+// queued, pending, or ready, no input is poppable, and EOS (if due) has
+// been sent.
+func (t *Tile) Idle(int64) bool {
+	if len(t.pending) > 0 || len(t.ready) > 0 {
+		return false
+	}
+	for _, q := range t.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	if t.cfg.InOrder && t.robHead < t.seq {
+		return false
+	}
+	if !t.eosIn && !t.in.Empty() {
+		return false
+	}
+	if t.eosIn && !t.eosSent {
+		return false
+	}
+	return true
+}
+
+// SharedState implements sim.StateSharer: tiles mutate their backing Mem
+// at grant time, and several tiles may share one Mem.
+func (t *Tile) SharedState() []any { return []any{t.mem} }
+
+// WorstCaseInternalLatency implements sim.LatencyBound: a full set of
+// issue queues drains through the banks in at most depth×lanes grants,
+// each completing AccessLatency+width cycles later.
+func (t *Tile) WorstCaseInternalLatency() int64 {
+	return int64(t.cfg.IssueDepth*t.cfg.Lanes) + int64(t.cfg.AccessLatency) + int64(t.spec.width()) + 64
+}
+
 // Tick implements sim.Component: retire, allocate, emit, accept.
 func (t *Tile) Tick(cycle int64) {
 	t.retire(cycle)
