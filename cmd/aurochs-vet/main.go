@@ -1,27 +1,39 @@
-// aurochs-vet statically verifies the repository's determinism discipline:
-// it runs the internal/lint rules over the simulator packages and reports
-// every construct that could make two runs of the same kernel disagree.
+// aurochs-vet statically verifies the repository's simulation contracts.
+// It runs the type-checked analyzers from internal/analysis over the
+// source tree and — with -graphs — the flow-control prover from
+// internal/fabric over every registered kernel topology.
 //
 // Usage:
 //
-//	go run ./cmd/aurochs-vet [-json] [packages]
+//	go run ./cmd/aurochs-vet [-json] [-graphs] [packages]
 //
 // Packages default to ./... — directories are classified by path:
 //
 //   - internal/sim, internal/fabric, internal/spad, internal/dram (the
-//     cycle-level core) get every rule: wallclock, globalrand, maprange,
-//     print;
-//   - other internal packages get print hygiene only;
+//     cycle-level core) get the full determinism rule set (wallclock,
+//     globalrand, maprange, print) plus the contract analyzers
+//     (sharedstate, tickpurity);
+//   - other internal packages get print hygiene plus the contract
+//     analyzers — components are defined outside the core too (kernels in
+//     internal/core), and the contract analyzers are no-ops on packages
+//     without components;
 //   - internal/bench is exempt (it is the reporting harness — printing is
 //     its job), as are cmd/ and testdata.
 //
+// -graphs additionally builds every blueprint in internal/blueprint and
+// runs fabric.Graph.Prove on it; structural diagnostics and unproven
+// flow-control obligations are reported as findings with File set to
+// "graph:<name>".
+//
 // Exit status is 1 when findings exist, 2 on usage or I/O errors. The
 // dynamic half of the same contract is fabric.Graph.Check, which validates
-// graph topology at Run time.
+// graph topology at Run time, and sim.VerifyIdleContract, which audits
+// Idle answers against observed link traffic in the conformance tests.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -30,11 +42,14 @@ import (
 	"sort"
 	"strings"
 
+	"aurochs/internal/analysis"
+	"aurochs/internal/blueprint"
+	"aurochs/internal/fabric"
 	"aurochs/internal/lint"
 )
 
 // cycleLevel lists the packages simulating hardware at cycle granularity;
-// these get the full rule set.
+// these get the full determinism rule set.
 var cycleLevel = map[string]bool{
 	"internal/sim":    true,
 	"internal/fabric": true,
@@ -48,17 +63,23 @@ var exempt = map[string]bool{
 	"internal/bench": true,
 }
 
-func classify(rel string) lint.Rules {
+// analyzersFor maps a module-relative directory to the analyzers it must
+// pass. Returning nil skips the directory.
+func analyzersFor(rel string) []*analysis.Analyzer {
 	rel = filepath.ToSlash(rel)
 	switch {
-	case cycleLevel[rel]:
-		return lint.AllRules()
 	case exempt[rel]:
-		return lint.Rules{}
+		return nil
+	case cycleLevel[rel]:
+		return []*analysis.Analyzer{analysis.Determinism, analysis.SharedState, analysis.TickPurity}
 	case rel == "internal" || strings.HasPrefix(rel, "internal/"):
-		return lint.Rules{Print: true}
+		return []*analysis.Analyzer{
+			analysis.DeterminismWith(lint.Rules{Print: true}),
+			analysis.SharedState,
+			analysis.TickPurity,
+		}
 	default:
-		return lint.Rules{}
+		return nil
 	}
 }
 
@@ -142,8 +163,74 @@ func moduleRel(dir string) string {
 	}
 }
 
+// vetPackages loads each classified directory through one shared loader
+// (so the stdlib type-checks once) and runs its analyzer set.
+func vetPackages(dirs []string) ([]lint.Finding, error) {
+	ld := analysis.NewLoader()
+	var all []lint.Finding
+	for _, dir := range dirs {
+		rel := moduleRel(dir)
+		analyzers := analyzersFor(rel)
+		if len(analyzers) == 0 {
+			continue
+		}
+		importPath := "aurochs/" + filepath.ToSlash(rel)
+		pkg, err := ld.Load(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.Files) == 0 {
+			continue
+		}
+		fs, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	return all, nil
+}
+
+// vetGraphs builds every registered blueprint and runs the flow-control
+// prover. Check diagnostics and unproven obligations become findings; a
+// blueprint that fails to build is an engine error (exit 2), because the
+// registry itself is then broken.
+func vetGraphs() ([]lint.Finding, error) {
+	var all []lint.Finding
+	for _, bp := range blueprint.All() {
+		g, err := bp.Build()
+		if err != nil {
+			return nil, fmt.Errorf("blueprint %s: %w", bp.Name, err)
+		}
+		rep, err := g.Prove()
+		if err != nil {
+			var ce *fabric.CheckError
+			if !errors.As(err, &ce) {
+				return nil, fmt.Errorf("blueprint %s: %w", bp.Name, err)
+			}
+			for _, d := range ce.Diags {
+				all = append(all, lint.Finding{
+					File: "graph:" + bp.Name,
+					Rule: string(d.Code),
+					Msg:  d.Msg,
+				})
+			}
+			continue
+		}
+		for _, d := range rep.Warnings {
+			all = append(all, lint.Finding{
+				File: "graph:" + bp.Name,
+				Rule: string(d.Code),
+				Msg:  d.Msg,
+			})
+		}
+	}
+	return all, nil
+}
+
 func run() (int, error) {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	graphs := flag.Bool("graphs", false, "also prove flow control on every registered graph blueprint")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -153,17 +240,16 @@ func run() (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	var all []lint.Finding
-	for _, dir := range dirs {
-		rules := classify(moduleRel(dir))
-		if rules.None() {
-			continue
-		}
-		fs, err := lint.AnalyzeDir(dir, rules)
+	all, err := vetPackages(dirs)
+	if err != nil {
+		return 2, err
+	}
+	if *graphs {
+		gf, err := vetGraphs()
 		if err != nil {
 			return 2, err
 		}
-		all = append(all, fs...)
+		all = append(all, gf...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+// TestAnalyzersFor pins the directory classification: the cycle-level core
+// gets the full determinism set plus contract analyzers, other internal
+// packages keep the contract analyzers with print hygiene only, and the
+// bench harness and non-internal directories are skipped.
+func TestAnalyzersFor(t *testing.T) {
+	cases := []struct {
+		rel   string
+		n     int
+		first string
+	}{
+		{"internal/sim", 3, "determinism"},
+		{"internal/fabric", 3, "determinism"},
+		{"internal/core", 3, "determinism"},
+		{"internal/blueprint", 3, "determinism"},
+		{"internal/bench", 0, ""},
+		{"cmd/aurochs-vet", 0, ""},
+		{".", 0, ""},
+	}
+	for _, tc := range cases {
+		as := analyzersFor(tc.rel)
+		if len(as) != tc.n {
+			t.Errorf("analyzersFor(%q) = %d analyzers, want %d", tc.rel, len(as), tc.n)
+			continue
+		}
+		if tc.n > 0 && as[0].Name != tc.first {
+			t.Errorf("analyzersFor(%q)[0] = %s, want %s", tc.rel, as[0].Name, tc.first)
+		}
+	}
+}
+
+// TestVetGraphsClean runs the -graphs path end to end: every registered
+// blueprint must come through the prover with zero findings.
+func TestVetGraphsClean(t *testing.T) {
+	fs, err := vetGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("graph findings on a clean registry: %v", fs)
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aurochs/internal/lint"
+)
+
+// loadFixture loads one testdata package through the real loader.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	ld := NewLoader()
+	pkg, err := ld.Load(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatalf("fixture %s failed to type-check: %v", name, pkg.TypeError)
+	}
+	return pkg
+}
+
+func runAnalyzers(t *testing.T, pkg *Package, as ...*Analyzer) []lint.Finding {
+	t.Helper()
+	fs, err := Run([]*Package{pkg}, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func countRule(fs []lint.Finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSharedBadFixture: the seeded violations are each caught — two
+// undeclared shared references and three impure observation methods.
+func TestSharedBadFixture(t *testing.T) {
+	pkg := loadFixture(t, "sharedbad")
+	fs := runAnalyzers(t, pkg, SharedState, TickPurity)
+	if got := countRule(fs, "sharedstate"); got != 2 {
+		t.Errorf("sharedstate: got %d findings, want 2\n%v", got, fs)
+	}
+	if got := countRule(fs, "tickpurity"); got != 3 {
+		t.Errorf("tickpurity: got %d findings, want 3\n%v", got, fs)
+	}
+	// The messages must name the field and the remedy.
+	var sawTbl, sawLog, sawIdle bool
+	for _, f := range fs {
+		if f.Rule == "sharedstate" && strings.Contains(f.Msg, "field tbl") {
+			sawTbl = true
+		}
+		if f.Rule == "sharedstate" && strings.Contains(f.Msg, "field log") {
+			sawLog = true
+		}
+		if f.Rule == "tickpurity" && strings.Contains(f.Msg, "Walker.Idle") {
+			sawIdle = true
+		}
+	}
+	if !sawTbl || !sawLog || !sawIdle {
+		t.Errorf("missing expected findings (tbl=%v log=%v idle=%v):\n%v", sawTbl, sawLog, sawIdle, fs)
+	}
+}
+
+// TestSharedCleanFixture: declared sharing, waivers, owned references, link
+// fields, and pure helpers produce no findings.
+func TestSharedCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "sharedclean")
+	if fs := runAnalyzers(t, pkg, SharedState, TickPurity); len(fs) != 0 {
+		t.Errorf("clean fixture flagged:\n%v", fs)
+	}
+}
+
+// TestDeterminismAdapter: the folded PR-1 rules report identically through
+// the driver — counts match the lint package's own fixture expectations.
+func TestDeterminismAdapter(t *testing.T) {
+	ld := NewLoader()
+	pkg, err := ld.Load(filepath.Join("..", "lint", "testdata", "src", "bad"), "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := runAnalyzers(t, pkg, Determinism)
+	want := map[string]int{"wallclock": 2, "globalrand": 3, "maprange": 3, "print": 2}
+	for rule, n := range want {
+		if got := countRule(fs, rule); got != n {
+			t.Errorf("%s: got %d findings, want %d\n%v", rule, got, n, fs)
+		}
+	}
+}
+
+// TestRepoComponentsAreClean: the shipped simulator packages satisfy both
+// contracts — this is the in-repo half of the CI gate. Everything flagged
+// here would be a real hole in the parallel kernel's safety argument.
+func TestRepoComponentsAreClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks half the module; skipped in -short")
+	}
+	ld := NewLoader()
+	for _, dir := range []string{"sim", "fabric", "spad", "dram", "core"} {
+		pkg, err := ld.Load(filepath.Join("..", dir), "aurochs/internal/"+dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if pkg.TypeError != nil {
+			t.Fatalf("%s failed to type-check: %v", dir, pkg.TypeError)
+		}
+		if fs := runAnalyzers(t, pkg, SharedState, TickPurity); len(fs) != 0 {
+			t.Errorf("internal/%s has contract findings:\n%v", dir, fs)
+		}
+	}
+}

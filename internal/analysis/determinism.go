@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"aurochs/internal/lint"
+)
+
+// Determinism adapts the PR-1 AST-only rules (wallclock, globalrand,
+// maprange, print) to the type-checked driver so aurochs-vet runs one
+// engine. The rule logic stays in internal/lint — it needs no types, and
+// its fixtures keep guarding it — but the parse happens once here and the
+// findings flow through the same sorted, JSON-ready stream as the
+// go/types analyzers. DeterminismWith selects a rule subset for package
+// classes that only get print hygiene.
+var Determinism = DeterminismWith(lint.AllRules())
+
+// DeterminismWith builds a determinism adapter restricted to the given
+// rules.
+func DeterminismWith(rules lint.Rules) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "wallclock/globalrand/maprange/print rules from internal/lint",
+	}
+	a.Run = func(pass *Pass) error {
+		if rules.None() {
+			return nil
+		}
+		for i, f := range pass.Files {
+			for _, finding := range lint.AnalyzeASTFile(pass.Fset, f, pass.Filenames[i], rules) {
+				// Re-report under the original rule name so output stays
+				// bit-compatible with the PR-1 linter.
+				*pass.findings = append(*pass.findings, finding)
+			}
+		}
+		return nil
+	}
+	return a
+}

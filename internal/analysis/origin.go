@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// originAnalysis answers, per package, where values stored into component
+// fields come from. It distinguishes externally-originated values (function
+// parameters, package-level variables, fields of other objects — anything
+// another component could also hold) from component-owned ones (make, new,
+// literals, call results). The flow tracking is deliberately shallow — one
+// hop through local variables in source order — which matches how the
+// repository's constructors are written and keeps the rule predictable.
+type originAnalysis struct {
+	pass *Pass
+	// fieldStores maps (named type, field name) to the position of the
+	// first externally-originated store into that field, if any.
+	fieldStores map[fieldKey]token.Pos
+}
+
+type fieldKey struct {
+	named *types.Named
+	field string
+}
+
+// newOriginAnalysis scans every function and declaration in the package.
+func newOriginAnalysis(pass *Pass) *originAnalysis {
+	oa := &originAnalysis{pass: pass, fieldStores: make(map[fieldKey]token.Pos)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					oa.scanFunc(d.Body, oa.paramObjects(d))
+				}
+			case *ast.GenDecl:
+				// Package-level values: composite literals of component
+				// types built at init time. No parameters in scope.
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							oa.scanRHS(v, newScope(nil))
+						}
+					}
+				}
+			}
+		}
+	}
+	return oa
+}
+
+// externalAssignment returns the position of the first external store into
+// the field, or token.NoPos when the package never stores external state
+// there.
+func (oa *originAnalysis) externalAssignment(named *types.Named, field string) token.Pos {
+	return oa.fieldStores[fieldKey{named, field}]
+}
+
+// paramObjects collects the parameter (and receiver) variables of a
+// declaration — the canonical external origins.
+func (oa *originAnalysis) paramObjects(fd *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if obj := oa.pass.TypesInfo.Defs[n]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return params
+}
+
+// scope tracks which local variables currently hold externally-originated
+// values. Parameters are permanently external; locals flip as they are
+// assigned.
+type scope struct {
+	params   map[types.Object]bool
+	external map[types.Object]bool
+}
+
+func newScope(params map[types.Object]bool) *scope {
+	if params == nil {
+		params = map[types.Object]bool{}
+	}
+	return &scope{params: params, external: map[types.Object]bool{}}
+}
+
+// scanFunc walks one function body in source order: origin facts for local
+// variables accumulate as assignments are seen, component-field stores are
+// recorded, and function literals are scanned with the enclosing scope (a
+// closure sees the same variables).
+func (oa *originAnalysis) scanFunc(body *ast.BlockStmt, params map[types.Object]bool) {
+	sc := newScope(params)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				var rhs ast.Expr
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				} else if len(x.Rhs) == 1 {
+					rhs = x.Rhs[0] // multi-value: treat each LHS as fed by the call
+				}
+				oa.recordStore(lhs, rhs, sc)
+			}
+			for _, rhs := range x.Rhs {
+				oa.scanRHS(rhs, sc)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := x.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								oa.recordStore(name, vs.Values[i], sc)
+								oa.scanRHS(vs.Values[i], sc)
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				oa.scanRHS(r, sc)
+			}
+		case *ast.ExprStmt:
+			oa.scanRHS(x.X, sc)
+		case *ast.GoStmt:
+			oa.scanRHS(x.Call, sc)
+		case *ast.DeferStmt:
+			oa.scanRHS(x.Call, sc)
+		}
+		return true
+	})
+}
+
+// recordStore handles one `lhs = rhs` pair: locals update the scope's
+// origin facts; selector stores into component-shaped fields are recorded
+// when the RHS is external.
+func (oa *originAnalysis) recordStore(lhs, rhs ast.Expr, sc *scope) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := oa.pass.TypesInfo.Defs[l]
+		if obj == nil {
+			obj = oa.pass.TypesInfo.Uses[l]
+		}
+		if obj != nil && rhs != nil {
+			sc.external[obj] = oa.isExternal(rhs, sc)
+		}
+	case *ast.SelectorExpr:
+		if rhs == nil || !oa.isExternal(rhs, sc) {
+			return
+		}
+		sel, ok := oa.pass.TypesInfo.Selections[l]
+		if !ok || sel.Kind() != types.FieldVal {
+			return
+		}
+		recv := types.Unalias(sel.Recv())
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = types.Unalias(p.Elem())
+		}
+		if named, ok := recv.(*types.Named); ok {
+			key := fieldKey{named, l.Sel.Name}
+			if !oa.fieldStores[key].IsValid() {
+				oa.fieldStores[key] = l.Pos()
+			}
+		}
+	}
+}
+
+// scanRHS finds component composite literals and nested function literals
+// inside an expression.
+func (oa *originAnalysis) scanRHS(e ast.Expr, sc *scope) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			oa.scanComposite(x, sc)
+		case *ast.FuncLit:
+			// Closures share the enclosing origin facts; their own
+			// parameters are additional external origins.
+			inner := newScope(sc.params)
+			for obj, ext := range sc.external { // lint:maprange-ok — copying a set
+				inner.external[obj] = ext
+			}
+			for _, f := range x.Type.Params.List {
+				for _, nm := range f.Names {
+					if obj := oa.pass.TypesInfo.Defs[nm]; obj != nil {
+						inner.params[obj] = true
+					}
+				}
+			}
+			oa.scanFunc(x.Body, inner.params)
+			return false
+		}
+		return true
+	})
+}
+
+// scanComposite records external stores made through composite literal
+// fields: &T{h: h} with h a parameter is the canonical constructor shape.
+func (oa *originAnalysis) scanComposite(lit *ast.CompositeLit, sc *scope) {
+	tv, ok := oa.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if oa.isExternal(kv.Value, sc) {
+			k := fieldKey{named, key.Name}
+			if !oa.fieldStores[k].IsValid() {
+				oa.fieldStores[k] = kv.Pos()
+			}
+		}
+	}
+}
+
+// isExternal classifies an expression's origin. External means the value
+// (or the memory it points to) may also be reachable from outside the
+// component being constructed: parameters, package-level variables, other
+// objects' fields, and anything derived from them by selection, indexing,
+// or dereference. Fresh allocations — make, new, literals — and call
+// results are owned: a helper returning an alias into its argument is rare
+// enough that flagging every call would bury the signal.
+func (oa *originAnalysis) isExternal(e ast.Expr, sc *scope) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := oa.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = oa.pass.TypesInfo.Defs[x]
+		}
+		if obj == nil {
+			return false
+		}
+		if sc.params[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == oa.pass.Pkg.Scope() {
+			return true // package-level variable
+		}
+		return sc.external[obj]
+	case *ast.SelectorExpr:
+		// Qualified identifiers (pkg.Var) are package-level state in
+		// another package: external. Field selections inherit the base's
+		// origin.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := oa.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				if _, isVar := oa.pass.TypesInfo.Uses[x.Sel].(*types.Var); isVar {
+					return true
+				}
+				return false // pkg.Const, pkg.Func, pkg.Type
+			}
+		}
+		return oa.isExternal(x.X, sc)
+	case *ast.IndexExpr:
+		return oa.isExternal(x.X, sc)
+	case *ast.StarExpr:
+		return oa.isExternal(x.X, sc)
+	case *ast.UnaryExpr:
+		return oa.isExternal(x.X, sc)
+	case *ast.ParenExpr:
+		return oa.isExternal(x.X, sc)
+	case *ast.TypeAssertExpr:
+		return oa.isExternal(x.X, sc)
+	case *ast.CallExpr, *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,63 @@
+// Package sharedbad is an analysis fixture: a simulator component that
+// breaks both type-checked contracts. Every violation here is counted by
+// TestSharedBadFixture; update both together.
+package sharedbad
+
+// Table is mutable heap state two components could share.
+type Table struct {
+	rows map[uint32][]uint32
+}
+
+// Lookup is an impure helper (memoizing) used from CanPush.
+func (t *Table) Lookup(k uint32) []uint32 {
+	if t.rows == nil {
+		t.rows = make(map[uint32][]uint32)
+	}
+	return t.rows[k]
+}
+
+// Walker is a component (Name/Tick/Done) with two undeclared shared
+// references and three impure observation methods.
+type Walker struct {
+	name  string
+	tbl   *Table           // sharedstate: assigned from a constructor parameter, no SharedState()
+	log   map[string]int64 // sharedstate: externally provided map
+	pos   int
+	done  chan struct{}
+	calls int
+}
+
+// NewWalker stores externally owned state without declaring it.
+func NewWalker(name string, tbl *Table, log map[string]int64) *Walker {
+	return &Walker{name: name, tbl: tbl, log: log, done: make(chan struct{}, 1)}
+}
+
+// Name implements the component shape.
+func (w *Walker) Name() string { return w.name }
+
+// Tick implements the component shape; mutation is fine here.
+func (w *Walker) Tick(cycle int64) {
+	w.pos++
+	w.log["ticks"]++
+}
+
+// Done is impure: it signals on a channel.
+func (w *Walker) Done() bool {
+	select {
+	case w.done <- struct{}{}:
+	default:
+	}
+	return w.pos > 10
+}
+
+// Idle is impure: it counts its own calls, which the idle-skip would turn
+// into divergent state between serial and parallel runs.
+func (w *Walker) Idle(cycle int64) bool {
+	w.calls++
+	return w.pos > 5
+}
+
+// CanPush is impure through a helper: Lookup memoizes into the shared table.
+func (w *Walker) CanPush() bool {
+	return len(w.tbl.Lookup(uint32(w.pos))) == 0
+}

@@ -1,0 +1,54 @@
+package blueprint
+
+import "testing"
+
+// TestAllBlueprintsProveClean is the acceptance gate for the static
+// credit prover: every registered kernel topology must pass Graph.Check
+// and come out of Graph.Prove with zero warnings — line-rate and credit
+// sufficiency proven on every link and cycle. A regression here means a
+// shipped graph acquired a flow-control hazard.
+func TestAllBlueprintsProveClean(t *testing.T) {
+	bps := All()
+	if len(bps) == 0 {
+		t.Fatal("empty blueprint registry")
+	}
+	seen := map[string]bool{}
+	for _, bp := range bps {
+		bp := bp
+		t.Run(bp.Name, func(t *testing.T) {
+			if seen[bp.Name] {
+				t.Fatalf("duplicate blueprint name %q", bp.Name)
+			}
+			seen[bp.Name] = true
+			g, err := bp.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep, err := g.Prove()
+			if err != nil {
+				t.Fatalf("prove: %v", err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("prover warnings:\n%s", rep)
+			}
+			if len(rep.Proofs) == 0 {
+				t.Fatal("no proofs emitted")
+			}
+		})
+	}
+}
+
+// TestBlueprintBuildsAreIndependent: Build must wire a fresh graph each
+// call — tooling builds repeatedly (vet, tests, future bench harnesses).
+func TestBlueprintBuildsAreIndependent(t *testing.T) {
+	for _, bp := range All() {
+		g1, err1 := bp.Build()
+		g2, err2 := bp.Build()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: build errors %v / %v", bp.Name, err1, err2)
+		}
+		if g1 == g2 {
+			t.Fatalf("%s: Build returned the same graph twice", bp.Name)
+		}
+	}
+}

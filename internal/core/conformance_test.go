@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"aurochs/internal/fabric"
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// TestKernelIdleConformance: full kernel pipelines — hash build, hash
+// probe, radix partition — run under sim.VerifyIdleContract, which ticks
+// behind every Idle=true answer and proves it a no-op. This sweeps the
+// component types the small fabric conformance cases cannot reach solo:
+// scratchpad tiles inside kernel wiring, DRAM nodes, the HBM clock
+// adapter, and the kernels' recirculating loops.
+func TestKernelIdleConformance(t *testing.T) {
+	input := make([]record.Rec, 400)
+	for i := range input {
+		input[i] = record.Make(uint32(i*7%1024), uint32(i))
+	}
+
+	t.Run("hash-build", func(t *testing.T) {
+		g := fabric.NewGraph()
+		g.AttachHBM(defaultHBM())
+		_, snk, err := BuildHashTableInto(g, "bld", DefaultHashTableParams(len(input)), InRecs(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.VerifyIdleContract(g.Sys, 2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if snk.Count() != len(input) {
+			t.Fatalf("inserted %d of %d", snk.Count(), len(input))
+		}
+	})
+
+	t.Run("hash-probe", func(t *testing.T) {
+		ht, _, err := BuildHashTable(DefaultHashTableParams(len(input)), input, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fabric.NewGraph()
+		g.AttachHBM(ht.HBM)
+		snk := ProbeHashTableInto(g, "prb", ht, InRecs(input), ProbeOptions{})
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.VerifyIdleContract(g.Sys, 2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if snk.Count() == 0 {
+			t.Fatal("probe matched nothing")
+		}
+	})
+
+	t.Run("partition", func(t *testing.T) {
+		g := fabric.NewGraph()
+		g.AttachHBM(defaultHBM())
+		p := DefaultPartitionParams(len(input), 16, 2)
+		ps, snk, err := PartitionInto(g, "prt", p, InRecs(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.VerifyIdleContract(g.Sys, 4_000_000); err != nil {
+			t.Fatal(err)
+		}
+		FinishPartition(ps)
+		if snk.Count() != len(input) {
+			t.Fatalf("stored %d of %d", snk.Count(), len(input))
+		}
+	})
+}
+
+// TestTileSorterIdleConformance: the double-buffered sort tile, solo.
+func TestTileSorterIdleConformance(t *testing.T) {
+	g := fabric.NewGraph()
+	in, out := g.Link("in"), g.Link("out")
+	recs := make([]record.Rec, 700)
+	for i := range recs {
+		recs[i] = record.Make(uint32((i*2654435761)%4096), uint32(i))
+	}
+	g.Add(fabric.NewSource("src", recs, in))
+	g.Add(newTileSorter("ts", func(r record.Rec) uint64 { return uint64(r.Get(0)) }, 256, in, out))
+	snk := fabric.NewSink("snk", out)
+	g.Add(snk)
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.VerifyIdleContract(g.Sys, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if snk.Count() != len(recs) {
+		t.Fatalf("sorted %d of %d", snk.Count(), len(recs))
+	}
+}

@@ -262,9 +262,13 @@ func (g *Graph) checkCycles(comps []sim.Component, ends map[*sim.Link]*linkEnds)
 	}
 
 	var diags []Diag
-	for _, scc := range tarjanSCC(adj) {
+	inCycle := make([]int, n) // 1+scc ordinal when the node is on a real cycle
+	for si, scc := range tarjanSCC(adj) {
 		if len(scc) == 1 && !selfLoop[scc[0]] {
 			continue
+		}
+		for _, i := range scc {
+			inCycle[i] = si + 1
 		}
 		entry := false
 		for _, i := range scc {
@@ -284,6 +288,49 @@ func (g *Graph) checkCycles(comps []sim.Component, ends map[*sim.Link]*linkEnds)
 		diags = append(diags, Diag{DiagNoLoopCtl,
 			fmt.Sprintf("cycle through [%s] has no loop-entry Merge (NewLoopMerge); end-of-stream can never drain it",
 				strings.Join(member, ", "))})
+	}
+	diags = append(diags, g.checkLoopEntries(comps, ends, inCycle)...)
+	return diags
+}
+
+// checkLoopEntries proves each NewLoopMerge is wired the way the drain
+// protocol assumes: the priority input recirculates (its producer is on the
+// merge's own cycle) and the secondary input is external (its producer is
+// not). Swapping the two arguments compiles and even moves data, but the
+// in-flight count then tracks the wrong stream, Inflight never returns to
+// zero, and the stream-end token never enters the loop — a deadlock that is
+// provable here at build time.
+func (g *Graph) checkLoopEntries(comps []sim.Component, ends map[*sim.Link]*linkEnds, inCycle []int) []Diag {
+	var diags []Diag
+	producerIn := func(l *sim.Link, scc int) (bool, bool) {
+		e := ends[l]
+		if e == nil || len(e.producers) != 1 {
+			return false, false // unattributable; covered by producer diags
+		}
+		return true, inCycle[e.producers[0]] == scc
+	}
+	for i, c := range comps {
+		m, ok := c.(*Merge)
+		if !ok || !m.loopEntry() {
+			continue
+		}
+		scc := inCycle[i]
+		if scc == 0 {
+			diags = append(diags, Diag{DiagLoopEntryMiswired,
+				fmt.Sprintf("loop-entry merge %q (NewLoopMerge) is not on any cycle; its drain protocol waits on a recirculating path that does not exist",
+					m.Name())})
+			continue
+		}
+		if known, in := producerIn(m.pri, scc); known && !in {
+			diags = append(diags, Diag{DiagLoopEntryMiswired,
+				fmt.Sprintf("loop-entry merge %q: priority input %q is fed from outside the cycle — the recirculating link must be the first argument of NewLoopMerge",
+					m.Name(), m.pri.Name())})
+		}
+		if known, in := producerIn(m.sec, scc); known && in {
+			diags = append(diags, Diag{DiagLoopEntryMiswired,
+				fmt.Sprintf("loop-entry merge %q: external input %q is fed from its own cycle — the external link must be the second argument of NewLoopMerge",
+					m.Name(), m.sec.Name())})
+		}
 	}
 	return diags
 }

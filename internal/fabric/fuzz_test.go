@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// FuzzGraphCheck drives Graph.Check with byte-steered random topologies of
+// real components and enforces the verifier's two-sided contract:
+//
+//   - it never panics, on any wiring, however mangled (the whole point of
+//     a build-time verifier is to be callable on garbage);
+//   - it is sound for the component set fuzzed here: a graph it accepts is
+//     a DAG of Source/Map/Sink stages over positive-capacity registered
+//     links (cycles are rejected for lacking a loop-entry Merge), and such
+//     a graph provably drains — so an accepted graph that deadlocks or
+//     exhausts a generous budget is a verifier bug, not bad luck.
+//
+// The decoder deliberately produces orphan links, fan-in without a Merge,
+// dangling consumers, zero-capacity and zero-latency links, and cycles,
+// alongside well-formed pipelines.
+func FuzzGraphCheck(f *testing.F) {
+	// Seeds: a clean pipeline, a fan-in collision, a self-loop, garbage.
+	f.Add([]byte{2, 9, 2, 9, 2, 1, 0, 1, 1, 2})
+	f.Add([]byte{3, 9, 2, 0, 2, 9, 2, 2, 0, 0, 1, 0, 2, 1})
+	f.Add([]byte{1, 9, 2, 1, 0, 0, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+
+		g := NewGraph()
+		nLinks := int(next())%6 + 1
+		links := make([]*sim.Link, nLinks)
+		for i := range links {
+			links[i] = g.Sys.NewLink(
+				// Capacities 0..7 and latencies 0..3: zero values must be
+				// caught, not crashed on.
+				"l"+string(rune('0'+i)),
+				int(next())%8,
+				int(next())%4,
+			)
+		}
+		pick := func() *sim.Link { return links[int(next())%nLinks] }
+
+		recs := []record.Rec{record.Make(1, 2), record.Make(3, 4)}
+		g.Add(NewSource("src", recs, pick()))
+		nMaps := int(next()) % 5
+		for i := 0; i < nMaps; i++ {
+			g.Add(NewMap("m"+string(rune('0'+i)),
+				func(r record.Rec) record.Rec { return r }, pick(), pick()))
+		}
+		if next()%4 != 0 { // usually, but not always, give the graph a sink
+			g.Add(NewSink("snk", pick()))
+		}
+
+		err := g.Check()
+		if err == nil {
+			if _, rerr := g.Run(1_000_000); rerr != nil {
+				t.Fatalf("Check accepted a graph that then failed: %v", rerr)
+			}
+			return
+		}
+		var ce *CheckError
+		if !errors.As(err, &ce) || len(ce.Diags) == 0 {
+			t.Fatalf("Check returned a non-CheckError or empty error: %v", err)
+		}
+		_ = ce.Error() // rendering must not panic either
+	})
+}

@@ -126,6 +126,9 @@ func (c *hbmComponent) Done() bool { return c.h.Drained() }
 // Idle implements sim.Idler: ticking an HBM with no queued, in-flight, or
 // posted work is a no-op. The clock is kept current so a write posted
 // later in a skipped cycle is timestamped correctly.
+//
+// lint:tickpure-ok — SetNow only refreshes the idle model's timestamp; with
+// no queued or in-flight work there is no channel activity it could reorder.
 func (c *hbmComponent) Idle(cycle int64) bool {
 	if c.h.Idle() {
 		c.h.SetNow(cycle)

@@ -14,10 +14,15 @@
 //   - globalrand: package-level math/rand calls (rand.Intn, rand.Shuffle,
 //     ...). Seeded generators via rand.New(rand.NewSource(seed)) are fine.
 //   - maprange: a for-range over a map whose iteration order can reach
-//     simulation state. Sanctioned when the enclosing function sorts after
-//     the loop (collect-then-sort, the sim.Stats.Names idiom) or when the
-//     loop carries a "lint:maprange-ok" comment asserting the reduction is
-//     order-independent.
+//     simulation state. Sanctioned when the *innermost enclosing function*
+//     — a named declaration or a function literal — sorts after the loop
+//     (collect-then-sort, the sim.Stats.Names idiom) or when the loop
+//     carries a "lint:maprange-ok" comment asserting the reduction is
+//     order-independent. Scoping the sanction to the innermost FuncLit is
+//     load-bearing both ways: a collect-then-sort loop inside a closure is
+//     clean without borrowing a sort from the enclosing function, and a
+//     bare map range in one closure is not laundered by an unrelated sort
+//     elsewhere in the same declaration.
 //   - print: fmt.Print / Println / Printf in library packages — reporting
 //     belongs to the callers (cmd/, internal/bench), not the model.
 package lint
@@ -117,10 +122,21 @@ func AnalyzeFile(path string, rules Rules) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	return AnalyzeASTFile(fset, f, path, rules), nil
+}
+
+// AnalyzeASTFile lints an already-parsed file — the entry point the
+// type-checked driver in internal/analysis uses, so one parse serves both
+// the determinism rules and the go/types analyzers. The file must have been
+// parsed with comments (waivers live there). Findings come back sorted.
+func AnalyzeASTFile(fset *token.FileSet, f *ast.File, path string, rules Rules) []Finding {
+	if rules.None() {
+		return nil
+	}
 	a := &analysis{fset: fset, file: f, rules: rules, path: path}
 	out := a.run()
 	sortFindings(out)
-	return out, nil
+	return out
 }
 
 func sortFindings(fs []Finding) {
@@ -187,35 +203,76 @@ func (a *analysis) run() []Finding {
 	})
 
 	if a.rules.MapRange {
-		for _, decl := range a.file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			a.checkMapRanges(fd)
-		}
+		a.checkMapRanges()
 	}
 	return a.findings
 }
 
-// checkMapRanges flags map iterations in fd unless sanctioned by a
-// following sort call or an explicit waiver comment.
-func (a *analysis) checkMapRanges(fd *ast.FuncDecl) {
-	// Positions of sort.* calls in this function: a range loop that
-	// collects keys and sorts them afterwards is the sanctioned idiom.
-	var sortCalls []token.Pos
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// funcScope is one function body — a named declaration or a literal — used
+// to scope the maprange sanction to the innermost enclosing function.
+type funcScope struct {
+	pos, end token.Pos
+}
+
+func (s funcScope) contains(p token.Pos) bool { return s.pos <= p && p < s.end }
+
+// innermostScope returns the index of the smallest scope containing p, or
+// -1 (package level — ranges cannot occur there, but sort calls in var
+// initializers can).
+func innermostScope(scopes []funcScope, p token.Pos) int {
+	best := -1
+	for i, s := range scopes {
+		if !s.contains(p) {
+			continue
+		}
+		if best == -1 || scopes[best].end-scopes[best].pos > s.end-s.pos {
+			best = i
+		}
+	}
+	return best
+}
+
+// checkMapRanges flags map iterations anywhere in the file — including
+// function literals hung off package-level variables, which a per-FuncDecl
+// walk would miss — unless sanctioned by a later sort call in the *same
+// innermost function* or an explicit waiver comment. Earlier revisions
+// collected sort calls across the whole named declaration, which both
+// flagged sorted collect-then-sort loops inside closures (the sanction
+// never looked inside the FuncLit's own scope relative to outer ranges)
+// and laundered unsorted ranges past sorts in sibling closures.
+func (a *analysis) checkMapRanges() {
+	// Every function scope in the file: named declarations and literals.
+	var scopes []funcScope
+	for _, decl := range a.file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			scopes = append(scopes, funcScope{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	ast.Inspect(a.file, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, funcScope{fl.Body.Pos(), fl.Body.End()})
+		}
+		return true
+	})
+
+	// Sort calls, attributed to their innermost scope.
+	type scopedPos struct {
+		scope int
+		pos   token.Pos
+	}
+	var sortCalls []scopedPos
+	ast.Inspect(a.file, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 				if pkg, ok := sel.X.(*ast.Ident); ok && a.imports[pkg.Name] == "sort" {
-					sortCalls = append(sortCalls, call.Pos())
+					sortCalls = append(sortCalls, scopedPos{innermostScope(scopes, call.Pos()), call.Pos()})
 				}
 			}
 		}
 		return true
 	})
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(a.file, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok || !a.rangesOverMap(rs.X) {
 			return true
@@ -224,9 +281,10 @@ func (a *analysis) checkMapRanges(fd *ast.FuncDecl) {
 		if a.waived[line] {
 			return true
 		}
-		for _, p := range sortCalls {
-			if p >= rs.Pos() {
-				return true // collect-then-sort: order cannot escape
+		scope := innermostScope(scopes, rs.Pos())
+		for _, sc := range sortCalls {
+			if sc.scope == scope && sc.pos >= rs.Pos() {
+				return true // collect-then-sort in this function: order cannot escape
 			}
 		}
 		a.report(rs.Pos(), "maprange",

@@ -32,7 +32,7 @@ func TestBadFixtureTripsEveryRule(t *testing.T) {
 	want := map[string]int{
 		"wallclock":  2, // time.Now, time.Since
 		"globalrand": 3, // rand.Shuffle, rand.Intn, mrand.Int (aliased)
-		"maprange":   2, // direct range, selector range
+		"maprange":   3, // direct range, selector range, closure not laundered by outer sort
 		"print":      2, // Println, Printf
 	}
 	for _, rule := range []string{"wallclock", "globalrand", "maprange", "print"} {

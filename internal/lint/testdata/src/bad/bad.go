@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	mrand "math/rand"
+	"sort"
 	"time"
 )
 
@@ -41,6 +42,23 @@ func (h *holder) first() uint32 {
 		return k
 	}
 	return 0
+}
+
+// mapOrderLaundered violates maprange inside a closure: the genuine sort.*
+// call later in the enclosing function must not sanction the closure's bare
+// iteration — the sanction is scoped to the innermost function. (The old
+// per-declaration sanction accepted this.)
+func mapOrderLaundered() (func() int64, []string) {
+	f := func() int64 {
+		var total int64
+		for _, v := range counters {
+			total += v
+		}
+		return total
+	}
+	keys := []string{"b", "a"}
+	sort.Strings(keys)
+	return f, keys
 }
 
 // printy violates the print rule.

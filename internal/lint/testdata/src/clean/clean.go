@@ -45,6 +45,32 @@ func formats(n int) (string, error) {
 	return fmt.Sprintf("%d", n), nil
 }
 
+// closureSorted is the regression fixture for the closure-scoped sanction:
+// the collect-then-sort idiom lives entirely inside a function literal, and
+// the sanction must find the sort in the innermost FuncLit rather than only
+// scanning the named declaration.
+func closureSorted() func() []string {
+	return func() []string {
+		keys := make([]string, 0, len(counters))
+		for name := range counters {
+			keys = append(keys, name)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+}
+
+// pkgLevelSorted hangs the same sanctioned idiom off a package-level var —
+// a scope a per-declaration walk never visits.
+var pkgLevelSorted = func() []string {
+	keys := make([]string, 0, len(counters))
+	for name := range counters {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // slices ranges over non-maps; the maprange heuristic must stay quiet.
 func slices(rows []int, open [4]bool) int {
 	total := 0
