@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"aurochs/internal/lint"
+)
 
 // TestAnalyzersFor pins the directory classification: the cycle-level core
 // gets the full determinism set plus contract analyzers, other internal
@@ -12,10 +22,10 @@ func TestAnalyzersFor(t *testing.T) {
 		n     int
 		first string
 	}{
-		{"internal/sim", 3, "determinism"},
-		{"internal/fabric", 3, "determinism"},
-		{"internal/core", 3, "determinism"},
-		{"internal/blueprint", 3, "determinism"},
+		{"internal/sim", 4, "determinism"},
+		{"internal/fabric", 4, "determinism"},
+		{"internal/core", 4, "determinism"},
+		{"internal/blueprint", 4, "determinism"},
 		{"internal/bench", 0, ""},
 		{"cmd/aurochs-vet", 0, ""},
 		{".", 0, ""},
@@ -33,13 +43,100 @@ func TestAnalyzersFor(t *testing.T) {
 }
 
 // TestVetGraphsClean runs the -graphs path end to end: every registered
-// blueprint must come through the prover with zero findings.
+// blueprint must come through the prover with zero hard findings in both
+// modes. The explicitly waived CAS/publish effects surface as Waived
+// findings — reported for review, never a failure.
 func TestVetGraphsClean(t *testing.T) {
-	fs, err := vetGraphs()
+	for _, strict := range []bool{false, true} {
+		fs, err := vetGraphs(strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawWaived := false
+		for _, f := range fs {
+			if !f.Waived {
+				t.Errorf("strict=%v: hard finding on a clean registry: %v", strict, f)
+			}
+			if f.Analyzer != "graphs" {
+				t.Errorf("graph finding missing analyzer attribution: %+v", f)
+			}
+			sawWaived = true
+		}
+		if !sawWaived {
+			t.Errorf("strict=%v: expected the registry's waived order-dependent effects to be reported", strict)
+		}
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the complete -json output contract — analyzer name
+// and waiver status on every diagnostic, both for source-level findings
+// (the orderbad fixture) and graph-level findings (the -schemas prover on
+// the shipped registry, whose waived effects must carry waived=true).
+// Regenerate with: go test ./cmd/aurochs-vet -run TestJSONGolden -update
+func TestJSONGolden(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "orderbad")
+	src, err := vetPackages([]string{fixture})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fs) != 0 {
-		t.Fatalf("graph findings on a clean registry: %v", fs)
+	graph, err := vetGraphs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(src, graph...)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Rule < all[j].Rule
+	})
+	for _, f := range all {
+		if f.Analyzer == "" {
+			t.Errorf("finding without analyzer attribution: %+v", f)
+		}
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(all); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "findings.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from golden file %s\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+
+	// The golden file itself must decode and keep the waiver split: the
+	// orderbad fixture contributes hard findings, the registry contributes
+	// waived ones.
+	var decoded []lint.Finding
+	if err := json.Unmarshal(want, &decoded); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	hard, waived := 0, 0
+	for _, f := range decoded {
+		if f.Waived {
+			waived++
+		} else {
+			hard++
+		}
+	}
+	if hard == 0 || waived == 0 {
+		t.Errorf("golden file lost its hard/waived split: %d hard, %d waived", hard, waived)
 	}
 }

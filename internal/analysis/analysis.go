@@ -69,10 +69,11 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.findings = append(*p.findings, lint.Finding{
-		File: position.Filename,
-		Line: position.Line,
-		Rule: p.Analyzer.Name,
-		Msg:  fmt.Sprintf(format, args...),
+		File:     position.Filename,
+		Line:     position.Line,
+		Rule:     p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
 	})
 }
 
@@ -129,9 +130,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]lint.Finding, error) {
 		for _, a := range analyzers {
 			if a.NeedsTypes && pkg.Types == nil {
 				all = append(all, lint.Finding{
-					File: pkg.Dir,
-					Line: 0,
-					Rule: a.Name,
+					File:     pkg.Dir,
+					Line:     0,
+					Rule:     a.Name,
+					Analyzer: a.Name,
 					Msg: fmt.Sprintf("package did not type-check (%v); %s contract cannot be verified",
 						pkg.TypeError, a.Name),
 				})

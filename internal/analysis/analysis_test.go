@@ -79,6 +79,43 @@ func TestSharedCleanFixture(t *testing.T) {
 	}
 }
 
+// TestOrderBadFixture: each seeded order-dependent Spec literal is caught —
+// a bare write, a raw Modify closure, an unwaived CAS, and an empty-string
+// waiver — and the messages carry the remedy.
+func TestOrderBadFixture(t *testing.T) {
+	pkg := loadFixture(t, "orderbad")
+	fs := runAnalyzers(t, pkg, Orderdep)
+	if got := countRule(fs, "orderdep"); got != 4 {
+		t.Fatalf("orderdep: got %d findings, want 4\n%v", got, fs)
+	}
+	var sawWrite, sawModify, sawAnalyzer bool
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "OpWrite") {
+			sawWrite = true
+		}
+		if strings.Contains(f.Msg, "OpModify") && strings.Contains(f.Msg, "Combiner") {
+			sawModify = true
+		}
+		if f.Analyzer == "orderdep" {
+			sawAnalyzer = true
+		}
+	}
+	if !sawWrite || !sawModify || !sawAnalyzer {
+		t.Errorf("missing expected findings (write=%v modify=%v analyzer=%v):\n%v",
+			sawWrite, sawModify, sawAnalyzer, fs)
+	}
+}
+
+// TestOrderCleanFixture: every sanctioned escape — pure read, FAA, disjoint
+// addresses, a declared combiner, a non-empty waiver field, and a comment
+// waiver — passes without findings.
+func TestOrderCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "orderclean")
+	if fs := runAnalyzers(t, pkg, Orderdep); len(fs) != 0 {
+		t.Errorf("clean fixture flagged:\n%v", fs)
+	}
+}
+
 // TestDeterminismAdapter: the folded PR-1 rules report identically through
 // the driver — counts match the lint package's own fixture expectations.
 func TestDeterminismAdapter(t *testing.T) {
@@ -112,7 +149,7 @@ func TestRepoComponentsAreClean(t *testing.T) {
 		if pkg.TypeError != nil {
 			t.Fatalf("%s failed to type-check: %v", dir, pkg.TypeError)
 		}
-		if fs := runAnalyzers(t, pkg, SharedState, TickPurity); len(fs) != 0 {
+		if fs := runAnalyzers(t, pkg, SharedState, TickPurity, Orderdep); len(fs) != 0 {
 			t.Errorf("internal/%s has contract findings:\n%v", dir, fs)
 		}
 	}

@@ -1,0 +1,56 @@
+// Package orderbad is an analysis fixture: spad.Spec literals whose
+// cross-thread effects are order-dependent and carry no justification.
+// Every violation here is counted by TestOrderBadFixture; update both
+// together. This package is also the CI negative fixture — the workflow
+// runs aurochs-vet on it and requires a failing exit.
+package orderbad
+
+import (
+	"aurochs/internal/record"
+	"aurochs/internal/spad"
+)
+
+// PlainScatter is a last-writer-wins write with no disjointness claim:
+// under undefined thread order the final memory image depends on
+// retirement order.
+func PlainScatter() spad.Spec {
+	return spad.Spec{
+		Op:    spad.OpWrite,
+		Width: 1,
+		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
+		Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) },
+	}
+}
+
+// RawModify hides its combiner in an opaque closure the checker cannot
+// classify; OpModify must declare a named Combiner instead.
+func RawModify() spad.Spec {
+	return spad.Spec{
+		Op:   spad.OpModify,
+		Addr: func(r record.Rec) uint32 { return r.Get(0) },
+		Modify: func(cur uint32, r record.Rec) uint32 {
+			return cur*31 + r.Get(1) // order-sensitive fold
+		},
+	}
+}
+
+// BareCAS observes the current value, so which thread wins depends on
+// order; it needs an OrderWaiver explaining why the protocol converges.
+func BareCAS() spad.Spec {
+	return spad.Spec{
+		Op:   spad.OpCAS,
+		Addr: func(r record.Rec) uint32 { return r.Get(0) },
+		Data: func(r record.Rec, i int) uint32 { return r.Get(1 + i) },
+	}
+}
+
+// EmptyWaiver sets OrderWaiver to the empty string, which is not a
+// justification.
+func EmptyWaiver() spad.Spec {
+	return spad.Spec{
+		Op:          spad.OpXCHG,
+		Addr:        func(r record.Rec) uint32 { return r.Get(0) },
+		Data:        func(r record.Rec, _ int) uint32 { return r.Get(1) },
+		OrderWaiver: "",
+	}
+}

@@ -1,0 +1,71 @@
+// Package orderclean is an analysis fixture: one spad.Spec literal per
+// legitimate way to satisfy the orderdep rule. TestOrderCleanFixture
+// requires zero findings here.
+package orderclean
+
+import (
+	"aurochs/internal/record"
+	"aurochs/internal/spad"
+)
+
+// Gather is pure: reads cannot conflict.
+func Gather() spad.Spec {
+	return spad.Spec{
+		Op:    spad.OpRead,
+		Width: 2,
+		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
+	}
+}
+
+// Histogram is a fetch-and-add: addition commutes.
+func Histogram() spad.Spec {
+	return spad.Spec{
+		Op:   spad.OpFAA,
+		Addr: func(r record.Rec) uint32 { return r.Get(0) },
+		Data: func(record.Rec, int) uint32 { return 1 },
+	}
+}
+
+// DisjointScatter writes, but every thread owns its slot.
+func DisjointScatter() spad.Spec {
+	return spad.Spec{
+		Op:            spad.OpWrite,
+		Width:         1,
+		Addr:          func(r record.Rec) uint32 { return r.Get(0) },
+		Data:          func(r record.Rec, _ int) uint32 { return r.Get(1) },
+		DisjointAddrs: true,
+	}
+}
+
+// DeclaredModify routes its RMW through a named combiner whose
+// commutativity class the runtime check can read.
+func DeclaredModify() spad.Spec {
+	return spad.Spec{
+		Op:       spad.OpModify,
+		Addr:     func(r record.Rec) uint32 { return r.Get(0) },
+		Combiner: spad.CombineMax,
+	}
+}
+
+// WaivedCAS justifies its order dependence inline; the waiver travels into
+// proof reports.
+func WaivedCAS() spad.Spec {
+	return spad.Spec{
+		Op:          spad.OpCAS,
+		Addr:        func(r record.Rec) uint32 { return r.Get(0) },
+		Data:        func(r record.Rec, i int) uint32 { return r.Get(1 + i) },
+		OrderWaiver: "fixture: retry loop converges under every interleaving",
+	}
+}
+
+// CommentWaived uses the source-level escape hatch for a Spec built
+// outside the kernels' annotated idiom.
+func CommentWaived() spad.Spec {
+	// lint:orderdep-ok — single writer by protocol.
+	return spad.Spec{
+		Op:    spad.OpWrite,
+		Width: 1,
+		Addr:  func(record.Rec) uint32 { return 7 },
+		Data:  func(r record.Rec, _ int) uint32 { return r.Get(0) },
+	}
+}

@@ -45,17 +45,18 @@ func All() []Blueprint {
 			Doc:  "canonical recirculating pipeline: LoopMerge, body, exit Filter",
 			Build: func() (*fabric.Graph, error) {
 				g := fabric.NewGraph()
+				s := record.NewSchema("id", "count")
 				ext, body, dec, exit, recirc := g.Link("ext"), g.Link("body"),
 					g.Link("dec"), g.Link("exit"), g.Link("recirc")
 				ctl := fabric.NewLoopCtl()
-				g.Add(fabric.NewSource("src", sampleRecs(8), ext))
-				g.Add(fabric.NewLoopMerge("entry", recirc, ext, body, ctl))
+				g.Add(fabric.NewSource("src", sampleRecs(8), ext).Typed(s))
+				g.Add(fabric.NewLoopMerge("entry", recirc, ext, body, ctl).Typed(s, s, s))
 				g.Add(fabric.NewMap("dec", func(r record.Rec) record.Rec {
 					if c := r.Get(1); c > 0 {
 						return r.Set(1, c-1)
 					}
 					return r
-				}, body, dec).Cyclic())
+				}, body, dec).Cyclic().Typed(s, s))
 				g.Add(fabric.NewFilter("exit?", func(r record.Rec) int {
 					if r.Get(1) == 0 {
 						return 0
@@ -64,8 +65,8 @@ func All() []Blueprint {
 				}, dec, []fabric.Output{
 					{Link: exit, Exit: true},
 					{Link: recirc, NoEOS: true},
-				}, ctl))
-				g.Add(fabric.NewSink("snk", exit))
+				}, ctl).Typed(s))
+				g.Add(fabric.NewSink("snk", exit).Typed(s))
 				return g, nil
 			},
 		},
@@ -112,9 +113,10 @@ func All() []Blueprint {
 			Build: func() (*fabric.Graph, error) {
 				g := fabric.NewGraph()
 				g.AttachHBM(dram.New(dram.DefaultConfig()))
+				s := record.NewSchema("key", "val")
 				mid := g.Link("mid")
-				fabric.NewDRAMScan(g, "scan", []fabric.Extent{{Addr: 4096, Words: 256}}, 2, mid)
-				fabric.NewDRAMAppend(g, "app", 1<<20, 2, mid)
+				fabric.NewDRAMScan(g, "scan", []fabric.Extent{{Addr: 4096, Words: 256}}, 2, mid).Typed(s)
+				fabric.NewDRAMAppend(g, "app", 1<<20, 2, mid).Typed(s)
 				return g, nil
 			},
 		},

@@ -1,12 +1,19 @@
 package blueprint
 
-import "testing"
+import (
+	"testing"
+
+	"aurochs/internal/fabric"
+)
 
 // TestAllBlueprintsProveClean is the acceptance gate for the static
-// credit prover: every registered kernel topology must pass Graph.Check
-// and come out of Graph.Prove with zero warnings — line-rate and credit
-// sufficiency proven on every link and cycle. A regression here means a
-// shipped graph acquired a flow-control hazard.
+// provers: every registered kernel topology must pass Graph.Check and
+// come out of Graph.ProveWith(RequireSchemas) with zero warnings —
+// line-rate and credit sufficiency proven on every link and cycle, every
+// link schema-typed at both ends, and every stateful effect classified
+// reorder-safe (or carrying an explicit waiver, which the test reports).
+// A regression here means a shipped graph acquired a flow-control hazard,
+// lost schema coverage, or picked up an unclassified order-dependent RMW.
 func TestAllBlueprintsProveClean(t *testing.T) {
 	bps := All()
 	if len(bps) == 0 {
@@ -24,7 +31,7 @@ func TestAllBlueprintsProveClean(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			rep, err := g.Prove()
+			rep, err := g.ProveWith(fabric.ProveOptions{RequireSchemas: true})
 			if err != nil {
 				t.Fatalf("prove: %v", err)
 			}
@@ -33,6 +40,9 @@ func TestAllBlueprintsProveClean(t *testing.T) {
 			}
 			if len(rep.Proofs) == 0 {
 				t.Fatal("no proofs emitted")
+			}
+			for _, w := range rep.Waived {
+				t.Logf("waived: %s", w.Msg)
 			}
 		})
 	}

@@ -85,6 +85,10 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	nodes := spad.NewMem(16, nodeBankWords, 2)
 	ht := &HashTable{Params: p, Heads: heads, Nodes: nodes, HBM: hbm}
 
+	// Threads are made full-width up front, so one schema covers the whole
+	// pipeline (field order matches the ag* constants).
+	aggS := record.NewSchema("key", "ptr", "headSeen", "slot", "nkey", "nnext", "obs", "mark")
+
 	threads := make([]record.Rec, len(keys))
 	for i, k := range keys {
 		threads[i] = record.Make(k, 0, 0, Nil, 0, 0, 0, 0)
@@ -94,10 +98,10 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	src := g.Link("agg.src")
 	headIn := g.Link("agg.headIn")
 	ext := g.Link("agg.ext")
-	g.Add(fabric.NewSource("agg.in", threads, src))
+	g.Add(fabric.NewSource("agg.in", threads, src).Typed(aggS))
 	g.Add(fabric.NewMap("agg.hash", func(r record.Rec) record.Rec {
 		return r.Set(agPtr, Hash32(r.Get(agKey))&(p.Buckets-1))
-	}, src, headIn))
+	}, src, headIn).Typed(aggS, aggS))
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.head"), heads, spad.Spec{
 		Op:    spad.OpRead,
 		Width: 1,
@@ -106,13 +110,15 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 			r = r.Set(agPtr, resp[0])
 			return r.Set(agHeadSeen, resp[0]), true
 		},
+		In:  aggS,
+		Out: aggS,
 	}, headIn, ext, g.Stats()))
 
 	// The walk loop.
 	ctl := fabric.NewLoopCtl()
 	body := g.Link("agg.body")
 	recircJoin := g.Link("agg.recircJoin")
-	g.Add(fabric.NewLoopMerge("agg.entry", recircJoin, ext, body, ctl))
+	g.Add(fabric.NewLoopMerge("agg.entry", recircJoin, ext, body, ctl).Typed(aggS, aggS, aggS))
 
 	// Route: chain end → insert path; otherwise fetch the node.
 	fetchIn := g.Link("agg.fetchIn")
@@ -125,7 +131,7 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	}, body, []fabric.Output{
 		{Link: fetchIn},
 		{Link: insertIn},
-	}, nil).Cyclic())
+	}, nil).Cyclic().Typed(aggS))
 
 	// Fetch and compare.
 	fetched := g.Link("agg.fetched")
@@ -137,6 +143,8 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 			r = r.Set(agNKey, resp[0])
 			return r.Set(agNNext, resp[2]), true
 		},
+		In:  aggS,
+		Out: aggS,
 	}, fetchIn, fetched, g.Stats()))
 	faaIn := g.Link("agg.faaIn")
 	walkOn := g.Link("agg.walkOn")
@@ -148,11 +156,11 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	}, fetched, []fabric.Output{
 		{Link: faaIn},
 		{Link: walkOn, NoEOS: true},
-	}, nil).Cyclic())
+	}, nil).Cyclic().Typed(aggS))
 	stepped := g.Link("agg.stepped")
 	g.Add(fabric.NewMap("agg.step", func(r record.Rec) record.Rec {
 		return r.Set(agPtr, r.Get(agNNext))
-	}, walkOn, stepped).Cyclic())
+	}, walkOn, stepped).Cyclic().Typed(aggS, aggS))
 
 	// Count bump: FAA on the node's count word, then exit.
 	done := g.Link("agg.done")
@@ -163,13 +171,15 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
 			return r, true
 		},
+		In:  aggS,
+		Out: aggS,
 	}, faaIn, done, g.Stats()))
 	exitFilter := g.Link("agg.exitIn")
-	g.Add(fabric.NewMap("agg.id", func(r record.Rec) record.Rec { return r }, done, exitFilter).Cyclic())
+	g.Add(fabric.NewMap("agg.id", func(r record.Rec) record.Rec { return r }, done, exitFilter).Cyclic().Typed(aggS, aggS))
 	sinkIn := g.Link("agg.sinkIn")
 	g.Add(fabric.NewFilter("agg.exit", func(record.Rec) int { return 0 }, exitFilter,
-		[]fabric.Output{{Link: sinkIn, Exit: true}}, ctl).Cyclic())
-	snk := fabric.NewSink("agg.sink", sinkIn)
+		[]fabric.Output{{Link: sinkIn, Exit: true}}, ctl).Cyclic().Typed(aggS))
+	snk := fabric.NewSink("agg.sink", sinkIn).Typed(aggS)
 	g.Add(snk)
 
 	// Insert path: stamp a slot once, write [key, 0, next=headSeen], CAS
@@ -186,7 +196,7 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 			slotCtr++
 		}
 		return r
-	}, insertIn, stamped).Cyclic())
+	}, insertIn, stamped).Cyclic().Typed(aggS, aggS))
 	wrote := g.Link("agg.wrote")
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.nodeW"), nodes, spad.Spec{
 		Op:    spad.OpWrite,
@@ -202,6 +212,11 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 				return r.Get(agHeadSeen)
 			}
 		},
+		In:  aggS,
+		Out: aggS,
+		// Each insert writes the slot it just stamped and no other thread
+		// holds that slot, so the node writes are disjoint.
+		DisjointAddrs: true,
 	}, stamped, wrote, g.Stats()))
 	casOut := g.Link("agg.casOut")
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.cas"), heads, spad.Spec{
@@ -216,6 +231,9 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
 			return r.Set(agObs, resp[0]), true
 		},
+		In:          aggS,
+		Out:         aggS,
+		OrderWaiver: "lock-free CAS-prepend retry loop; every interleaving yields a complete chain",
 	}, wrote, casOut, g.Stats()))
 	// CAS success: this thread's node is linked; bump it (count was 0).
 	// CAS failure: re-walk from the observed head.
@@ -229,24 +247,24 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	}, casOut, []fabric.Output{
 		{Link: casWin, NoEOS: true},
 		{Link: casLose, NoEOS: true},
-	}, nil).Cyclic())
+	}, nil).Cyclic().Typed(aggS))
 	// Winner: point at its own node and recirculate through the walk —
 	// it will match its own key immediately and FAA count 0 → 1.
 	winStep := g.Link("agg.winStep")
 	g.Add(fabric.NewMap("agg.winPtr", func(r record.Rec) record.Rec {
 		return r.Set(agPtr, r.Get(agSlot))
-	}, casWin, winStep).Cyclic())
+	}, casWin, winStep).Cyclic().Typed(aggS, aggS))
 	// Loser: restart the walk at the observed head.
 	loseStep := g.Link("agg.losePtr")
 	g.Add(fabric.NewMap("agg.losePtr", func(r record.Rec) record.Rec {
 		r = r.Set(agPtr, r.Get(agObs))
 		return r.Set(agHeadSeen, r.Get(agObs))
-	}, casLose, loseStep).Cyclic())
+	}, casLose, loseStep).Cyclic().Typed(aggS, aggS))
 
 	// Rejoin the three recirculating paths.
 	r1 := g.Link("agg.r1")
-	g.Add(fabric.NewMerge("agg.rejoin1", stepped, winStep, r1).Cyclic())
-	g.Add(fabric.NewMerge("agg.rejoin2", r1, loseStep, recircJoin).Cyclic())
+	g.Add(fabric.NewMerge("agg.rejoin1", stepped, winStep, r1).Cyclic().Typed(aggS, aggS, aggS))
+	g.Add(fabric.NewMerge("agg.rejoin2", r1, loseStep, recircJoin).Cyclic().Typed(aggS, aggS, aggS))
 
 	res, err := runGraph(g, budgetFor(len(keys))*4)
 	if err != nil {

@@ -26,6 +26,14 @@ func probeSchema(keyWords int) probeFields {
 	}
 }
 
+// probeInSchema returns the external probe-stream schema: [key..., tag].
+func probeInSchema(keyWords int) *record.Schema {
+	if keyWords == 1 {
+		return record.NewSchema("key", "tag")
+	}
+	return record.NewSchema("key0", "key1", "tag")
+}
+
 // ProbeOptions controls the probe pipeline.
 type ProbeOptions struct {
 	// FirstMatchOnly stops a thread at its first key match (semi-join /
@@ -59,11 +67,25 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	nw := p.nodeWords()
 	f := probeSchema(kw)
 
+	// Thread layout: the external [key..., tag] stream widens at the hash
+	// stage with the chain-walk state; matches project back down to
+	// [key..., tag, val] on the way out.
+	inS := probeInSchema(kw)
+	walkNames := []string{"ptr"}
+	if kw == 1 {
+		walkNames = append(walkNames, "nkey")
+	} else {
+		walkNames = append(walkNames, "nkey0", "nkey1")
+	}
+	walkNames = append(walkNames, "nval", "nnext", "mark")
+	fullS := g.Widen(inS, walkNames...)
+	outS := g.Widen(inS, "val")
+
 	// --- ingress: hash to bucket, read the head pointer ---
 	src := g.Link(pf + ".src")
 	headIn := g.Link(pf + ".headIn")
 	headOut := g.Link(pf + ".headOut")
-	probes.attach(g, pf+".in", src)
+	probes.attach(g, pf+".in", src, inS)
 	g.Add(fabric.NewMap(pf+".hash", func(r record.Rec) record.Rec {
 		// Extend to the thread schema: ptr=bucket for the head read.
 		r = r.Append(p.hashKey(r) & (p.Buckets - 1))
@@ -71,7 +93,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 			r = r.Append(0)
 		}
 		return r.Set(f.nnext, Nil)
-	}, src, headIn))
+	}, src, headIn).Typed(inS, fullS))
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".head"), ht.Heads, spad.Spec{
 		Op:    spad.OpRead,
 		Width: 1,
@@ -79,6 +101,8 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
 			return r.Set(f.ptr, resp[0]), true
 		},
+		In:  fullS,
+		Out: fullS,
 	}, headIn, headOut, g.Stats()))
 
 	// Empty buckets terminate before the loop.
@@ -88,13 +112,13 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 			return -1 // miss: kill thread
 		}
 		return 0
-	}, headOut, []fabric.Output{{Link: ext}}, nil))
+	}, headOut, []fabric.Output{{Link: ext}}, nil).Typed(fullS))
 
 	// --- recirculating chain walk ---
 	ctl := fabric.NewLoopCtl()
 	body := g.Link(pf + ".body")
 	recirc := g.Link(pf + ".recirc")
-	g.Add(fabric.NewLoopMerge(pf+".entry", recirc, ext, body, ctl))
+	g.Add(fabric.NewLoopMerge(pf+".entry", recirc, ext, body, ctl).Typed(fullS, fullS, fullS))
 
 	// Fetch the node from SRAM or the DRAM overflow buffer.
 	toSpad := g.Link(pf + ".toSpad")
@@ -106,7 +130,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 			return 0
 		}
 		return 1
-	}, body, []fabric.Output{{Link: toSpad}, {Link: toDram}}, nil))
+	}, body, []fabric.Output{{Link: toSpad}, {Link: toDram}}, nil).Typed(fullS))
 	applyNode := func(r record.Rec, resp []uint32) (record.Rec, bool) {
 		for i := 0; i < kw; i++ {
 			r = r.Set(f.nkey+i, resp[i])
@@ -120,6 +144,8 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 		Width: int(nw),
 		Addr:  func(r record.Rec) uint32 { return r.Get(f.ptr) * nw },
 		Apply: applyNode,
+		In:    fullS,
+		Out:   fullS,
 	}, toSpad, fromSpad, g.Stats()))
 	fabric.NewDRAMNode(g, pf+".nodeRD", spad.Spec{
 		Op:    spad.OpRead,
@@ -128,10 +154,12 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 			return p.OverflowBase + (r.Get(f.ptr)-p.SpadNodes)*nw
 		},
 		Apply: applyNode,
+		In:    fullS,
+		Out:   fullS,
 	}, toDram, fromDram)
 
 	fetched := g.Link(pf + ".fetched")
-	g.Add(fabric.NewMerge(pf+".fetchJoin", fromSpad, fromDram, fetched))
+	g.Add(fabric.NewMerge(pf+".fetchJoin", fromSpad, fromDram, fetched).Typed(fullS, fullS, fullS))
 
 	// Compare and continue: a matching node emits a match thread; a
 	// non-nil next continues the walk. A fork expresses "both".
@@ -152,7 +180,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 			out = append(out, r.Set(f.ptr, r.Get(f.nnext)).Set(f.mark, 0))
 		}
 		return out
-	}, fetched, forked, ctl))
+	}, fetched, forked, ctl).Typed(fullS, fullS))
 
 	found := g.Link(pf + ".found")
 	g.Add(fabric.NewFilter(pf+".route", func(r record.Rec) int {
@@ -163,7 +191,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	}, forked, []fabric.Output{
 		{Link: found, Exit: true},
 		{Link: recirc, NoEOS: true},
-	}, ctl))
+	}, ctl).Typed(fullS))
 
 	// Project matches down to [key..., tag, val].
 	out := g.Link(pf + ".out")
@@ -174,8 +202,8 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 		}
 		o = o.Append(r.Get(f.tag))
 		return o.Append(r.Get(f.nval))
-	}, found, out))
-	snk := fabric.NewSink(pf+".sink", out)
+	}, found, out).Typed(fullS, outS))
+	snk := fabric.NewSink(pf+".sink", out).Typed(outS)
 	g.Add(snk)
 	return snk
 }

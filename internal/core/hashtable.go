@@ -198,13 +198,24 @@ func InExtents(ext []fabric.Extent, recWords int) StreamIn {
 	return StreamIn{Extents: ext, RecWords: recWords, N: n}
 }
 
-// attach wires the input into graph g, feeding link out.
-func (in StreamIn) attach(g *fabric.Graph, name string, out *sim.Link) {
+// attach wires the input into graph g, feeding link out with records of
+// the given schema (a Source carries it as declared; a DRAMScan requires
+// the schema width to equal its record width).
+func (in StreamIn) attach(g *fabric.Graph, name string, out *sim.Link, schema *record.Schema) {
 	if in.Recs != nil || in.Extents == nil {
-		g.Add(fabric.NewSource(name, in.Recs, out))
+		g.Add(fabric.NewSource(name, in.Recs, out).Typed(schema))
 		return
 	}
-	fabric.NewDRAMScan(g, name, in.Extents, in.RecWords, out)
+	fabric.NewDRAMScan(g, name, in.Extents, in.RecWords, out).Typed(schema)
+}
+
+// keySchema returns the external record schema of a keyed stream:
+// [key, val] for one-word keys, [key0, key1, val] for two.
+func keySchema(keyWords int) *record.Schema {
+	if keyWords == 1 {
+		return record.NewSchema("key", "val")
+	}
+	return record.NewSchema("key0", "key1", "val")
 }
 
 // BuildHashTable runs the fig. 7a build pipeline on the fabric: stamp a
@@ -288,10 +299,16 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	f := buildSchema(kw)
 	nodes, heads := ht.Nodes, ht.Heads
 
+	// Thread layout: the external [key..., val] stream widens at the stamp
+	// stage with the build-loop state; every link past it carries the full
+	// schema.
+	inS := keySchema(kw)
+	fullS := g.Widen(inS, "bucket", "slot", "cur", "obs")
+
 	// --- ingress: hash, stamp slot ---
 	src := g.Link(pf + ".src")
 	stamped := g.Link(pf + ".stamped")
-	input.attach(g, pf+".in", src)
+	input.attach(g, pf+".in", src, inS)
 	g.Add(fabric.NewMap(pf+".stamp", func(r record.Rec) record.Rec {
 		r = r.Append(p.hashKey(r) & (p.Buckets - 1)) // bucket
 		r = r.Append(ht.Inserted)                    // slot
@@ -299,7 +316,7 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 		r = r.Append(Nil) // cur
 		r = r.Append(0)   // obs
 		return r
-	}, src, stamped))
+	}, src, stamped).Typed(inS, fullS))
 
 	// --- node-body scatter: SRAM path or DRAM overflow path ---
 	toSpadW := g.Link(pf + ".toSpadW")
@@ -311,12 +328,16 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 			return 0
 		}
 		return 1
-	}, stamped, []fabric.Output{{Link: toSpadW}, {Link: toDramW}}, nil))
+	}, stamped, []fabric.Output{{Link: toSpadW}, {Link: toDramW}}, nil).Typed(fullS))
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".nodeW"), nodes, spad.Spec{
 		Op:    spad.OpWrite,
 		Width: kw + 1,
 		Addr:  func(r record.Rec) uint32 { return r.Get(f.slot) * nw },
 		Data:  func(r record.Rec, i int) uint32 { return r.Get(i) }, // keys..., val
+		In:    fullS,
+		Out:   fullS,
+		// Each thread scatters the body of its own freshly-reserved slot.
+		DisjointAddrs: true,
 	}, toSpadW, wroteSpad, g.Stats()))
 	fabric.NewDRAMNode(g, pf+".nodeWD", spad.Spec{
 		Op:    spad.OpWrite,
@@ -325,17 +346,21 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 			return p.OverflowBase + (r.Get(f.slot)-p.SpadNodes)*nw
 		},
 		Data: func(r record.Rec, i int) uint32 { return r.Get(i) },
+		In:   fullS,
+		Out:  fullS,
+		// Same slot reservation, overflow half of the address space.
+		DisjointAddrs: true,
 	}, toDramW, wroteDram)
 
 	ext := g.Link(pf + ".ext")
-	g.Add(fabric.NewMerge(pf+".rejoin", wroteSpad, wroteDram, ext))
+	g.Add(fabric.NewMerge(pf+".rejoin", wroteSpad, wroteDram, ext).Typed(fullS, fullS, fullS))
 
 	// --- CAS-prepend retry loop (paper §III-A, fig. 6c) ---
 	ctl := fabric.NewLoopCtl()
 	body := g.Link(pf + ".body")
 	recirc := g.Link(pf + ".recirc")
 	recirc2 := g.Link(pf + ".recirc2")
-	g.Add(fabric.NewLoopMerge(pf+".entry", recirc2, ext, body, ctl))
+	g.Add(fabric.NewLoopMerge(pf+".entry", recirc2, ext, body, ctl).Typed(fullS, fullS, fullS))
 
 	// Scatter cur into the node's next field (SRAM or DRAM per slot).
 	nextSpadIn := g.Link(pf + ".nextSpadIn")
@@ -347,12 +372,17 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 			return 0
 		}
 		return 1
-	}, body, []fabric.Output{{Link: nextSpadIn, NoEOS: false}, {Link: nextDramIn}}, nil))
+	}, body, []fabric.Output{{Link: nextSpadIn, NoEOS: false}, {Link: nextDramIn}}, nil).Typed(fullS))
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".nextW"), nodes, spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
 		Addr:  func(r record.Rec) uint32 { return r.Get(f.slot)*nw + nw - 1 },
 		Data:  func(r record.Rec, _ int) uint32 { return r.Get(f.cur) },
+		In:    fullS,
+		Out:   fullS,
+		// A thread only ever rewrites its own slot's next field; retries of
+		// one thread are causally ordered through the recirculating path.
+		DisjointAddrs: true,
 	}, nextSpadIn, nextSpadOut, g.Stats()))
 	fabric.NewDRAMNode(g, pf+".nextWD", spad.Spec{
 		Op:    spad.OpWrite,
@@ -360,12 +390,15 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 		Addr: func(r record.Rec) uint32 {
 			return p.OverflowBase + (r.Get(f.slot)-p.SpadNodes)*nw + nw - 1
 		},
-		Data: func(r record.Rec, _ int) uint32 { return r.Get(f.cur) },
+		Data:          func(r record.Rec, _ int) uint32 { return r.Get(f.cur) },
+		In:            fullS,
+		Out:           fullS,
+		DisjointAddrs: true, // own slot's next field, overflow half
 	}, nextDramIn, nextDramOut)
 
 	casIn := g.Link(pf + ".casIn")
 	casOut := g.Link(pf + ".casOut")
-	g.Add(fabric.NewMerge(pf+".nextJoin", nextSpadOut, nextDramOut, casIn))
+	g.Add(fabric.NewMerge(pf+".nextJoin", nextSpadOut, nextDramOut, casIn).Typed(fullS, fullS, fullS))
 
 	// Atomic gather-scatter CAS on the bucket head.
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".cas"), heads, spad.Spec{
@@ -380,6 +413,14 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
 			return r.Set(f.obs, resp[0]), true
 		},
+		In:  fullS,
+		Out: fullS,
+		// CAS outcomes depend on arrival order, but the retry loop makes
+		// every interleaving converge: losers observe the winning head and
+		// re-link behind it, so each bucket chain ends up containing exactly
+		// the inserted nodes. Chain order is unspecified by the table's
+		// multiset contract (LookupAll returns all matches regardless).
+		OrderWaiver: "lock-free CAS-prepend retry loop; every interleaving yields a complete chain",
 	}, casIn, casOut, g.Stats()))
 
 	// Success exits (thread dies); failure refreshes cur and retries.
@@ -392,12 +433,12 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	}, casOut, []fabric.Output{
 		{Link: done, Exit: true},
 		{Link: recirc, NoEOS: true},
-	}, ctl))
+	}, ctl).Typed(fullS))
 	g.Add(fabric.NewMap(pf+".refresh", func(r record.Rec) record.Rec {
 		return r.Set(f.cur, r.Get(f.obs))
-	}, recirc, recirc2).Cyclic())
+	}, recirc, recirc2).Cyclic().Typed(fullS, fullS))
 
-	snk := fabric.NewSink(pf+".sink", done)
+	snk := fabric.NewSink(pf+".sink", done).Typed(fullS)
 	g.Add(snk)
 	return snk
 }

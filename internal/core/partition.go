@@ -6,6 +6,7 @@ import (
 	"aurochs/internal/dram"
 	"aurochs/internal/fabric"
 	"aurochs/internal/record"
+	"aurochs/internal/sim"
 	"aurochs/internal/spad"
 )
 
@@ -144,6 +145,17 @@ func partFields(recWords uint32) (part, cnt, ptr, newBlk int) {
 	return int(recWords), int(recWords) + 1, int(recWords) + 2, int(recWords) + 3
 }
 
+// partRecSchema names the external record layout: the key plus payload
+// words.
+func partRecSchema(recWords uint32) *record.Schema {
+	names := make([]string, recWords)
+	names[0] = "key"
+	for i := 1; i < int(recWords); i++ {
+		names[i] = fmt.Sprintf("v%d", i)
+	}
+	return record.NewSchema(names...)
+}
+
 // Partition runs the fig. 7b pipeline over input (records of
 // p.RecWords 32-bit fields, field 0 the key). hbm may be nil.
 func Partition(p PartitionParams, input []record.Rec, hbm *dram.HBM) (*PartitionSet, Result, error) {
@@ -181,6 +193,14 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	}
 	fPart, fCnt, fPtr, fNew := partFields(p.RecWords)
 
+	// Thread schemas: external records widen with the partition id at the
+	// hash stage, the {cnt, ptr} ticket at the meta FAA, and the fresh
+	// block index on the allocation path.
+	inS := partRecSchema(p.RecWords)
+	partS := g.Widen(inS, "part")
+	metaS := g.Widen(partS, "cnt", "ptr")
+	fullS := g.Widen(metaS, "newBlk")
+
 	meta := spad.NewMem(16, int(p.Parts+15)/16, 0)
 	meta.Fill(NilBlock<<partCountBits | p.BlockRecs) // head=nil, count=full ⇒ first thread allocates
 	allocMem := spad.NewMem(16, 1, 0)                // global block allocation counter
@@ -188,13 +208,15 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	ps := &PartitionSet{Params: p, Meta: meta, HBM: g.HBM, allocMem: allocMem}
 
 	src := g.Link(pf + ".src")
-	input.attach(g, pf+".in", src)
+	input.attach(g, pf+".in", src, inS)
 
-	// Loop entry: all records retry through the FAA until stored.
+	// Loop entry: all records retry through the FAA until stored. The loop
+	// body only guarantees the external prefix — recirculated records carry
+	// stale ticket fields that the next FAA pass overwrites.
 	ctl := fabric.NewLoopCtl()
 	body := g.Link(pf + ".body")
 	recircJoin := g.Link(pf + ".recircJoin")
-	g.Add(fabric.NewLoopMerge(pf+".entry", recircJoin, src, body, ctl))
+	g.Add(fabric.NewLoopMerge(pf+".entry", recircJoin, src, body, ctl).Typed(metaS, inS, inS))
 
 	// Hash to partition, then fused FAA on the packed {ptr|count} word.
 	hashed := g.Link(pf + ".hashed")
@@ -202,23 +224,31 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 		part := (Hash32(r.Get(0)) >> p.HashShift) & (p.Parts - 1)
 		r = r.Set(fPart, part)
 		return r
-	}, body, hashed).Cyclic())
+	}, body, hashed).Cyclic().Typed(inS, partS))
 
-	faaOut := g.Link(pf + ".faaOut")
-	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".meta"), meta, spad.Spec{
-		// A saturating fetch-and-add (the RMW ALU's combiner): retry
-		// threads hammering a stalled partition stop incrementing once
-		// the count field is past every useful ticket, so the count can
-		// never creep into the pointer bits however long an allocation
-		// takes.
-		Op:   spad.OpModify,
-		Addr: func(r record.Rec) uint32 { return r.Get(fPart) },
-		Modify: func(cur uint32, _ record.Rec) uint32 {
+	// A saturating fetch-and-add (the RMW ALU's combiner): retry threads
+	// hammering a stalled partition stop incrementing once the count field
+	// is past every useful ticket, so the count can never creep into the
+	// pointer bits however long an allocation takes. Every thread applies
+	// the identical monotone function, so applications commute — the final
+	// metadata word is independent of thread order.
+	satFAA := &spad.CombineFn{
+		Name:  "saturating-faa",
+		Class: sim.ReorderCommutative,
+		Fn: func(cur, _ uint32) uint32 {
 			if cur&partCountMask >= 2*p.BlockRecs {
 				return cur
 			}
 			return cur + 1
 		},
+	}
+	faaOut := g.Link(pf + ".faaOut")
+	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".meta"), meta, spad.Spec{
+		Op:       spad.OpModify,
+		Addr:     func(r record.Rec) uint32 { return r.Get(fPart) },
+		Combiner: satFAA,
+		In:       partS,
+		Out:      metaS,
 		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
 			cnt := resp[0] & partCountMask
 			if cnt > p.BlockRecs+partCountMask/2 {
@@ -251,9 +281,11 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 		{Link: storeIn, Exit: true},
 		{Link: allocIn},
 		{Link: retry, NoEOS: true},
-	}, ctl).Cyclic())
+	}, ctl).Cyclic().Typed(metaS))
 
 	// Store path (exits the loop): scatter the record into its block slot.
+	// Each thread's {ptr, cnt} ticket names a slot no other thread holds,
+	// so the scatters are disjoint and reorder freely.
 	stored := g.Link(pf + ".stored")
 	fabric.NewDRAMNode(g, pf+".store", spad.Spec{
 		Op:    spad.OpWrite,
@@ -261,9 +293,12 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 		Addr: func(r record.Rec) uint32 {
 			return ps.blockAddr(r.Get(fPtr)) + 1 + r.Get(fCnt)*p.RecWords
 		},
-		Data: func(r record.Rec, i int) uint32 { return r.Get(i) },
+		Data:          func(r record.Rec, i int) uint32 { return r.Get(i) },
+		In:            metaS,
+		Out:           metaS,
+		DisjointAddrs: true,
 	}, storeIn, stored)
-	snk := fabric.NewSink(pf+".sink", stored)
+	snk := fabric.NewSink(pf+".sink", stored).Typed(metaS)
 	g.Add(snk)
 
 	// Allocation path (stays in the loop): grab a block index, link it to
@@ -279,13 +314,20 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 			}
 			return r.Set(fNew, resp[0]), true
 		},
+		In:  metaS,
+		Out: fullS,
 	}, allocIn, allocFaa, g.Stats()))
 	linked := g.Link(pf + ".linked")
+	// The allocator thread owns its fresh block outright until publish, so
+	// the next-pointer writes land on disjoint addresses.
 	fabric.NewDRAMNode(g, pf+".link", spad.Spec{
-		Op:    spad.OpWrite,
-		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return ps.blockAddr(r.Get(fNew)) },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(fPtr) },
+		Op:            spad.OpWrite,
+		Width:         1,
+		Addr:          func(r record.Rec) uint32 { return ps.blockAddr(r.Get(fNew)) },
+		Data:          func(r record.Rec, _ int) uint32 { return r.Get(fPtr) },
+		In:            fullS,
+		Out:           fullS,
+		DisjointAddrs: true,
 	}, allocFaa, linked)
 	published := g.Link(pf + ".published")
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".publish"), meta, spad.Spec{
@@ -293,10 +335,17 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 		Width: 1,
 		Addr:  func(r record.Rec) uint32 { return r.Get(fPart) },
 		Data:  func(r record.Rec, _ int) uint32 { return r.Get(fNew) << partCountBits },
+		In:    fullS,
+		Out:   fullS,
+		// Exactly one thread per partition generation holds ticket ==
+		// BlockRecs and publishes; the next publish to the same word only
+		// happens after this one is observed (the count must fill again),
+		// so same-address writes are causally ordered through the meta FAA.
+		OrderWaiver: "single publisher per partition generation, serialized by the meta FAA ticket",
 	}, linked, published, g.Stats()))
 
 	// Rejoin both recirculating paths.
-	g.Add(fabric.NewMerge(pf+".recirc", published, retry, recircJoin).Cyclic())
+	g.Add(fabric.NewMerge(pf+".recirc", published, retry, recircJoin).Cyclic().Typed(metaS, metaS, metaS))
 
 	return ps, snk, nil
 }

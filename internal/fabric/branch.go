@@ -70,6 +70,8 @@ type Filter struct {
 	eosIn      bool
 	eos        []bool
 	cyclic     bool
+	inSchema   *record.Schema   // lint:sharedstate-ok — schemas are immutable after construction
+	outSchemas []*record.Schema // parallel to outs (incl. nil-link slots); lint:sharedstate-ok — immutable
 }
 
 // NewFilter builds a filter. route returns the output index for each
@@ -316,11 +318,14 @@ type Merge struct {
 	out  *sim.Link
 	ctl  *LoopCtl // non-nil: this is a loop-entry merge; sec is external
 
-	acc    []record.Rec
-	priEOS bool
-	secEOS bool
-	eos    bool
-	cyclic bool
+	acc       []record.Rec
+	priEOS    bool
+	secEOS    bool
+	eos       bool
+	cyclic    bool
+	priSchema *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
+	secSchema *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
+	outSchem  *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 // NewMerge builds a plain merge: priority input pri, secondary sec.
@@ -476,10 +481,12 @@ type Fork struct {
 	fn   func(record.Rec) []record.Rec
 	ctl  *LoopCtl
 
-	buf    []timedRec
-	eosIn  bool
-	eos    bool
-	cyclic bool
+	buf      []timedRec
+	eosIn    bool
+	eos      bool
+	cyclic   bool
+	inSchema *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
+	outSchem *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 type timedRec struct {

@@ -223,6 +223,8 @@ func (g *Graph) Check() error {
 	}
 
 	diags = append(diags, g.checkCycles(comps, ends)...)
+	diags = append(diags, g.checkSchemas(comps, ends)...)
+	diags = append(diags, g.checkReorder(comps)...)
 
 	if len(diags) == 0 {
 		return nil

@@ -20,7 +20,7 @@ import (
 type DRAMNode struct {
 	name string
 	h    *dram.HBM
-	spec spad.Spec
+	spec spad.Spec // lint:sharedstate-ok — Spec (incl. its schemas) is immutable after construction
 	in   *sim.Link
 	out  *sim.Link
 	stat *sim.Stats

@@ -21,7 +21,11 @@ import (
 //
 // The decoder deliberately produces orphan links, fan-in without a Merge,
 // dangling consumers, zero-capacity and zero-latency links, and cycles,
-// alongside well-formed pipelines.
+// alongside well-formed pipelines. Trailing bytes steer schema annotations
+// (untyped / two compatible prefixes / a disjoint schema), so the corpus
+// also reaches the schema checker's mismatch, width, and one-side-untyped
+// paths; the committed seeds under testdata/fuzz/FuzzGraphCheck pin those
+// shapes. Old seeds without typing bytes decode as fully untyped graphs.
 func FuzzGraphCheck(f *testing.F) {
 	// Seeds: a clean pipeline, a fan-in collision, a self-loop, garbage.
 	f.Add([]byte{2, 9, 2, 9, 2, 1, 0, 1, 1, 2})
@@ -29,6 +33,13 @@ func FuzzGraphCheck(f *testing.F) {
 	f.Add([]byte{1, 9, 2, 1, 0, 0, 0})
 	f.Add([]byte{0})
 	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	// Schema-typed seeds: a compatible prefix chain, a disjoint-schema
+	// mismatch, a half-typed link (gradual typing must stay silent in
+	// Check), and a reversed prefix (producer narrower than consumer).
+	f.Add([]byte{1, 9, 2, 9, 2, 0, 2, 1, 0, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{1, 9, 2, 9, 2, 0, 3, 1, 0, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{1, 9, 2, 9, 2, 0, 0, 1, 0, 1, 1, 0, 1, 1, 0})
+	f.Add([]byte{1, 9, 2, 9, 2, 0, 1, 1, 0, 1, 2, 1, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pos := 0
@@ -54,16 +65,34 @@ func FuzzGraphCheck(f *testing.F) {
 			)
 		}
 		pick := func() *sim.Link { return links[int(next())%nLinks] }
+		// Schema palette: 0 leaves a port untyped (so old seeds, which run
+		// out of bytes here, decode unchanged); sAB/sABC are prefix-
+		// compatible in one direction only; sX matches nothing else.
+		sAB := record.NewSchema("a", "b")
+		sABC := record.NewSchema("a", "b", "c")
+		sX := record.NewSchema("x")
+		schema := func() *record.Schema {
+			switch next() % 4 {
+			case 1:
+				return sAB
+			case 2:
+				return sABC
+			case 3:
+				return sX
+			}
+			return nil
+		}
 
 		recs := []record.Rec{record.Make(1, 2), record.Make(3, 4)}
-		g.Add(NewSource("src", recs, pick()))
+		g.Add(NewSource("src", recs, pick()).Typed(schema()))
 		nMaps := int(next()) % 5
 		for i := 0; i < nMaps; i++ {
 			g.Add(NewMap("m"+string(rune('0'+i)),
-				func(r record.Rec) record.Rec { return r }, pick(), pick()))
+				func(r record.Rec) record.Rec { return r }, pick(), pick()).
+				Typed(schema(), schema()))
 		}
 		if next()%4 != 0 { // usually, but not always, give the graph a sink
-			g.Add(NewSink("snk", pick()))
+			g.Add(NewSink("snk", pick()).Typed(schema()))
 		}
 
 		err := g.Check()

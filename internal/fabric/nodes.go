@@ -8,11 +8,12 @@ import (
 // Source feeds a pre-materialized record stream into the fabric at one
 // vector per cycle, then signals end-of-stream.
 type Source struct {
-	name string
-	out  *sim.Link
-	vecs []record.Vector
-	pos  int
-	eos  bool
+	name   string
+	out    *sim.Link
+	vecs   []record.Vector
+	pos    int
+	eos    bool
+	schema *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 // NewSource builds a source from records (vectorized densely).
@@ -48,10 +49,11 @@ func (s *Source) Tick(cycle int64) {
 
 // Sink collects a stream's records and observes its end.
 type Sink struct {
-	name string
-	in   *sim.Link
-	recs []record.Rec
-	eos  bool
+	name   string
+	in     *sim.Link
+	recs   []record.Rec
+	eos    bool
+	schema *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 // NewSink builds a sink on the given link.
@@ -100,10 +102,12 @@ type Map struct {
 	out  *sim.Link
 	fn   func(record.Rec) record.Rec
 
-	pipe   []timedVec
-	eosIn  bool
-	eos    bool
-	cyclic bool
+	pipe     []timedVec
+	eosIn    bool
+	eos      bool
+	cyclic   bool
+	inSchema *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
+	outSchem *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 type timedVec struct {

@@ -133,6 +133,8 @@ func parallelCases() []graphCase {
 				Width: 1,
 				Addr:  func(r record.Rec) uint32 { return 2000 + r.Get(0) },
 				Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) + 1 },
+				// Each record writes its own key-indexed slot; no collisions.
+				DisjointAddrs: true,
 			}, mid, out)
 			snk := NewSink("snk", out)
 			g.Add(snk)

@@ -54,23 +54,44 @@ type ProofReport struct {
 	// Proofs are the established facts, in deterministic order.
 	Proofs []Proof `json:"proofs"`
 	// Warnings are provable performance hazards (line-rate, credit
-	// starvation). The graph still runs to completion; it runs slowly.
+	// starvation) and — under ProveOptions.RequireSchemas — untyped link
+	// endpoints. The graph still runs to completion; it runs slowly or
+	// unchecked.
 	Warnings []Diag `json:"warnings,omitempty"`
+	// Waived lists the order-dependent effects accepted on the strength of
+	// an explicit waiver (spad.Spec.OrderWaiver or a ReorderDecl.Waiver).
+	// They are not failures — the waiver is the author's audited
+	// justification — but they are surfaced in every report so the audit
+	// trail stays visible.
+	Waived []Diag `json:"waived,omitempty"`
 }
 
-// Clean reports whether every obligation was proven.
+// Clean reports whether every obligation was proven. Waived effects do not
+// make a report unclean; they are accepted by declaration.
 func (r *ProofReport) Clean() bool { return len(r.Warnings) == 0 }
 
 func (r *ProofReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "proved %d facts, %d warnings", len(r.Proofs), len(r.Warnings))
+	fmt.Fprintf(&b, "proved %d facts, %d warnings, %d waived", len(r.Proofs), len(r.Warnings), len(r.Waived))
 	for _, p := range r.Proofs {
 		fmt.Fprintf(&b, "\n  proof %s: %s", p.Subject, p.Property)
 	}
 	for _, d := range r.Warnings {
 		fmt.Fprintf(&b, "\n  warn %s", d.String())
 	}
+	for _, d := range r.Waived {
+		fmt.Fprintf(&b, "\n  waived %s", d.String())
+	}
 	return b.String()
+}
+
+// ProveOptions configures Prove's strictness.
+type ProveOptions struct {
+	// RequireSchemas demands a schema declaration on both endpoints of
+	// every link: endpoints left untyped are reported as DiagUntypedLink
+	// warnings instead of being silently skipped. This is the -schemas
+	// gate of aurochs-vet; shipped blueprints must pass it.
+	RequireSchemas bool
 }
 
 // Prove statically verifies the graph's flow-control provisioning. It
@@ -82,6 +103,11 @@ func (r *ProofReport) String() string {
 // per recirculating cycle, whether total buffering covers the cycle's
 // line-rate occupancy (sum of capacities >= sum of latencies + 1).
 func (g *Graph) Prove() (*ProofReport, error) {
+	return g.ProveWith(ProveOptions{})
+}
+
+// ProveWith is Prove with explicit options; see ProveOptions.
+func (g *Graph) ProveWith(opt ProveOptions) (*ProofReport, error) {
 	if err := g.Check(); err != nil {
 		return nil, err
 	}
@@ -152,6 +178,9 @@ func (g *Graph) Prove() (*ProofReport, error) {
 		})
 	}
 
+	g.proveSchemas(report, comps, ends, opt)
+	g.proveReorder(report, comps)
+
 	sort.Slice(report.Proofs, func(i, j int) bool {
 		if report.Proofs[i].Subject != report.Proofs[j].Subject {
 			return report.Proofs[i].Subject < report.Proofs[j].Subject
@@ -163,6 +192,12 @@ func (g *Graph) Prove() (*ProofReport, error) {
 			return report.Warnings[i].Code < report.Warnings[j].Code
 		}
 		return report.Warnings[i].Msg < report.Warnings[j].Msg
+	})
+	sort.Slice(report.Waived, func(i, j int) bool {
+		if report.Waived[i].Code != report.Waived[j].Code {
+			return report.Waived[i].Code < report.Waived[j].Code
+		}
+		return report.Waived[i].Msg < report.Waived[j].Msg
 	})
 	return report, nil
 }

@@ -30,6 +30,7 @@ type DRAMScan struct {
 	appendNext  int
 	buf         []uint32
 	eos         bool
+	schema      *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 // scanChunkWords bounds one DRAM request from a scan: small enough that a
@@ -147,6 +148,7 @@ type DRAMAppend struct {
 	eosIn       bool
 	eos         bool
 	count       int
+	schema      *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
 
 // NewDRAMAppend builds an appending writer at base.

@@ -1,0 +1,478 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+
+	"aurochs/internal/record"
+	"aurochs/internal/sim"
+)
+
+// This file is the schema type system of the fabric: every node type gains
+// a chainable Typed(...) declaration and implements sim.TypedPorts, and
+// Graph.Check propagates the declarations across links. The rule is
+// record.Schema.AssignableTo — a producer may guarantee more trailing
+// fields than a consumer requires (recirculating paths widen threads with
+// loop-local state; the loop entry only demands the external fields), but
+// every field the consumer names must sit at the position it will read it
+// from. Schemas are static per stream, so the whole check runs at
+// graph-construction time; no per-record cost is added to the simulation.
+//
+// Reorder safety rides on the same pass: components implementing
+// sim.ReorderSemantics declare the commutativity class of their
+// cross-thread effects, and Check rejects any order-dependent effect that
+// carries no waiver — the static half of the paper's undefined-thread-order
+// contract (§II).
+
+// The schema and reorder defect classes. DiagSchemaMismatch,
+// DiagSchemaWidth, DiagSchemaPorts, and DiagOrderDependent are hard Check
+// errors; DiagUntypedLink is a Prove warning emitted only under
+// ProveOptions.RequireSchemas.
+const (
+	// DiagSchemaMismatch: a link's producer schema is not assignable to a
+	// consumer's declared schema.
+	DiagSchemaMismatch DiagCode = "schema-mismatch"
+	// DiagSchemaWidth: a schema widening (Graph.Widen) pushed a record
+	// layout past record.MaxFields — the fork/filter/stamp stage would
+	// overflow the register file at runtime.
+	DiagSchemaWidth DiagCode = "schema-width"
+	// DiagSchemaPorts: a component's schema list does not parallel its
+	// link list (wrong length), so declarations cannot be matched to ports.
+	DiagSchemaPorts DiagCode = "schema-ports"
+	// DiagOrderDependent: a component declares an order-dependent
+	// cross-thread effect with no waiver; under undefined thread order its
+	// results vary between the in-order and reordering pipelines.
+	DiagOrderDependent DiagCode = "order-dependent"
+	// DiagUntypedLink: a link endpoint with no schema declaration, found
+	// while proving with ProveOptions.RequireSchemas.
+	DiagUntypedLink DiagCode = "untyped-link"
+)
+
+// Widen appends trailing fields to a schema, converting an overflow past
+// record.MaxFields into a DiagSchemaWidth construction defect (reported by
+// the next Check) instead of a panic. Kernels widen thread layouts as
+// records pick up loop-local state; this is the checked path for doing so.
+func (g *Graph) Widen(s *record.Schema, names ...string) *record.Schema {
+	w, err := s.TryWith(names...)
+	if err != nil {
+		g.defectf(DiagSchemaWidth, "widening %s with %v: %v", s, names, err)
+		return s
+	}
+	return w
+}
+
+// ---- Typed declarations, one per node type ----
+
+// Typed declares the schema of the records this source emits.
+func (s *Source) Typed(schema *record.Schema) *Source {
+	s.schema = schema
+	return s
+}
+
+// InputSchemas implements sim.TypedPorts; a source has no inputs.
+func (s *Source) InputSchemas() []*record.Schema { return nil }
+
+// OutputSchemas implements sim.TypedPorts.
+func (s *Source) OutputSchemas() []*record.Schema {
+	if s.schema == nil {
+		return nil
+	}
+	return []*record.Schema{s.schema}
+}
+
+// Typed declares the schema of the records this sink expects.
+func (s *Sink) Typed(schema *record.Schema) *Sink {
+	s.schema = schema
+	return s
+}
+
+// InputSchemas implements sim.TypedPorts.
+func (s *Sink) InputSchemas() []*record.Schema {
+	if s.schema == nil {
+		return nil
+	}
+	return []*record.Schema{s.schema}
+}
+
+// OutputSchemas implements sim.TypedPorts; a sink has no outputs.
+func (s *Sink) OutputSchemas() []*record.Schema { return nil }
+
+// Typed declares the map's consumed and produced schemas. Either may be nil
+// to leave that side untyped.
+func (m *Map) Typed(in, out *record.Schema) *Map {
+	m.inSchema, m.outSchem = in, out
+	return m
+}
+
+// InputSchemas implements sim.TypedPorts.
+func (m *Map) InputSchemas() []*record.Schema {
+	if m.inSchema == nil {
+		return nil
+	}
+	return []*record.Schema{m.inSchema}
+}
+
+// OutputSchemas implements sim.TypedPorts.
+func (m *Map) OutputSchemas() []*record.Schema {
+	if m.outSchem == nil {
+		return nil
+	}
+	return []*record.Schema{m.outSchem}
+}
+
+// Typed declares the filter's schemas. With no outs arguments every output
+// carries the input schema unchanged (a filter routes, it does not rewrite);
+// otherwise outs must name one schema per output — including nil-link
+// (kill) slots — in declaration order.
+func (f *Filter) Typed(in *record.Schema, outs ...*record.Schema) *Filter {
+	f.inSchema = in
+	if len(outs) == 0 {
+		f.outSchemas = make([]*record.Schema, len(f.outs))
+		for i := range f.outSchemas {
+			f.outSchemas[i] = in
+		}
+		return f
+	}
+	if len(outs) != len(f.outs) {
+		panic(fmt.Sprintf("fabric: %s.Typed: %d output schemas for %d outputs", f.name, len(outs), len(f.outs)))
+	}
+	f.outSchemas = outs
+	return f
+}
+
+// InputSchemas implements sim.TypedPorts.
+func (f *Filter) InputSchemas() []*record.Schema {
+	if f.inSchema == nil {
+		return nil
+	}
+	return []*record.Schema{f.inSchema}
+}
+
+// OutputSchemas implements sim.TypedPorts. Like OutputLinks, nil-link
+// (kill) slots are omitted so the two lists stay parallel.
+func (f *Filter) OutputSchemas() []*record.Schema {
+	if f.outSchemas == nil {
+		return nil
+	}
+	var out []*record.Schema
+	for i, o := range f.outs {
+		if o.Link != nil {
+			out = append(out, f.outSchemas[i])
+		}
+	}
+	return out
+}
+
+// Typed declares the merge's schemas: pri and sec for the two inputs
+// (priority first, matching InputLinks order), out for the merged stream.
+// On a loop entry pri is the recirculating path — typically wider than the
+// external input, with out matching the body's expectation.
+func (m *Merge) Typed(pri, sec, out *record.Schema) *Merge {
+	m.priSchema, m.secSchema, m.outSchem = pri, sec, out
+	return m
+}
+
+// InputSchemas implements sim.TypedPorts.
+func (m *Merge) InputSchemas() []*record.Schema {
+	if m.priSchema == nil && m.secSchema == nil {
+		return nil
+	}
+	return []*record.Schema{m.priSchema, m.secSchema}
+}
+
+// OutputSchemas implements sim.TypedPorts.
+func (m *Merge) OutputSchemas() []*record.Schema {
+	if m.outSchem == nil {
+		return nil
+	}
+	return []*record.Schema{m.outSchem}
+}
+
+// Typed declares the fork's consumed and produced schemas.
+func (f *Fork) Typed(in, out *record.Schema) *Fork {
+	f.inSchema, f.outSchem = in, out
+	return f
+}
+
+// InputSchemas implements sim.TypedPorts.
+func (f *Fork) InputSchemas() []*record.Schema {
+	if f.inSchema == nil {
+		return nil
+	}
+	return []*record.Schema{f.inSchema}
+}
+
+// OutputSchemas implements sim.TypedPorts.
+func (f *Fork) OutputSchemas() []*record.Schema {
+	if f.outSchem == nil {
+		return nil
+	}
+	return []*record.Schema{f.outSchem}
+}
+
+// Typed declares the scan's emitted schema, which must name exactly
+// recWords fields — the scan chops DRAM into records of that width.
+func (s *DRAMScan) Typed(schema *record.Schema) *DRAMScan {
+	if schema != nil && schema.Len() != s.recWords {
+		panic(fmt.Sprintf("fabric: %s.Typed: schema %s has %d fields but the scan emits %d-word records",
+			s.name, schema, schema.Len(), s.recWords))
+	}
+	s.schema = schema
+	return s
+}
+
+// InputSchemas implements sim.TypedPorts; a scan has no inputs.
+func (s *DRAMScan) InputSchemas() []*record.Schema { return nil }
+
+// OutputSchemas implements sim.TypedPorts.
+func (s *DRAMScan) OutputSchemas() []*record.Schema {
+	if s.schema == nil {
+		return nil
+	}
+	return []*record.Schema{s.schema}
+}
+
+// Reordering implements sim.ReorderSemantics: the scan only reads DRAM, and
+// out-of-order chunk completions are reassembled in sequence before any
+// record is emitted.
+func (s *DRAMScan) Reordering() sim.ReorderDecl {
+	return sim.ReorderDecl{Class: sim.ReorderPure, Reorders: false, Detail: "dram-scan(read, in-order reassembly)"}
+}
+
+// Typed declares the append's consumed schema, which must name exactly
+// recWords fields — the append materializes that prefix of every record.
+func (a *DRAMAppend) Typed(schema *record.Schema) *DRAMAppend {
+	if schema != nil && schema.Len() != a.recWords {
+		panic(fmt.Sprintf("fabric: %s.Typed: schema %s has %d fields but the append writes %d-word records",
+			a.name, schema, schema.Len(), a.recWords))
+	}
+	a.schema = schema
+	return a
+}
+
+// InputSchemas implements sim.TypedPorts.
+func (a *DRAMAppend) InputSchemas() []*record.Schema {
+	if a.schema == nil {
+		return nil
+	}
+	return []*record.Schema{a.schema}
+}
+
+// OutputSchemas implements sim.TypedPorts; an append has no outputs.
+func (a *DRAMAppend) OutputSchemas() []*record.Schema { return nil }
+
+// Reordering implements sim.ReorderSemantics. The append buffer's contract
+// is a multiset: each record lands in its own freshly-reserved slot
+// (addresses are disjoint by construction), so the set of records
+// materialized is order-invariant; only their layout order — which the
+// append-only buffer deliberately leaves undefined — depends on arrival
+// order.
+func (a *DRAMAppend) Reordering() sim.ReorderDecl {
+	return sim.ReorderDecl{Class: sim.ReorderCommutative, Reorders: false, Detail: "dram-append(disjoint slots, unordered buffer)"}
+}
+
+// InputSchemas implements sim.TypedPorts from the node's spad.Spec.
+func (d *DRAMNode) InputSchemas() []*record.Schema {
+	if d.spec.In == nil {
+		return nil
+	}
+	return []*record.Schema{d.spec.In}
+}
+
+// OutputSchemas implements sim.TypedPorts from the node's spad.Spec.
+func (d *DRAMNode) OutputSchemas() []*record.Schema {
+	if d.spec.Out == nil {
+		return nil
+	}
+	return []*record.Schema{d.spec.Out}
+}
+
+// Reordering implements sim.ReorderSemantics: DRAM responses complete out
+// of order across channels and are re-vectorized as they land, so the node
+// always reorders; its effect class comes from its Spec.
+func (d *DRAMNode) Reordering() sim.ReorderDecl { return d.spec.Decl(true) }
+
+// ---- The static checks ----
+
+// schemaSide returns one side's link and schema lists for a typed
+// component.
+func schemaSide(c sim.Component, tp sim.TypedPorts, output bool) (links []*sim.Link, schemas []*record.Schema, side string) {
+	if output {
+		side = "output"
+		if op, ok := c.(sim.OutputPorts); ok {
+			links = op.OutputLinks()
+		}
+		schemas = tp.OutputSchemas()
+	} else {
+		side = "input"
+		if ip, ok := c.(sim.InputPorts); ok {
+			links = ip.InputLinks()
+		}
+		schemas = tp.InputSchemas()
+	}
+	return links, schemas, side
+}
+
+// schemaParity reports a DiagSchemaPorts defect when a non-empty schema
+// list is not parallel to its link list, which makes the declarations
+// unmatchable to ports.
+func schemaParity(c sim.Component, tp sim.TypedPorts, output bool) *Diag {
+	links, schemas, side := schemaSide(c, tp, output)
+	if len(schemas) == 0 || len(schemas) == len(links) {
+		return nil
+	}
+	return &Diag{DiagSchemaPorts,
+		fmt.Sprintf("node %q declares %d %s schemas for %d %s links; the lists must be parallel",
+			c.Name(), len(schemas), side, len(links), side)}
+}
+
+// schemaFor returns the schema a component declares for link l on the given
+// side, or nil when the component (or that port) is untyped or the schema
+// list is mis-sized (schemaParity reports that separately).
+func schemaFor(c sim.Component, l *sim.Link, output bool) *record.Schema {
+	tp, ok := c.(sim.TypedPorts)
+	if !ok {
+		return nil
+	}
+	links, schemas, _ := schemaSide(c, tp, output)
+	if len(schemas) == 0 || len(schemas) != len(links) {
+		return nil
+	}
+	for i, cand := range links {
+		if cand == l {
+			return schemas[i]
+		}
+	}
+	return nil
+}
+
+// checkSchemas propagates schema declarations across every attributed link:
+// the producer's declared output schema must be assignable to each
+// consumer's declared input schema. Links with an untyped endpoint are
+// skipped here (Prove reports them under RequireSchemas).
+func (g *Graph) checkSchemas(comps []sim.Component, ends map[*sim.Link]*linkEnds) []Diag {
+	var diags []Diag
+	for _, c := range comps {
+		tp, ok := c.(sim.TypedPorts)
+		if !ok {
+			continue
+		}
+		if d := schemaParity(c, tp, false); d != nil {
+			diags = append(diags, *d)
+		}
+		if d := schemaParity(c, tp, true); d != nil {
+			diags = append(diags, *d)
+		}
+	}
+	for _, l := range g.Sys.Links() {
+		e := ends[l]
+		if e == nil || len(e.producers) != 1 {
+			continue
+		}
+		prod := comps[e.producers[0]]
+		ps := schemaFor(prod, l, true)
+		if ps == nil {
+			continue
+		}
+		for _, ci := range e.consumers {
+			cons := comps[ci]
+			cs := schemaFor(cons, l, false)
+			if cs == nil {
+				continue
+			}
+			if !ps.AssignableTo(cs) {
+				diags = append(diags, Diag{DiagSchemaMismatch,
+					fmt.Sprintf("link %q: producer %q emits %s but consumer %q requires %s (consumer fields must be a positional prefix)",
+						l.Name(), prod.Name(), ps, cons.Name(), cs)})
+			}
+		}
+	}
+	return diags
+}
+
+// proveSchemas adds the positive half of the schema check to a proof
+// report: one proof per link whose endpoints are both typed (Check already
+// rejected incompatible pairs, so reaching here means they are assignable).
+// Under opt.RequireSchemas, endpoints left untyped become DiagUntypedLink
+// warnings — the strict mode shipped blueprints must pass.
+func (g *Graph) proveSchemas(report *ProofReport, comps []sim.Component, ends map[*sim.Link]*linkEnds, opt ProveOptions) {
+	for _, l := range g.Sys.Links() {
+		e := ends[l]
+		if e == nil || len(e.producers) != 1 || len(e.consumers) != 1 {
+			continue
+		}
+		prod, cons := comps[e.producers[0]], comps[e.consumers[0]]
+		ps := schemaFor(prod, l, true)
+		cs := schemaFor(cons, l, false)
+		switch {
+		case ps != nil && cs != nil:
+			prop := fmt.Sprintf("schema-compatible: %q emits %s, %q requires %s", prod.Name(), ps, cons.Name(), cs)
+			if ps.Equal(cs) {
+				prop = fmt.Sprintf("schema-compatible: %q and %q agree on %s", prod.Name(), cons.Name(), ps)
+			}
+			report.Proofs = append(report.Proofs, Proof{Subject: "link " + l.Name(), Property: prop})
+		case opt.RequireSchemas:
+			var missing []string
+			if ps == nil {
+				missing = append(missing, fmt.Sprintf("producer %q", prod.Name()))
+			}
+			if cs == nil {
+				missing = append(missing, fmt.Sprintf("consumer %q", cons.Name()))
+			}
+			report.Warnings = append(report.Warnings, Diag{DiagUntypedLink,
+				fmt.Sprintf("link %q is not schema-checked: %s declared no schema for it",
+					l.Name(), strings.Join(missing, " and "))})
+		}
+	}
+}
+
+// proveReorder adds the reorder-safety facts: every component declaring its
+// cross-thread effects either proves order-insensitive (pure, commutative,
+// or idempotent — a proof) or is accepted on an explicit waiver (recorded
+// in report.Waived; unwaived order dependence never reaches Prove, it is a
+// Check error).
+func (g *Graph) proveReorder(report *ProofReport, comps []sim.Component) {
+	for _, c := range comps {
+		rs, ok := c.(sim.ReorderSemantics)
+		if !ok {
+			continue
+		}
+		decl := rs.Reordering()
+		if decl.Class == sim.ReorderOrderDependent {
+			report.Waived = append(report.Waived, Diag{DiagOrderDependent,
+				fmt.Sprintf("node %q: order-dependent %s waived: %s", c.Name(), decl.Detail, decl.Waiver)})
+			continue
+		}
+		how := "does not reorder threads"
+		if decl.Reorders {
+			how = "reorders threads freely"
+		}
+		report.Proofs = append(report.Proofs, Proof{
+			Subject:  "node " + c.Name(),
+			Property: fmt.Sprintf("reorder-safe: %s effect (%s) %s", decl.Class, decl.Detail, how),
+		})
+	}
+}
+
+// checkReorder enforces the undefined-thread-order contract: every
+// component declaring its cross-thread effects (sim.ReorderSemantics) must
+// classify them as pure, commutative, or idempotent — or carry an explicit
+// waiver explaining why arrival order cannot be observed. An unwaived
+// order-dependent effect is a hard error: its results would differ between
+// the in-order and reordering scratchpad configurations.
+func (g *Graph) checkReorder(comps []sim.Component) []Diag {
+	var diags []Diag
+	for _, c := range comps {
+		rs, ok := c.(sim.ReorderSemantics)
+		if !ok {
+			continue
+		}
+		decl := rs.Reordering()
+		if decl.Class == sim.ReorderOrderDependent && decl.Waiver == "" {
+			diags = append(diags, Diag{DiagOrderDependent,
+				fmt.Sprintf("node %q performs an order-dependent update (%s) with no waiver; under undefined thread order its result depends on request arrival order — use a commutative RMW op, declare DisjointAddrs, or set OrderWaiver",
+					c.Name(), decl.Detail)})
+		}
+	}
+	return diags
+}

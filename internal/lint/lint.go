@@ -44,10 +44,22 @@ type Finding struct {
 	Line int    `json:"line"`
 	Rule string `json:"rule"`
 	Msg  string `json:"msg"`
+	// Analyzer names the engine pass that produced the finding
+	// ("determinism", "sharedstate", "orderdep", "graphs"). Rule is the
+	// specific violation within that pass; for single-rule analyzers the
+	// two coincide.
+	Analyzer string `json:"analyzer"`
+	// Waived marks diagnostics accepted on an explicit waiver: reported
+	// for reviewability, but not counted toward a failing exit status.
+	Waived bool `json:"waived"`
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Msg)
+	suffix := ""
+	if f.Waived {
+		suffix = " (waived)"
+	}
+	return fmt.Sprintf("%s:%d: %s: %s%s", f.File, f.Line, f.Rule, f.Msg, suffix)
 }
 
 // Rules selects which checks run; the caller classifies packages (cycle-level
@@ -309,7 +321,7 @@ func (a *analysis) rangesOverMap(expr ast.Expr) bool {
 
 func (a *analysis) report(pos token.Pos, rule, msg string) {
 	p := a.fset.Position(pos)
-	a.findings = append(a.findings, Finding{File: a.path, Line: p.Line, Rule: rule, Msg: msg})
+	a.findings = append(a.findings, Finding{File: a.path, Line: p.Line, Rule: rule, Msg: msg, Analyzer: "determinism"})
 }
 
 // importTable maps local package names to import paths, honouring aliases.

@@ -17,20 +17,33 @@ type Schema struct {
 // NewSchema builds a schema from ordered field names. Names must be unique
 // and non-empty.
 func NewSchema(names ...string) *Schema {
+	s, err := TrySchema(names...)
+	if err != nil {
+		panic("record: " + err.Error())
+	}
+	return s
+}
+
+// TrySchema is NewSchema without the panic: it returns an error for a
+// schema that is too wide, has an empty name, or repeats one. Graph
+// builders use it to turn an over-wide widening into a reportable
+// construction defect instead of a crash.
+func TrySchema(names ...string) (*Schema, error) {
 	if len(names) > MaxFields {
-		panic(fmt.Sprintf("record: schema with %d fields exceeds MaxFields=%d", len(names), MaxFields))
+		return nil, fmt.Errorf("schema with %d fields exceeds MaxFields=%d (%s)",
+			len(names), MaxFields, strings.Join(names, ", "))
 	}
 	s := &Schema{names: append([]string(nil), names...), idx: make(map[string]int, len(names))}
 	for i, n := range names {
 		if n == "" {
-			panic("record: empty field name")
+			return nil, fmt.Errorf("empty field name at index %d", i)
 		}
 		if _, dup := s.idx[n]; dup {
-			panic(fmt.Sprintf("record: duplicate field %q", n))
+			return nil, fmt.Errorf("duplicate field %q", n)
 		}
 		s.idx[n] = i
 	}
-	return s
+	return s, nil
 }
 
 // Len reports the number of fields.
@@ -59,6 +72,53 @@ func (s *Schema) MustField(name string) int {
 // With returns a new schema with extra trailing fields appended.
 func (s *Schema) With(names ...string) *Schema {
 	return NewSchema(append(s.Names(), names...)...)
+}
+
+// TryWith is With without the panic: widening past MaxFields (or with a
+// duplicate name) comes back as an error the caller can report.
+func (s *Schema) TryWith(names ...string) (*Schema, error) {
+	return TrySchema(append(s.Names(), names...)...)
+}
+
+// Equal reports whether two schemas name the same fields in the same order.
+func (s *Schema) Equal(t *Schema) bool {
+	if s == nil || t == nil {
+		return s == t
+	}
+	if len(s.names) != len(t.names) {
+		return false
+	}
+	for i, n := range s.names {
+		if t.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// AssignableTo reports whether a stream carrying records of schema s can
+// feed a consumer that declares schema t: t's fields must be a positional
+// prefix of s's. This is the subtyping rule of the link type system —
+// records may carry extra *trailing* fields the consumer never looks at
+// (a recirculating path widens threads with loop-local state; the loop
+// entry still only requires the external fields), but every field the
+// consumer names must exist at the index the consumer will read it from.
+// Field identity is positional: names must match exactly, because a
+// consumer's compiled field offsets (MustField at construction time) bind
+// to positions, and a renamed field signals a layout change.
+func (s *Schema) AssignableTo(t *Schema) bool {
+	if s == nil || t == nil {
+		return false
+	}
+	if len(t.names) > len(s.names) {
+		return false
+	}
+	for i, n := range t.names {
+		if s.names[i] != n {
+			return false
+		}
+	}
+	return true
 }
 
 // Project returns a new schema containing only the named fields, in the

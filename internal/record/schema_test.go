@@ -1,0 +1,115 @@
+package record
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrySchemaErrors(t *testing.T) {
+	wide := make([]string, MaxFields+1)
+	for i := range wide {
+		wide[i] = string(rune('a' + i))
+	}
+	cases := []struct {
+		name  string
+		names []string
+		want  string // substring of the error, "" for success
+	}{
+		{"ok", []string{"k", "v"}, ""},
+		{"empty-ok", nil, ""},
+		{"max-width-ok", wide[:MaxFields], ""},
+		{"too-wide", wide, "MaxFields"},
+		{"dup", []string{"a", "a"}, "duplicate"},
+		{"empty-name", []string{"a", ""}, "empty field name"},
+	}
+	for _, tc := range cases {
+		s, err := TrySchema(tc.names...)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			} else if s.Len() != len(tc.names) {
+				t.Errorf("%s: len=%d want %d", tc.name, s.Len(), len(tc.names))
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTryWith(t *testing.T) {
+	base := NewSchema("k", "v")
+	s, err := base.TryWith("ptr")
+	if err != nil || s.MustField("ptr") != 2 {
+		t.Fatalf("TryWith: %v %v", s, err)
+	}
+	if base.Len() != 2 {
+		t.Error("TryWith must not mutate the receiver")
+	}
+	names := make([]string, MaxFields-1)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	nearFull := NewSchema(names...)
+	if _, err := nearFull.TryWith("z"); err != nil {
+		t.Errorf("widening to exactly MaxFields must succeed: %v", err)
+	}
+	if _, err := nearFull.TryWith("y", "z"); err == nil {
+		t.Error("widening past MaxFields must fail")
+	}
+	if _, err := base.TryWith("k"); err == nil {
+		t.Error("widening with a duplicate name must fail")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := NewSchema("k", "v")
+	b := NewSchema("k", "v")
+	c := NewSchema("k", "w")
+	d := NewSchema("k")
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Error("identical schemas must be Equal")
+	}
+	if a.Equal(c) || a.Equal(d) || d.Equal(a) {
+		t.Error("different schemas reported Equal")
+	}
+	var nilS *Schema
+	if a.Equal(nil) || nilS.Equal(a) {
+		t.Error("nil vs non-nil must not be Equal")
+	}
+	if !nilS.Equal(nil) {
+		t.Error("nil.Equal(nil) must hold")
+	}
+}
+
+func TestAssignableTo(t *testing.T) {
+	wide := NewSchema("key", "val", "bucket", "slot")
+	narrow := NewSchema("key", "val")
+	renamed := NewSchema("key", "value")
+	reordered := NewSchema("val", "key")
+
+	if !wide.AssignableTo(narrow) {
+		t.Error("wider producer must feed a prefix consumer")
+	}
+	if !wide.AssignableTo(wide) {
+		t.Error("schema must be assignable to itself")
+	}
+	if narrow.AssignableTo(wide) {
+		t.Error("narrow producer must not feed a wider consumer")
+	}
+	if wide.AssignableTo(renamed) {
+		t.Error("renamed field must break assignability")
+	}
+	if wide.AssignableTo(reordered) {
+		t.Error("reordered fields must break assignability")
+	}
+	empty := NewSchema()
+	if !wide.AssignableTo(empty) {
+		t.Error("the empty schema is a prefix of everything")
+	}
+	var nilS *Schema
+	if wide.AssignableTo(nil) || nilS.AssignableTo(narrow) {
+		t.Error("nil schemas are never assignable")
+	}
+}

@@ -79,7 +79,7 @@ type bankOp struct {
 type Tile struct {
 	cfg   Config
 	mem   *Mem
-	spec  Spec
+	spec  Spec // lint:sharedstate-ok — Spec (incl. its schemas) is immutable after construction
 	in    *sim.Link
 	out   *sim.Link
 	stats *sim.Stats
@@ -109,8 +109,20 @@ func NewTile(cfg Config, mem *Mem, spec Spec, in, out *sim.Link, stats *sim.Stat
 		panic("spad: spec.Addr is required")
 	}
 	if spec.Op == OpModify {
+		if spec.Modify == nil && spec.Combiner != nil {
+			// Derive the modify function from the declared combiner so the
+			// classified path needs no redundant closure.
+			comb, data := spec.Combiner, spec.Data
+			spec.Modify = func(cur uint32, r record.Rec) uint32 {
+				var arg uint32
+				if data != nil {
+					arg = data(r, 0)
+				}
+				return comb.Fn(cur, arg)
+			}
+		}
 		if spec.Modify == nil {
-			panic("spad: spec.Modify required for modify op")
+			panic("spad: spec.Modify or spec.Combiner required for modify op")
 		}
 	} else if (spec.Op == OpWrite || spec.Op.IsRMW()) && spec.Data == nil {
 		panic(fmt.Sprintf("spad: spec.Data required for %s", spec.Op))
@@ -142,6 +154,27 @@ func (t *Tile) InputLinks() []*sim.Link { return []*sim.Link{t.in} }
 
 // OutputLinks implements sim.OutputPorts.
 func (t *Tile) OutputLinks() []*sim.Link { return []*sim.Link{t.out} }
+
+// InputSchemas implements sim.TypedPorts from the Spec's In declaration.
+func (t *Tile) InputSchemas() []*record.Schema {
+	if t.spec.In == nil {
+		return nil
+	}
+	return []*record.Schema{t.spec.In}
+}
+
+// OutputSchemas implements sim.TypedPorts from the Spec's Out declaration.
+func (t *Tile) OutputSchemas() []*record.Schema {
+	if t.spec.Out == nil {
+		return nil
+	}
+	return []*record.Schema{t.spec.Out}
+}
+
+// Reordering implements sim.ReorderSemantics: the stream's class comes from
+// its Spec, and the pipeline reorders thread responses exactly when it is
+// not configured for Capstan's in-order dequeue.
+func (t *Tile) Reordering() sim.ReorderDecl { return t.spec.Decl(!t.cfg.InOrder) }
 
 // Done implements sim.Component.
 func (t *Tile) Done() bool { return t.eosSent }
