@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"aurochs/internal/bench"
@@ -29,12 +31,45 @@ func main() {
 	pipelines := flag.Int("p", 4, "Aurochs pipelines for query execution")
 	jsonOut := flag.String("json", "", "run the serial-vs-parallel kernel benchmark and write the report to this path")
 	quick := flag.Bool("quick", false, "shrink -json benchmark datasets (CI-sized)")
-	parallel := flag.Int("parallel", 0, "worker goroutines for the -json benchmark's parallel runs (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the -json benchmark's parallel runs (0 = auto mode up to GOMAXPROCS)")
+	compare := flag.String("compare", "", "after -json, gate the fresh report against this baseline report (fails on >10% serial cycles/sec regression)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *jsonOut != "" {
 		if err := bench.Perf(*jsonOut, *quick, *parallel); err != nil {
 			log.Fatal(err)
+		}
+		if *compare != "" {
+			if err := bench.Compare(*jsonOut, *compare, 0.10); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return
 	}

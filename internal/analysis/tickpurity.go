@@ -38,8 +38,13 @@ var knownPureCalls = map[string]bool{
 	// sim.System accessors.
 	"internal/sim.System.Stats": true, "internal/sim.System.Cycle": true,
 	"internal/sim.System.Components": true, "internal/sim.System.Links": true,
-	// dram.HBM observation API: Drained and Idle only read queue lengths.
+	// dram.HBM observation API: pure functions of (state, cycle).
 	"internal/dram.HBM.Drained": true, "internal/dram.HBM.Idle": true,
+	"internal/dram.HBM.QuiescentAt":    true,
+	"internal/dram.HBM.NextWriteEvent": true,
+	// ring.Queue observers (internal/ring/ring.go documents purity).
+	"internal/ring.Queue.Len": true, "internal/ring.Queue.Empty": true,
+	"internal/ring.Queue.Front": true, "internal/ring.Queue.At": true,
 }
 
 // TickPurity verifies that the kernel's observation methods cannot mutate

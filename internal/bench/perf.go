@@ -13,7 +13,11 @@ import (
 
 // PerfRun is one timed kernel execution in one kernel configuration.
 type PerfRun struct {
-	Workers      int     `json:"workers"`
+	// Workers is the requested worker count (negative = auto mode).
+	Workers int `json:"workers"`
+	// Resolved is what the run actually used after auto-mode selection
+	// (1 = the serial kernel).
+	Resolved     int     `json:"resolved"`
 	Cycles       int64   `json:"cycles"`
 	DRAMBytes    int64   `json:"dram_bytes"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -24,15 +28,20 @@ type PerfRun struct {
 // workload. Identical is the bit-identity check: same cycle count, same
 // DRAM traffic, same output records.
 type PerfExperiment struct {
-	Name      string  `json:"name"`
-	Rows      int     `json:"rows"`
-	Serial    PerfRun `json:"serial"`
-	Parallel  PerfRun `json:"parallel"`
+	Name     string  `json:"name"`
+	Rows     int     `json:"rows"`
+	Serial   PerfRun `json:"serial"`
+	Parallel PerfRun `json:"parallel"`
+	// Fallback records that auto mode declined the parallel kernel (too few
+	// shards, unbalanced load, or a single-CPU host); the parallel row then
+	// re-measures the serial kernel and Speedup is pinned at 1.0 rather
+	// than reporting run-to-run noise as a regression.
+	Fallback  bool    `json:"fallback"`
 	Identical bool    `json:"identical"`
 	Speedup   float64 `json:"speedup"`
 }
 
-// PerfReport is the top-level BENCH_2.json document.
+// PerfReport is the top-level benchmark document (BENCH_*.json).
 type PerfReport struct {
 	Benchmark   string           `json:"benchmark"`
 	GOMAXPROCS  int              `json:"gomaxprocs"`
@@ -41,17 +50,18 @@ type PerfReport struct {
 }
 
 // timedKernel runs fn once and reports wall clock plus simulated
-// throughput. fn returns (cycles, dramBytes, output fingerprint).
-func timedKernel(workers int, fn func(workers int) (int64, int64, []record.Rec, error)) (PerfRun, []record.Rec, error) {
+// throughput. fn returns the kernel Result and an output fingerprint.
+func timedKernel(workers int, fn func(workers int) (core.Result, []record.Rec, error)) (PerfRun, []record.Rec, error) {
 	start := time.Now()
-	cycles, bytes, out, err := fn(workers)
+	res, out, err := fn(workers)
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		return PerfRun{}, nil, err
 	}
-	r := PerfRun{Workers: workers, Cycles: cycles, DRAMBytes: bytes, WallSeconds: wall}
+	r := PerfRun{Workers: workers, Resolved: res.Workers, Cycles: res.Cycles,
+		DRAMBytes: res.DRAMBytes, WallSeconds: wall}
 	if wall > 0 {
-		r.CyclesPerSec = float64(cycles) / wall
+		r.CyclesPerSec = float64(res.Cycles) / wall
 	}
 	return r, out, nil
 }
@@ -68,10 +78,11 @@ func sameOutput(a, b []record.Rec) bool {
 	return true
 }
 
-// perfExperiment runs fn serially and with `workers` goroutines and packages
-// the comparison. The serial run is the correctness reference; the parallel
-// run must reproduce it bit-for-bit.
-func perfExperiment(name string, rows, workers int, fn func(workers int) (int64, int64, []record.Rec, error)) (PerfExperiment, error) {
+// perfExperiment runs fn serially and with the requested parallel worker
+// count (negative = auto) and packages the comparison. The serial run is
+// the correctness reference; the parallel run must reproduce it
+// bit-for-bit.
+func perfExperiment(name string, rows, workers int, fn func(workers int) (core.Result, []record.Rec, error)) (PerfExperiment, error) {
 	serial, sOut, err := timedKernel(0, fn)
 	if err != nil {
 		return PerfExperiment{}, fmt.Errorf("%s serial: %w", name, err)
@@ -85,9 +96,13 @@ func perfExperiment(name string, rows, workers int, fn func(workers int) (int64,
 		Rows:      rows,
 		Serial:    serial,
 		Parallel:  par,
+		Fallback:  par.Resolved <= 1,
 		Identical: serial.Cycles == par.Cycles && serial.DRAMBytes == par.DRAMBytes && sameOutput(sOut, pOut),
 	}
-	if serial.WallSeconds > 0 && par.WallSeconds > 0 {
+	switch {
+	case e.Fallback:
+		e.Speedup = 1.0
+	case serial.WallSeconds > 0 && par.WallSeconds > 0:
 		e.Speedup = serial.WallSeconds / par.WallSeconds
 	}
 	return e, nil
@@ -95,15 +110,17 @@ func perfExperiment(name string, rows, workers int, fn func(workers int) (int64,
 
 // Perf runs the serial-vs-parallel kernel benchmark and writes the report to
 // jsonPath (and a human summary to stdout). quick shrinks the datasets for
-// CI; workers <= 0 means GOMAXPROCS.
+// CI. workers selects the parallel runs' request: positive pins a count,
+// <= 0 requests auto mode up to GOMAXPROCS (the kernel falls back to serial
+// when the topology cannot profit; the report flags that instead of
+// presenting two serial timings as a speedup).
 func Perf(jsonPath string, quick bool, workers int) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Always exercise the parallel kernel: with one worker RunWith falls back
-	// to the serial path and the comparison would measure nothing.
-	if workers < 2 {
-		workers = 2
+	req := workers
+	if req <= 0 {
+		req = -runtime.GOMAXPROCS(0)
+		if req > -2 {
+			req = -2 // still resolve through auto mode on one CPU
+		}
 	}
 	rep := PerfReport{
 		Benchmark:  "aurochs-sim serial vs parallel kernel",
@@ -122,22 +139,22 @@ func Perf(jsonPath string, quick bool, workers int) error {
 
 	// Fig. 11a join shape at the paper's "when parallelized" pipeline count:
 	// this is the experiment the acceptance speedup is measured on.
-	join, err := perfExperiment("fig11a-hashjoin-p16", joinN, workers, func(w int) (int64, int64, []record.Rec, error) {
+	join, err := perfExperiment("fig11a-hashjoin-p16", joinN, req, func(w int) (core.Result, []record.Rec, error) {
 		matches, res, err := core.HashJoin(nil, mkKV(joinN, 1), mkKV(joinN, 2), core.HashJoinOptions{
 			Pipelines: 16,
 			Tuning:    core.Tuning{Parallelism: w},
 		})
 		if err != nil {
-			return 0, 0, nil, err
+			return core.Result{}, nil, err
 		}
-		return res.Cycles, res.DRAMBytes, matches, nil
+		return res, matches, nil
 	})
 	if err != nil {
 		return err
 	}
 	rep.Experiments = append(rep.Experiments, join)
 
-	agg, err := perfExperiment("hash-aggregate", aggN, workers, func(w int) (int64, int64, []record.Rec, error) {
+	agg, err := perfExperiment("hash-aggregate", aggN, req, func(w int) (core.Result, []record.Rec, error) {
 		keys := make([]uint32, aggN)
 		for i := range keys {
 			keys[i] = uint32(i % 997)
@@ -146,7 +163,7 @@ func Perf(jsonPath string, quick bool, workers int) error {
 		p.Tuning = core.Tuning{Parallelism: w}
 		res, rres, err := core.HashAggregate(p, keys, nil)
 		if err != nil {
-			return 0, 0, nil, err
+			return core.Result{}, nil, err
 		}
 		// Fingerprint the group counts deterministically.
 		groups := res.Groups()
@@ -156,40 +173,43 @@ func Perf(jsonPath string, quick bool, workers int) error {
 				out = append(out, record.Make(k, uint32(c)))
 			}
 		}
-		return rres.Cycles, rres.DRAMBytes, out, nil
+		return rres, out, nil
 	})
 	if err != nil {
 		return err
 	}
 	rep.Experiments = append(rep.Experiments, agg)
 
-	part, err := perfExperiment("partition-8way", partN, workers, func(w int) (int64, int64, []record.Rec, error) {
+	part, err := perfExperiment("partition-8way", partN, req, func(w int) (core.Result, []record.Rec, error) {
 		p := core.DefaultPartitionParams(partN, 8, 2)
 		p.Tuning = core.Tuning{Parallelism: w}
 		ps, res, err := core.Partition(p, mkKV(partN, 9), nil)
 		if err != nil {
-			return 0, 0, nil, err
+			return core.Result{}, nil, err
 		}
 		var out []record.Rec
 		for pt := uint32(0); pt < 8; pt++ {
 			out = append(out, ps.ReadPartition(pt)...)
 		}
-		return res.Cycles, res.DRAMBytes, out, nil
+		return res, out, nil
 	})
 	if err != nil {
 		return err
 	}
 	rep.Experiments = append(rep.Experiments, part)
 
-	fmt.Printf("== serial vs parallel kernel (workers=%d, GOMAXPROCS=%d) ==\n", workers, rep.GOMAXPROCS)
+	fmt.Printf("== serial vs parallel kernel (request=%d, GOMAXPROCS=%d) ==\n", req, rep.GOMAXPROCS)
 	for _, e := range rep.Experiments {
 		status := "IDENTICAL"
 		if !e.Identical {
 			status = "MISMATCH"
 		}
-		fmt.Printf("%-22s rows=%-7d serial %.2fs (%.0f cyc/s)  parallel %.2fs (%.0f cyc/s)  speedup %.2fx  %s\n",
+		if e.Fallback {
+			status += " (serial fallback)"
+		}
+		fmt.Printf("%-22s rows=%-7d serial %.2fs (%.0f cyc/s)  parallel[%d] %.2fs (%.0f cyc/s)  speedup %.2fx  %s\n",
 			e.Name, e.Rows, e.Serial.WallSeconds, e.Serial.CyclesPerSec,
-			e.Parallel.WallSeconds, e.Parallel.CyclesPerSec, e.Speedup, status)
+			e.Parallel.Resolved, e.Parallel.WallSeconds, e.Parallel.CyclesPerSec, e.Speedup, status)
 		if !e.Identical {
 			return fmt.Errorf("%s: parallel kernel diverged from serial (cycles %d vs %d, bytes %d vs %d)",
 				e.Name, e.Parallel.Cycles, e.Serial.Cycles, e.Parallel.DRAMBytes, e.Serial.DRAMBytes)
@@ -206,5 +226,65 @@ func Perf(jsonPath string, quick bool, workers int) error {
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
+	return nil
+}
+
+// Compare gates a fresh perf report against a committed baseline: any
+// experiment present in both whose serial cycles/sec fell below
+// (1-tolerance) of the baseline fails, as does a lost bit-identity or a
+// parallel speedup sinking below 1.0 without a declared fallback. Extra or
+// missing experiments are reported but do not fail (benchmarks evolve).
+func Compare(newPath, basePath string, tolerance float64) error {
+	load := func(p string) (PerfReport, error) {
+		var r PerfReport
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return r, err
+		}
+		return r, json.Unmarshal(data, &r)
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	baseBy := make(map[string]PerfExperiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseBy[e.Name] = e
+	}
+	var failures []string
+	for _, e := range cur.Experiments {
+		if !e.Identical {
+			failures = append(failures, fmt.Sprintf("%s: parallel kernel not bit-identical", e.Name))
+		}
+		if !e.Fallback && e.Speedup < 1.0 {
+			failures = append(failures, fmt.Sprintf("%s: parallel speedup %.2fx < 1.0 without fallback", e.Name, e.Speedup))
+		}
+		b, ok := baseBy[e.Name]
+		if !ok {
+			fmt.Printf("compare: %s has no baseline entry (new experiment)\n", e.Name)
+			continue
+		}
+		if b.Serial.CyclesPerSec > 0 {
+			ratio := e.Serial.CyclesPerSec / b.Serial.CyclesPerSec
+			fmt.Printf("compare: %-22s serial %8.0f -> %8.0f cyc/s (%.2fx)\n",
+				e.Name, b.Serial.CyclesPerSec, e.Serial.CyclesPerSec, ratio)
+			if ratio < 1.0-tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s: serial cycles/sec regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					e.Name, (1-ratio)*100, b.Serial.CyclesPerSec, e.Serial.CyclesPerSec, tolerance*100))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		}
+		return fmt.Errorf("compare: %d regression(s) vs %s", len(failures), basePath)
+	}
+	fmt.Printf("compare: no regressions vs %s\n", basePath)
 	return nil
 }

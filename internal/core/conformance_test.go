@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"aurochs/internal/fabric"
+	"aurochs/internal/index/rtree"
 	"aurochs/internal/record"
 	"aurochs/internal/sim"
 )
@@ -99,4 +100,73 @@ func TestTileSorterIdleConformance(t *testing.T) {
 	if snk.Count() != len(recs) {
 		t.Fatalf("sorted %d of %d", snk.Count(), len(recs))
 	}
+}
+
+// TestKernelWakeConformance: the same kernel pipelines on the wake-audit
+// harness — every cycle, each sleeping component's Idle answer is
+// cross-checked. This is the regression gate for the callback-host wake
+// class: an HBM completion callback mutating loop-control state must wake
+// the loop's entry merge, or the walk stalls only at scales where an
+// expansion kills its last thread from inside the callback.
+func TestKernelWakeConformance(t *testing.T) {
+	input := make([]record.Rec, 400)
+	for i := range input {
+		input[i] = record.Make(uint32(i*7%1024), uint32(i))
+	}
+
+	t.Run("hash-probe", func(t *testing.T) {
+		ht, _, err := BuildHashTable(DefaultHashTableParams(len(input)), input, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := fabric.NewGraph()
+		g.AttachHBM(ht.HBM)
+		snk := ProbeHashTableInto(g, "prb", ht, InRecs(input), ProbeOptions{})
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.VerifyWakeContract(g.Sys, 2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if snk.Count() == 0 {
+			t.Fatal("probe matched nothing")
+		}
+	})
+
+	t.Run("tree-walk", func(t *testing.T) {
+		ents := make([]rtree.Entry, 600)
+		for i := range ents {
+			x := uint32(i%30) * 30
+			y := uint32(i/30) * 30
+			ents[i] = rtree.Entry{Rect: rtree.Rect{MinX: x, MinY: y, MaxX: x + 25, MaxY: y + 25}, ID: uint32(i)}
+		}
+		tr := rtree.Build(defaultHBM(), RegionTables, ents, 1024)
+		var qs []WindowQuery
+		for i := 0; i < 40; i++ {
+			x := uint32(i%8) * 100
+			y := uint32(i/8) * 100
+			qs = append(qs, WindowQuery{Rect: rtree.Rect{MinX: x, MinY: y, MaxX: x + 150, MaxY: y + 150}, Tag: uint32(i)})
+		}
+		g := fabric.NewGraph()
+		g.AttachHBM(tr.HBM)
+		var threads []record.Rec
+		for _, q := range qs {
+			threads = append(threads, record.Make(q.Rect.MinX, q.Rect.MinY, q.Rect.MaxX, q.Rect.MaxY, tr.Root, 0, 0, q.Tag))
+		}
+		snk := wireTreeWalk(g, "rtw", threads, rtree.NodeWords,
+			func(r record.Rec) uint32 { return tr.NodeAddr(r.Get(rtPtr)) },
+			expandRTreeNode, rtMark,
+			func(r record.Rec) record.Rec {
+				return record.Make(r.Get(rtResID), r.Get(rtTag))
+			}, 16)
+		if err := g.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.VerifyWakeContract(g.Sys, 2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if snk.Count() == 0 {
+			t.Fatal("window walk matched nothing")
+		}
+	})
 }

@@ -44,6 +44,9 @@ type Result struct {
 	DRAMBytes int64
 	// Stats exposes the microarchitectural counters of the run.
 	Stats *sim.Stats
+	// Workers is the tick-kernel worker count the run resolved to after
+	// auto-mode selection (1 = the serial kernel).
+	Workers int
 }
 
 // Seconds converts cycles to wall time at the fabric clock.
@@ -60,7 +63,7 @@ func runGraph(g *fabric.Graph, maxCycles int64) (Result, error) {
 		before = g.HBM.BytesMoved()
 	}
 	cycles, err := g.Run(maxCycles)
-	res := Result{Cycles: cycles, Stats: g.Stats()}
+	res := Result{Cycles: cycles, Stats: g.Stats(), Workers: g.Sys.EffectiveWorkers()}
 	if g.HBM != nil {
 		// Attribute posted writes still resident in the combining buffer
 		// to the phase that produced them.

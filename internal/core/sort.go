@@ -79,6 +79,10 @@ func (t *tileSorter) Idle(int64) bool {
 	return true
 }
 
+// WakeHint implements sim.WakeHinter: no self-timed events — an idle
+// sorter holds no drainable or swappable work and waits on link activity.
+func (t *tileSorter) WakeHint(int64) int64 { return sim.WakeNever }
+
 func (t *tileSorter) Tick(cycle int64) {
 	// Drain one vector.
 	if len(t.drain) > 0 && t.out.CanPush() {
@@ -182,6 +186,9 @@ func SortAt(hbm *dram.HBM, in SortedRun, key fabric.KeyFn, scratchA, scratchB ui
 func accumulate(total *Result, r Result) {
 	total.Cycles += r.Cycles
 	total.DRAMBytes += r.DRAMBytes
+	if r.Workers > total.Workers {
+		total.Workers = r.Workers // report the widest phase
+	}
 	if total.Stats == nil {
 		total.Stats = sim.NewStats()
 	}

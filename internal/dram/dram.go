@@ -11,7 +11,10 @@ package dram
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
+
+	"aurochs/internal/ring"
 )
 
 // Config sizes the HBM model.
@@ -89,13 +92,33 @@ type pendingReq struct {
 }
 
 type channel struct {
-	queue   []burst
+	queue   ring.Queue[burst]
 	busy    int64 // channel free at this cycle
 	openRow []int // per-bank open row (-1 closed)
 	// writeBuf is the controller's posted-write combining buffer: burst
 	// address → insertion cycle. Writes to a resident burst merge for
 	// free; entries retire to the queue on eviction or age-out.
 	writeBuf map[uint32]int64
+	// Cached deterministic minimum of (insertion cycle, address) over
+	// writeBuf — the eviction victim and the next age-out candidate. The
+	// old code recomputed it with a full map scan every tick; the cache
+	// makes the per-tick age check O(1) and is rebuilt only when the
+	// minimum itself is removed or touched.
+	wbMinAddr uint32
+	wbMinAt   int64
+	wbMinOK   bool
+}
+
+// wbRecomputeMin rebuilds the cached (age, address) minimum.
+func (c *channel) wbRecomputeMin() {
+	c.wbMinOK = false
+	// lint:maprange-ok — the result is the deterministic minimum of
+	// (age, address); map iteration order cannot affect it.
+	for a, at := range c.writeBuf {
+		if !c.wbMinOK || at < c.wbMinAt || (at == c.wbMinAt && a < c.wbMinAddr) {
+			c.wbMinAddr, c.wbMinAt, c.wbMinOK = a, at, true
+		}
+	}
 }
 
 // Write-buffer geometry: wbCap bursts per channel (a few KiB of combining
@@ -116,6 +139,7 @@ type HBM struct {
 	chanMask   uint32
 	inflight   inflightList
 	now        int64
+	need       []int // scratch for SubmitAt's per-channel reservation tally
 
 	// Stats
 	ReadBursts  int64
@@ -140,6 +164,7 @@ func New(cfg Config) *HBM {
 		pages:      make(map[uint32][]uint32),
 		burstShift: uint(bits.TrailingZeros32(uint32(cfg.BurstWords))),
 		chanMask:   uint32(cfg.Channels - 1),
+		need:       make([]int, cfg.Channels),
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		ch := &channel{openRow: make([]int, cfg.BanksPerChannel), writeBuf: make(map[uint32]int64)}
@@ -202,11 +227,20 @@ func (h *HBM) locate(addr uint32) (ch, bank, row int) {
 	return ch, bank, row
 }
 
-// Submit enqueues a request, splitting it into bursts. It returns false
-// (and enqueues nothing) when any needed channel queue lacks space —
-// callers stall and retry, which is how DRAM backpressure propagates into
-// the fabric.
+// Submit enqueues a request using the clock of the most recent Tick for
+// write timestamps. Ticking components must prefer SubmitAt: with
+// event-driven scheduling the HBM may legally skip idle Ticks, leaving the
+// last-tick clock behind the caller's cycle. Submit remains for untimed
+// setup and tests that tick the model themselves.
 func (h *HBM) Submit(req Request) bool {
+	return h.SubmitAt(h.now, req)
+}
+
+// SubmitAt enqueues a request at cycle now, splitting it into bursts. It
+// returns false (and enqueues nothing) when any needed channel queue lacks
+// space — callers stall and retry, which is how DRAM backpressure
+// propagates into the fabric.
+func (h *HBM) SubmitAt(now int64, req Request) bool {
 	if req.Words <= 0 {
 		panic("dram: request with no words")
 	}
@@ -219,14 +253,19 @@ func (h *HBM) Submit(req Request) bool {
 
 	// Reserve queue space across all involved channels first. Writes are
 	// absorbed by the combining buffer but their evictions land in the
-	// same queues, so both directions respect the depth.
-	need := make([]int, len(h.chans))
+	// same queues, so both directions respect the depth. The per-channel
+	// need tally lives in a reused scratch slice, not a per-call
+	// allocation.
+	need := h.need
+	for i := range need {
+		need[i] = 0
+	}
 	for b := first; b <= last; b++ {
 		ch, _, _ := h.locate(b << h.burstShift)
 		need[ch]++
 	}
 	for ch, k := range need {
-		if k > 0 && len(h.chans[ch].queue)+k > h.cfg.QueueDepth {
+		if k > 0 && h.chans[ch].queue.Len()+k > h.cfg.QueueDepth {
 			h.Stalls++
 			return false
 		}
@@ -245,7 +284,7 @@ func (h *HBM) Submit(req Request) bool {
 		for b := first; b <= last; b++ {
 			addr := b << h.burstShift
 			ch, _, _ := h.locate(addr)
-			h.postWrite(h.chans[ch], addr)
+			h.postWrite(h.chans[ch], addr, now)
 		}
 		if req.Done != nil {
 			req.Done(nil)
@@ -256,39 +295,45 @@ func (h *HBM) Submit(req Request) bool {
 	for b := first; b <= last; b++ {
 		addr := b << h.burstShift
 		ch, bank, row := h.locate(addr)
-		h.chans[ch].queue = append(h.chans[ch].queue, burst{req: p, addr: addr, bank: bank, row: row})
+		h.chans[ch].queue.Push(burst{req: p, addr: addr, bank: bank, row: row})
 	}
 	return true
 }
 
-// postWrite inserts a burst into a channel's write buffer, coalescing hits
-// and evicting the oldest entry to the channel queue when full.
-func (h *HBM) postWrite(c *channel, addr uint32) {
+// postWrite inserts a burst into a channel's write buffer at cycle now,
+// coalescing hits and evicting the oldest entry to the channel queue when
+// full.
+func (h *HBM) postWrite(c *channel, addr uint32, now int64) {
 	if _, hit := c.writeBuf[addr]; hit {
 		h.CoalescedWrites++
-		c.writeBuf[addr] = h.now
+		c.writeBuf[addr] = now
+		if c.wbMinOK && addr == c.wbMinAddr {
+			// The refreshed entry may no longer be the minimum.
+			c.wbRecomputeMin()
+		}
 		return
 	}
 	if len(c.writeBuf) >= wbCap {
-		var oldest uint32
-		var oldestAt int64 = 1 << 62
-		// lint:maprange-ok — the victim is the deterministic minimum of
-		// (age, address); map iteration order cannot affect the choice.
-		for a, at := range c.writeBuf {
-			if at < oldestAt || (at == oldestAt && a < oldest) {
-				oldest, oldestAt = a, at
-			}
+		// Victim is the deterministic (age, address) minimum — the cache.
+		if !c.wbMinOK {
+			c.wbRecomputeMin()
 		}
-		h.evictWrite(c, oldest)
+		h.evictWrite(c, c.wbMinAddr)
 	}
-	c.writeBuf[addr] = h.now
+	c.writeBuf[addr] = now
+	if !c.wbMinOK || now < c.wbMinAt || (now == c.wbMinAt && addr < c.wbMinAddr) {
+		c.wbMinAddr, c.wbMinAt, c.wbMinOK = addr, now, true
+	}
 }
 
 // evictWrite moves one write burst from the buffer into the channel queue.
 func (h *HBM) evictWrite(c *channel, addr uint32) {
 	delete(c.writeBuf, addr)
 	_, bank, row := h.locate(addr)
-	c.queue = append(c.queue, burst{req: nil, addr: addr, bank: bank, row: row})
+	c.queue.Push(burst{req: nil, addr: addr, bank: bank, row: row})
+	if c.wbMinOK && addr == c.wbMinAddr {
+		c.wbRecomputeMin()
+	}
 }
 
 type completion struct {
@@ -306,31 +351,16 @@ type inflightList struct {
 func (h *HBM) Tick(cycle int64) {
 	h.now = cycle
 	for _, ch := range h.chans {
-		// Age-out flush: one entry per cycle at most.
-		if len(ch.queue) < h.cfg.QueueDepth {
-			var flush uint32
-			var flushAt int64
-			found := false
-			// lint:maprange-ok — the flushed entry is the deterministic
-			// minimum of (age, address) among aged entries; map iteration
-			// order cannot affect the choice.
-			for a, at := range ch.writeBuf {
-				if cycle-at <= wbFlushAge {
-					continue
-				}
-				if !found || at < flushAt || (at == flushAt && a < flush) {
-					flush, flushAt, found = a, at, true
-				}
-			}
-			if found {
-				h.evictWrite(ch, flush)
-			}
+		// Age-out flush: one entry per cycle at most. The cached (age,
+		// address) minimum is exactly the entry the old full-map scan would
+		// have chosen — if the globally oldest entry is not aged, nothing is.
+		if ch.queue.Len() < h.cfg.QueueDepth && ch.wbMinOK && cycle-ch.wbMinAt > wbFlushAge {
+			h.evictWrite(ch, ch.wbMinAddr)
 		}
-		if len(ch.queue) == 0 || ch.busy > cycle {
+		if ch.queue.Len() == 0 || ch.busy > cycle {
 			continue
 		}
-		b := ch.queue[0]
-		ch.queue = ch.queue[1:]
+		b := ch.queue.Pop()
 		lat := int64(h.cfg.RowHitLatency)
 		if ch.openRow[b.bank] != b.row {
 			lat += int64(h.cfg.RowMissPenalty)
@@ -410,6 +440,7 @@ func (h *HBM) ResetClock() {
 		for a := range ch.writeBuf {
 			ch.writeBuf[a] = 0
 		}
+		ch.wbRecomputeMin()
 	}
 	h.now = 0
 }
@@ -427,25 +458,58 @@ func (h *HBM) WorstCaseInternalLatency() int64 {
 	return queueDrain + perBurst + wbFlushAge
 }
 
-// Idle reports whether a Tick would be a no-op: no queued bursts, nothing
-// in flight, and no posted writes whose age-out flush a tick would advance.
+// Idle reports whether the model is completely empty: no queued bursts,
+// nothing in flight, and no resident posted writes. It is conservative —
+// a resident write makes the model non-idle even though no tick will do
+// anything until its age-out — so it suits callers without a clock.
+// Clocked callers should prefer QuiescentAt.
 func (h *HBM) Idle() bool {
 	if len(h.inflight.items) > 0 {
 		return false
 	}
 	for _, ch := range h.chans {
-		if len(ch.queue) > 0 || len(ch.writeBuf) > 0 {
+		if ch.queue.Len() > 0 || len(ch.writeBuf) > 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// SetNow advances the model's notion of the current cycle without doing
-// channel work. The ticking component calls this when it skips an idle
-// Tick, so a write posted later in the same cycle is timestamped with the
-// real cycle rather than the cycle of the last non-idle tick.
-func (h *HBM) SetNow(cycle int64) { h.now = cycle }
+// QuiescentAt reports whether a Tick at cycle would be a no-op: nothing
+// queued or in flight, and no resident posted write old enough for its
+// age-out flush to fire. Unlike Idle it is a pure function of
+// (state, cycle) — resident-but-young writes do not count as work — so a
+// quiescent stretch before the next age-out can be skipped entirely;
+// NextWriteEvent tells the scheduler when to come back.
+func (h *HBM) QuiescentAt(cycle int64) bool {
+	if len(h.inflight.items) > 0 {
+		return false
+	}
+	for _, ch := range h.chans {
+		if ch.queue.Len() > 0 {
+			return false
+		}
+		if ch.wbMinOK && cycle-ch.wbMinAt > wbFlushAge {
+			return false
+		}
+	}
+	return true
+}
+
+// NextWriteEvent returns the earliest cycle at which a write-buffer
+// age-out flush can fire absent further submissions, or math.MaxInt64
+// when no posted writes are resident. This is the HBM's only self-timed
+// event: everything else it does is a response to a submission or an
+// already-issued burst, both of which keep it non-quiescent.
+func (h *HBM) NextWriteEvent() int64 {
+	next := int64(math.MaxInt64)
+	for _, ch := range h.chans {
+		if ch.wbMinOK && ch.wbMinAt+wbFlushAge+1 < next {
+			next = ch.wbMinAt + wbFlushAge + 1
+		}
+	}
+	return next
+}
 
 // BytesMoved returns total bytes transferred so far.
 func (h *HBM) BytesMoved() int64 {
@@ -457,7 +521,7 @@ func (h *HBM) BytesMoved() int64 {
 // flush-out is bookkeeping traffic; they do not block draining.
 func (h *HBM) Drained() bool {
 	for _, ch := range h.chans {
-		if len(ch.queue) > 0 {
+		if ch.queue.Len() > 0 {
 			return false
 		}
 	}
@@ -475,5 +539,6 @@ func (h *HBM) FlushWrites() {
 			delete(ch.writeBuf, a)
 			h.WriteBursts++
 		}
+		ch.wbMinOK = false
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 )
 
@@ -64,8 +65,8 @@ type Filter struct {
 	outs  []Output
 	ctl   *LoopCtl
 
-	pipe       []timedVec
-	acc        [][]record.Rec
+	pipe       ring.Queue[timedVec]
+	acc        []ring.Queue[record.Rec]
 	lastAppend []int64
 	eosIn      bool
 	eos        []bool
@@ -86,7 +87,7 @@ func NewFilter(name string, route func(record.Rec) int, in *sim.Link, outs []Out
 		route:      route,
 		outs:       outs,
 		ctl:        ctl,
-		acc:        make([][]record.Rec, len(outs)),
+		acc:        make([]ring.Queue[record.Rec], len(outs)),
 		lastAppend: make([]int64, len(outs)),
 		eos:        make([]bool, len(outs)),
 	}
@@ -120,17 +121,17 @@ func (f *Filter) OutputLinks() []*sim.Link {
 // Done implements sim.Component.
 func (f *Filter) Done() bool {
 	if f.cyclic {
-		if len(f.pipe) > 0 {
+		if f.pipe.Len() > 0 {
 			return false
 		}
-		for _, a := range f.acc {
-			if len(a) > 0 {
+		for i := range f.acc {
+			if f.acc[i].Len() > 0 {
 				return false
 			}
 		}
 		return true
 	}
-	if !f.eosIn || len(f.pipe) > 0 {
+	if !f.eosIn || f.pipe.Len() > 0 {
 		return false
 	}
 	for i, o := range f.outs {
@@ -141,8 +142,8 @@ func (f *Filter) Done() bool {
 			return false
 		}
 	}
-	for _, a := range f.acc {
-		if len(a) > 0 {
+	for i := range f.acc {
+		if f.acc[i].Len() > 0 {
 			return false
 		}
 	}
@@ -153,18 +154,18 @@ func (f *Filter) Done() bool {
 // waits in the pipe, an accumulator holds records, input is available, or
 // an EOS still needs forwarding.
 func (f *Filter) Idle(cycle int64) bool {
-	if len(f.pipe) > 0 && f.pipe[0].ready <= cycle {
+	if f.pipe.Len() > 0 && f.pipe.Front().ready <= cycle {
 		return false
 	}
-	for _, a := range f.acc {
-		if len(a) > 0 {
+	for i := range f.acc {
+		if f.acc[i].Len() > 0 {
 			return false
 		}
 	}
 	if !f.eosIn && !f.in.Empty() {
 		return false
 	}
-	if f.eosIn && len(f.pipe) == 0 {
+	if f.eosIn && f.pipe.Len() == 0 {
 		for i, o := range f.outs {
 			if o.Link != nil && !o.NoEOS && !f.eos[i] {
 				return false
@@ -172,6 +173,16 @@ func (f *Filter) Idle(cycle int64) bool {
 		}
 	}
 	return true
+}
+
+// WakeHint implements sim.WakeHinter: the filter's only self-timed event
+// is the oldest pipelined vector maturing; everything else it reacts to
+// arrives over its links.
+func (f *Filter) WakeHint(int64) int64 {
+	if f.pipe.Len() > 0 {
+		return f.pipe.Front().ready
+	}
+	return sim.WakeNever
 }
 
 // SharedState implements sim.StateSharer: filters inside a loop mutate the
@@ -197,37 +208,39 @@ func (f *Filter) Tick(cycle int64) {
 
 // accept pulls one input vector into the 6-stage pipe.
 func (f *Filter) accept(cycle int64) {
-	if f.eosIn || f.in.Empty() || len(f.pipe) >= PipelineDepth+2 {
+	if f.eosIn || f.in.Empty() || f.pipe.Len() >= PipelineDepth+2 {
 		return
 	}
-	for _, a := range f.acc {
-		if len(a) >= 3*record.NumLanes {
+	for i := range f.acc {
+		if f.acc[i].Len() >= 3*record.NumLanes {
 			return // compaction buffers saturated; backpressure
 		}
 	}
-	fl := f.in.Pop()
+	fl := f.in.Peek()
+	f.in.Drop()
 	if fl.EOS {
 		f.eosIn = true
 		return
 	}
-	f.pipe = append(f.pipe, timedVec{v: fl.Vec, ready: cycle + PipelineDepth})
+	tv := f.pipe.PushRefDirty()
+	tv.v = fl.Vec
+	tv.ready = cycle + PipelineDepth
 }
 
 // drainPipe routes one matured vector into the per-output accumulators and
 // reports whether new records arrived this cycle.
 func (f *Filter) drainPipe(cycle int64) bool {
-	if len(f.pipe) == 0 || f.pipe[0].ready > cycle {
+	if f.pipe.Len() == 0 || f.pipe.Front().ready > cycle {
 		return false
 	}
 	touched := f.lastAppend
-	v := f.pipe[0].v
-	f.pipe = f.pipe[1:]
+	v := &f.pipe.Front().v
 	for i := 0; i < record.NumLanes; i++ {
 		if !v.Valid(i) {
 			continue
 		}
-		r := v.Lane[i]
-		oi := f.route(r)
+		r := &v.Lane[i]
+		oi := f.route(*r)
 		if oi < 0 {
 			// Thread kill: in a loop this is an exit.
 			if f.ctl != nil {
@@ -244,9 +257,10 @@ func (f *Filter) drainPipe(cycle int64) bool {
 			}
 			continue
 		}
-		f.acc[oi] = append(f.acc[oi], r)
+		*f.acc[oi].PushRefDirty() = *r
 		touched[oi] = cycle
 	}
+	f.pipe.Drop()
 	return true
 }
 
@@ -262,37 +276,36 @@ const flushAge = 4
 // or the oldest resident record has waited flushAge cycles.
 func (f *Filter) emit(cycle int64, gotInput bool) {
 	for i, o := range f.outs {
-		if o.Link == nil || len(f.acc[i]) == 0 || !o.Link.CanPush() {
+		if o.Link == nil || f.acc[i].Len() == 0 || !o.Link.CanPush() {
 			continue
 		}
-		if len(f.acc[i]) < record.NumLanes && gotInput && !f.eosIn && cycle-f.lastAppend[i] < flushAge {
+		if f.acc[i].Len() < record.NumLanes && gotInput && !f.eosIn && cycle-f.lastAppend[i] < flushAge {
 			continue
 		}
-		var v record.Vector
-		n := len(f.acc[i])
+		n := f.acc[i].Len()
 		if n > record.NumLanes {
 			n = record.NumLanes
 		}
+		v := o.Link.StageVec(cycle)
 		for k := 0; k < n; k++ {
-			v.Push(f.acc[i][k])
+			*v.PushRef() = *f.acc[i].Front()
+			f.acc[i].Drop()
 		}
-		f.acc[i] = f.acc[i][n:]
 		if f.ctl != nil && o.Exit {
 			for k := 0; k < n; k++ {
 				f.ctl.Exit()
 			}
 		}
-		o.Link.Push(cycle, sim.Flit{Vec: v})
 	}
 }
 
 // forwardEOS signals stream end on non-cyclic outputs once drained.
 func (f *Filter) forwardEOS(cycle int64) {
-	if !f.eosIn || len(f.pipe) > 0 {
+	if !f.eosIn || f.pipe.Len() > 0 {
 		return
 	}
-	for _, a := range f.acc {
-		if len(a) > 0 {
+	for i := range f.acc {
+		if f.acc[i].Len() > 0 {
 			return
 		}
 	}
@@ -301,7 +314,7 @@ func (f *Filter) forwardEOS(cycle int64) {
 			continue
 		}
 		if o.Link.CanPush() {
-			o.Link.Push(cycle, sim.Flit{EOS: true})
+			o.Link.PushEOS(cycle)
 			f.eos[i] = true
 		}
 	}
@@ -318,7 +331,7 @@ type Merge struct {
 	out  *sim.Link
 	ctl  *LoopCtl // non-nil: this is a loop-entry merge; sec is external
 
-	acc       []record.Rec
+	acc       ring.Queue[record.Rec]
 	priEOS    bool
 	secEOS    bool
 	eos       bool
@@ -368,7 +381,7 @@ func (m *Merge) loopEntry() bool { return m.ctl != nil }
 // Done implements sim.Component.
 func (m *Merge) Done() bool {
 	if m.cyclic {
-		return len(m.acc) == 0
+		return m.acc.Len() == 0
 	}
 	return m.eos
 }
@@ -378,7 +391,7 @@ func (m *Merge) Done() bool {
 // drain state; both are covered by SharedState, so the owning worker may
 // read them here.
 func (m *Merge) Idle(int64) bool {
-	if len(m.acc) > 0 {
+	if m.acc.Len() > 0 {
 		return false
 	}
 	if !m.priEOS && !m.pri.Empty() {
@@ -410,62 +423,73 @@ func (m *Merge) SharedState() []any {
 	return []any{m.ctl, m.pri}
 }
 
+// WakeHint implements sim.WakeHinter: a merge has no self-timed events —
+// everything it reacts to is link activity or loop-control state owned by
+// shared-state partners.
+func (m *Merge) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (m *Merge) Tick(cycle int64) {
 	// Pull at most one vector from each input, priority first.
-	if len(m.acc) < record.NumLanes && !m.priEOS && !m.pri.Empty() {
-		f := m.pri.Pop()
+	if m.acc.Len() < record.NumLanes && !m.priEOS && !m.pri.Empty() {
+		f := m.pri.Peek()
+		m.pri.Drop()
 		if f.EOS {
 			m.priEOS = true
 		} else {
-			m.acc = append(m.acc, f.Vec.Records()...)
+			for i := 0; i < record.NumLanes; i++ {
+				if f.Vec.Mask&(1<<uint(i)) != 0 {
+					*m.acc.PushRefDirty() = f.Vec.Lane[i]
+				}
+			}
 		}
 	}
-	if len(m.acc) < record.NumLanes && !m.secEOS && !m.sec.Empty() {
-		f := m.sec.Pop()
+	if m.acc.Len() < record.NumLanes && !m.secEOS && !m.sec.Empty() {
+		f := m.sec.Peek()
+		m.sec.Drop()
 		if f.EOS {
 			m.secEOS = true
 		} else {
-			recs := f.Vec.Records()
-			if m.ctl != nil {
-				for range recs {
-					m.ctl.Enter()
+			for i := 0; i < record.NumLanes; i++ {
+				if f.Vec.Mask&(1<<uint(i)) != 0 {
+					if m.ctl != nil {
+						m.ctl.Enter()
+					}
+					*m.acc.PushRefDirty() = f.Vec.Lane[i]
 				}
 			}
-			m.acc = append(m.acc, recs...)
 		}
 	}
 	// Emit one dense vector.
-	if len(m.acc) > 0 && m.out.CanPush() {
-		var v record.Vector
-		n := len(m.acc)
+	if m.acc.Len() > 0 && m.out.CanPush() {
+		n := m.acc.Len()
 		if n > record.NumLanes {
 			n = record.NumLanes
 		}
+		v := m.out.StageVec(cycle)
 		for i := 0; i < n; i++ {
-			v.Push(m.acc[i])
+			*v.PushRef() = *m.acc.Front()
+			m.acc.Drop()
 		}
-		m.acc = m.acc[n:]
-		m.out.Push(cycle, sim.Flit{Vec: v})
 	}
 	m.maybeEOS(cycle)
 }
 
 func (m *Merge) maybeEOS(cycle int64) {
-	if m.eos || len(m.acc) > 0 || !m.out.CanPush() {
+	if m.eos || m.acc.Len() > 0 || !m.out.CanPush() {
 		return
 	}
 	if m.ctl != nil {
 		// Loop entry: the cyclic path never carries EOS; drain is proven
 		// by the in-flight count.
 		if m.secEOS && m.ctl.Inflight() == 0 && m.pri.Drained() {
-			m.out.Push(cycle, sim.Flit{EOS: true})
+			m.out.PushEOS(cycle)
 			m.eos = true
 		}
 		return
 	}
 	if m.priEOS && m.secEOS {
-		m.out.Push(cycle, sim.Flit{EOS: true})
+		m.out.PushEOS(cycle)
 		m.eos = true
 	}
 }
@@ -481,7 +505,7 @@ type Fork struct {
 	fn   func(record.Rec) []record.Rec
 	ctl  *LoopCtl
 
-	buf      []timedRec
+	buf      ring.Queue[timedRec]
 	eosIn    bool
 	eos      bool
 	cyclic   bool
@@ -518,23 +542,32 @@ func (f *Fork) OutputLinks() []*sim.Link { return []*sim.Link{f.out} }
 // Done implements sim.Component.
 func (f *Fork) Done() bool {
 	if f.cyclic {
-		return len(f.buf) == 0
+		return f.buf.Len() == 0
 	}
 	return f.eos
 }
 
 // Idle implements sim.Idler: mirrors Tick's emit/accept/EOS conditions.
 func (f *Fork) Idle(cycle int64) bool {
-	if len(f.buf) > 0 && f.buf[0].ready <= cycle && f.out.CanPush() {
+	if f.buf.Len() > 0 && f.buf.Front().ready <= cycle && f.out.CanPush() {
 		return false
 	}
-	if !f.eosIn && !f.in.Empty() && len(f.buf) < 4*record.NumLanes {
+	if !f.eosIn && !f.in.Empty() && f.buf.Len() < 4*record.NumLanes {
 		return false
 	}
-	if f.eosIn && !f.eos && len(f.buf) == 0 && f.out.CanPush() {
+	if f.eosIn && !f.eos && f.buf.Len() == 0 && f.out.CanPush() {
 		return false
 	}
 	return true
+}
+
+// WakeHint implements sim.WakeHinter: the fork's only self-timed event is
+// its oldest expanded child maturing out of the pipeline.
+func (f *Fork) WakeHint(int64) int64 {
+	if f.buf.Len() > 0 {
+		return f.buf.Front().ready
+	}
+	return sim.WakeNever
 }
 
 // SharedState implements sim.StateSharer: forks inside a loop mutate the
@@ -553,19 +586,19 @@ func (f *Fork) WorstCaseInternalLatency() int64 { return PipelineDepth }
 // Tick implements sim.Component.
 func (f *Fork) Tick(cycle int64) {
 	// Emit up to one dense vector of matured children.
-	if len(f.buf) > 0 && f.buf[0].ready <= cycle && f.out.CanPush() {
-		var v record.Vector
+	if f.buf.Len() > 0 && f.buf.Front().ready <= cycle && f.out.CanPush() {
+		v := f.out.StageVec(cycle)
 		n := 0
-		for n < len(f.buf) && n < record.NumLanes && f.buf[n].ready <= cycle {
-			v.Push(f.buf[n].r)
+		for f.buf.Len() > 0 && n < record.NumLanes && f.buf.Front().ready <= cycle {
+			*v.PushRef() = f.buf.Front().r
+			f.buf.Drop()
 			n++
 		}
-		f.buf = f.buf[n:]
-		f.out.Push(cycle, sim.Flit{Vec: v})
 	}
 	// Accept one parent vector when the expansion buffer has room.
-	if !f.eosIn && !f.in.Empty() && len(f.buf) < 4*record.NumLanes {
-		fl := f.in.Pop()
+	if !f.eosIn && !f.in.Empty() && f.buf.Len() < 4*record.NumLanes {
+		fl := f.in.Peek()
+		f.in.Drop()
 		if fl.EOS {
 			f.eosIn = true
 		} else {
@@ -578,13 +611,13 @@ func (f *Fork) Tick(cycle int64) {
 					f.ctl.Spawn(len(children) - 1)
 				}
 				for _, c := range children {
-					f.buf = append(f.buf, timedRec{r: c, ready: cycle + PipelineDepth})
+					*f.buf.PushRef() = timedRec{r: c, ready: cycle + PipelineDepth}
 				}
 			}
 		}
 	}
-	if f.eosIn && !f.eos && len(f.buf) == 0 && f.out.CanPush() {
-		f.out.Push(cycle, sim.Flit{EOS: true})
+	if f.eosIn && !f.eos && f.buf.Len() == 0 && f.out.CanPush() {
+		f.out.PushEOS(cycle)
 		f.eos = true
 	}
 }

@@ -9,13 +9,16 @@ import (
 	"aurochs/internal/sim"
 )
 
-// TestIdleConformance: every fabric component type, driven solo or in the
-// smallest graph that exercises it, honours the Idler contract under
-// sim.VerifyIdleContract — a Tick behind every Idle=true answer is proven
-// to move no data, and the graph still drains. This is the runtime
-// counterpart of the tickpurity analyzer: the analyzer proves Idle cannot
-// write state, this harness proves the answers are correct.
-func TestIdleConformance(t *testing.T) {
+// conformanceCase pairs a graph builder with its name for the idle/wake
+// contract sweeps below.
+type conformanceCase struct {
+	name  string
+	build func(t *testing.T) *Graph
+}
+
+// conformanceCases: every fabric component type, driven solo or in the
+// smallest graph that exercises it.
+func conformanceCases() []conformanceCase {
 	key := func(r record.Rec) uint64 { return uint64(r.Get(0)) }
 	recs := func(n int) []record.Rec {
 		out := make([]record.Rec, n)
@@ -24,10 +27,7 @@ func TestIdleConformance(t *testing.T) {
 		}
 		return out
 	}
-	cases := []struct {
-		name  string
-		build func(t *testing.T) *Graph
-	}{
+	return []conformanceCase{
 		{"source-map-sink", func(t *testing.T) *Graph {
 			g := NewGraph()
 			in, out := g.Link("in"), g.Link("out")
@@ -109,13 +109,40 @@ func TestIdleConformance(t *testing.T) {
 			return g
 		}},
 	}
-	for _, tc := range cases {
+}
+
+// TestIdleConformance: each case honours the Idler contract under
+// sim.VerifyIdleContract — a Tick behind every Idle=true answer is proven
+// to move no data, and the graph still drains. This is the runtime
+// counterpart of the tickpurity analyzer: the analyzer proves Idle cannot
+// write state, this harness proves the answers are correct.
+func TestIdleConformance(t *testing.T) {
+	for _, tc := range conformanceCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			g := tc.build(t)
 			if err := g.Check(); err != nil {
 				t.Fatal(err)
 			}
 			if err := sim.VerifyIdleContract(g.Sys, 1_000_000); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWakeConformance: the event-scheduler counterpart — on every cycle of
+// a run on the wake kernel, each *sleeping* component's Idle answer is
+// audited. A component with work no wake event announces (missing WakeHint
+// timer, undeclared shared state) is reported by name instead of
+// manifesting as a mystery deadlock at scale.
+func TestWakeConformance(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build(t)
+			if err := g.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.VerifyWakeContract(g.Sys, 1_000_000); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -5,6 +5,7 @@ import (
 
 	"aurochs/internal/dram"
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 	"aurochs/internal/spad"
 )
@@ -26,11 +27,15 @@ type DRAMNode struct {
 	stat *sim.Stats
 
 	maxOutstanding int
-	backlog        []record.Rec
+	backlog        ring.Queue[record.Rec]
 	outstanding    int
-	ready          []record.Rec
+	ready          ring.Queue[record.Rec]
 	eosIn          bool
 	eos            bool
+
+	wdata []uint32 // scratch for write payloads (consumed synchronously by SubmitAt)
+
+	stallCnt, reqCnt, dropCnt *sim.Counter
 }
 
 // NewDRAMNode builds a DRAM access node on graph g.
@@ -56,6 +61,9 @@ func NewDRAMNode(g *Graph, name string, spec spad.Spec, in, out *sim.Link) *DRAM
 		stat:           g.Stats(),
 		maxOutstanding: 64,
 	}
+	n.stallCnt = n.stat.Counter(name + ".dram_stall")
+	n.reqCnt = n.stat.Counter(name + ".dram_reqs")
+	n.dropCnt = n.stat.Counter(name + ".dropped")
 	g.Add(n)
 	return n
 }
@@ -75,7 +83,7 @@ func (d *DRAMNode) Done() bool { return d.eos }
 // Idle implements sim.Idler: with nothing buffered on either side the node
 // can only wait — completions arrive via the HBM's tick, not this one.
 func (d *DRAMNode) Idle(int64) bool {
-	if len(d.ready) > 0 || len(d.backlog) > 0 {
+	if d.ready.Len() > 0 || d.backlog.Len() > 0 {
 		return false
 	}
 	if !d.eosIn && !d.in.Empty() {
@@ -91,6 +99,11 @@ func (d *DRAMNode) Idle(int64) bool {
 // callbacks interleave with the HBM's tick.
 func (d *DRAMNode) SharedState() []any { return []any{d.h} }
 
+// WakeHint implements sim.WakeHinter: the node has no self-timed events —
+// it reacts to link flits and to HBM completions, and the HBM is a
+// shared-state partner that wakes it on every non-idle memory tick.
+func (d *DRAMNode) WakeHint(int64) int64 { return sim.WakeNever }
+
 func (d *DRAMNode) width() int {
 	if d.spec.Width <= 0 {
 		return 1
@@ -101,7 +114,7 @@ func (d *DRAMNode) width() int {
 // Tick implements sim.Component.
 func (d *DRAMNode) Tick(cycle int64) {
 	d.emit(cycle)
-	d.submit()
+	d.submit(cycle)
 	d.accept()
 	d.finishEOS(cycle)
 }
@@ -109,16 +122,21 @@ func (d *DRAMNode) Tick(cycle int64) {
 // submit pushes backlogged records into the memory system, stalling when
 // the response side backs up (bounded buffering, like the scratchpad's
 // response compactor).
-func (d *DRAMNode) submit() {
-	for len(d.backlog) > 0 && d.outstanding < d.maxOutstanding &&
-		len(d.ready)+d.outstanding < 8*record.NumLanes {
-		r := d.backlog[0]
+func (d *DRAMNode) submit(cycle int64) {
+	for d.backlog.Len() > 0 && d.outstanding < d.maxOutstanding &&
+		d.ready.Len()+d.outstanding < 8*record.NumLanes {
+		r := *d.backlog.Front()
 		w := d.width()
 		addr := d.spec.Addr(r)
 		req := dram.Request{Addr: addr, Words: w}
 		switch d.spec.Op {
 		case spad.OpWrite:
-			data := make([]uint32, w)
+			// SubmitAt consumes write payloads synchronously, so the
+			// scratch buffer is safe to reuse across records.
+			if cap(d.wdata) < w {
+				d.wdata = make([]uint32, w)
+			}
+			data := d.wdata[:w]
 			for i := 0; i < w; i++ {
 				data[i] = d.spec.Data(r, i)
 			}
@@ -155,13 +173,13 @@ func (d *DRAMNode) submit() {
 				req.Done = func(data []uint32) { d.complete(rr, data) }
 			}
 		}
-		if !d.h.Submit(req) {
-			d.stat.Add(d.name+".dram_stall", 1)
+		if !d.h.SubmitAt(cycle, req) {
+			d.stallCnt.Add(1)
 			return
 		}
 		d.outstanding++
-		d.backlog = d.backlog[1:]
-		d.stat.Add(d.name+".dram_reqs", 1)
+		d.backlog.Drop()
+		d.reqCnt.Add(1)
 	}
 }
 
@@ -177,47 +195,50 @@ func (d *DRAMNode) complete(r record.Rec, resp []uint32) {
 		out, keep = d.spec.Apply(r, resp)
 	}
 	if keep {
-		d.ready = append(d.ready, out)
+		*d.ready.PushRefDirty() = out
 	} else {
-		d.stat.Add(d.name+".dropped", 1)
+		d.dropCnt.Add(1)
 	}
 }
 
 // accept pulls one input vector into the backlog.
 func (d *DRAMNode) accept() {
-	if d.eosIn || d.in.Empty() || len(d.backlog) > 2*record.NumLanes {
+	if d.eosIn || d.in.Empty() || d.backlog.Len() > 2*record.NumLanes {
 		return
 	}
-	f := d.in.Pop()
+	f := d.in.Peek()
+	d.in.Drop()
 	if f.EOS {
 		d.eosIn = true
 		return
 	}
-	d.backlog = append(d.backlog, f.Vec.Records()...)
+	for i := 0; i < record.NumLanes; i++ {
+		if f.Vec.Mask&(1<<uint(i)) != 0 {
+			*d.backlog.PushRefDirty() = f.Vec.Lane[i]
+		}
+	}
 }
 
 // emit vectorizes completed threads, one vector per cycle.
 func (d *DRAMNode) emit(cycle int64) {
-	if len(d.ready) == 0 || !d.out.CanPush() {
+	if d.ready.Len() == 0 || !d.out.CanPush() {
 		return
 	}
-	var v record.Vector
-	n := len(d.ready)
+	n := d.ready.Len()
 	if n > record.NumLanes {
 		n = record.NumLanes
 	}
+	v := d.out.StageVec(cycle)
 	for i := 0; i < n; i++ {
-		v.Push(d.ready[i])
+		v.Push(d.ready.Pop())
 	}
-	d.ready = d.ready[n:]
-	d.out.Push(cycle, sim.Flit{Vec: v})
 }
 
 func (d *DRAMNode) finishEOS(cycle int64) {
 	if d.eos || !d.eosIn {
 		return
 	}
-	if len(d.backlog) > 0 || d.outstanding > 0 || len(d.ready) > 0 {
+	if d.backlog.Len() > 0 || d.outstanding > 0 || d.ready.Len() > 0 {
 		return
 	}
 	if !d.out.CanPush() {

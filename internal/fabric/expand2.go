@@ -3,6 +3,7 @@ package fabric
 import (
 	"aurochs/internal/dram"
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 )
 
@@ -25,11 +26,13 @@ type DRAMExpand2 struct {
 	stat   *sim.Stats
 
 	maxOutstanding int
-	backlog        []record.Rec
+	backlog        ring.Queue[record.Rec]
 	outstanding    int
-	ready          []record.Rec
+	ready          ring.Queue[record.Rec]
 	eosIn          bool
 	eos            bool
+
+	stallCnt, pairCnt *sim.Counter
 }
 
 // NewDRAMExpand2 builds the node; see DRAMExpand for the single-fetch form.
@@ -45,6 +48,8 @@ func NewDRAMExpand2(g *Graph, name string, widthA, widthB int,
 		addrA: addrA, addrB: addrB, expand: expand,
 		ctl: ctl, in: in, out: out, stat: g.Stats(), maxOutstanding: 32,
 	}
+	n.stallCnt = n.stat.Counter(name + ".dram_stall")
+	n.pairCnt = n.stat.Counter(name + ".fetch_pairs")
 	g.Add(n)
 	return n
 }
@@ -63,7 +68,7 @@ func (d *DRAMExpand2) Done() bool { return d.eos }
 
 // Idle implements sim.Idler: see DRAMNode.Idle.
 func (d *DRAMExpand2) Idle(int64) bool {
-	if len(d.ready) > 0 || len(d.backlog) > 0 {
+	if d.ready.Len() > 0 || d.backlog.Len() > 0 {
 		return false
 	}
 	if !d.eosIn && !d.in.Empty() {
@@ -83,24 +88,27 @@ func (d *DRAMExpand2) SharedState() []any {
 	return []any{d.h}
 }
 
+// WakeHint implements sim.WakeHinter: no self-timed events — progress
+// comes from link flits and HBM completions (shared-state partner).
+func (d *DRAMExpand2) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (d *DRAMExpand2) Tick(cycle int64) {
 	// Emit matured children.
-	if len(d.ready) > 0 && d.out.CanPush() {
-		var v record.Vector
-		n := len(d.ready)
+	if d.ready.Len() > 0 && d.out.CanPush() {
+		n := d.ready.Len()
 		if n > record.NumLanes {
 			n = record.NumLanes
 		}
+		v := d.out.StageVec(cycle)
 		for i := 0; i < n; i++ {
-			v.Push(d.ready[i])
+			*v.PushRef() = *d.ready.Front()
+			d.ready.Drop()
 		}
-		d.ready = d.ready[n:]
-		d.out.Push(cycle, sim.Flit{Vec: v})
 	}
 	// Submit paired fetches: both blocks must arrive before expansion.
-	for len(d.backlog) > 0 && d.outstanding < d.maxOutstanding && len(d.ready) < 8*record.NumLanes {
-		r := d.backlog[0]
+	for d.backlog.Len() > 0 && d.outstanding < d.maxOutstanding && d.ready.Len() < 8*record.NumLanes {
+		r := *d.backlog.Front()
 		// Two requests joined by a shared arrival counter.
 		arrived := 0
 		var dataA, dataB []uint32
@@ -114,42 +122,49 @@ func (d *DRAMExpand2) Tick(cycle int64) {
 			if d.ctl != nil {
 				d.ctl.Spawn(len(children) - 1)
 			}
-			d.ready = append(d.ready, children...)
+			for _, c := range children {
+				*d.ready.PushRefDirty() = c
+			}
 		}
-		okA := d.h.Submit(dram.Request{Addr: d.addrA(r), Words: d.widthA, Done: func(data []uint32) {
+		okA := d.h.SubmitAt(cycle, dram.Request{Addr: d.addrA(r), Words: d.widthA, Done: func(data []uint32) {
 			dataA = data
 			done()
 		}})
 		if !okA {
-			d.stat.Add(d.name+".dram_stall", 1)
+			d.stallCnt.Add(1)
 			break
 		}
-		okB := d.h.Submit(dram.Request{Addr: d.addrB(r), Words: d.widthB, Done: func(data []uint32) {
+		okB := d.h.SubmitAt(cycle, dram.Request{Addr: d.addrB(r), Words: d.widthB, Done: func(data []uint32) {
 			dataB = data
 			done()
 		}})
 		if !okB {
 			// First leg is in flight; absorb the second functionally so
 			// the pair completes (charge a stall).
-			d.stat.Add(d.name+".dram_stall", 1)
+			d.stallCnt.Add(1)
 			dataB = d.h.SnapshotWords(d.addrB(r), d.widthB)
 			done()
 		}
 		d.outstanding++
-		d.backlog = d.backlog[1:]
-		d.stat.Add(d.name+".fetch_pairs", 1)
+		d.backlog.Drop()
+		d.pairCnt.Add(1)
 	}
 	// Accept input.
-	if !d.eosIn && !d.in.Empty() && len(d.backlog) <= 2*record.NumLanes {
-		f := d.in.Pop()
+	if !d.eosIn && !d.in.Empty() && d.backlog.Len() <= 2*record.NumLanes {
+		f := d.in.Peek()
+		d.in.Drop()
 		if f.EOS {
 			d.eosIn = true
 		} else {
-			d.backlog = append(d.backlog, f.Vec.Records()...)
+			for i := 0; i < record.NumLanes; i++ {
+				if f.Vec.Mask&(1<<uint(i)) != 0 {
+					*d.backlog.PushRefDirty() = f.Vec.Lane[i]
+				}
+			}
 		}
 	}
-	if d.eosIn && !d.eos && len(d.backlog) == 0 && d.outstanding == 0 && len(d.ready) == 0 && d.out.CanPush() {
-		d.out.Push(cycle, sim.Flit{EOS: true})
+	if d.eosIn && !d.eos && d.backlog.Len() == 0 && d.outstanding == 0 && d.ready.Len() == 0 && d.out.CanPush() {
+		d.out.PushEOS(cycle)
 		d.eos = true
 	}
 }

@@ -123,24 +123,32 @@ func (c *hbmComponent) Tick(cycle int64) { c.h.Tick(cycle) }
 // here is safe.
 func (c *hbmComponent) Done() bool { return c.h.Drained() }
 
-// Idle implements sim.Idler: ticking an HBM with no queued, in-flight, or
-// posted work is a no-op. The clock is kept current so a write posted
-// later in a skipped cycle is timestamped correctly.
-//
-// lint:tickpure-ok — SetNow only refreshes the idle model's timestamp; with
-// no queued or in-flight work there is no channel activity it could reorder.
+// Idle implements sim.Idler: ticking an HBM with no queued or in-flight
+// work — and no posted write due for its age-out flush — is a no-op. The
+// answer is a pure function of (state, cycle); DRAM nodes submit via
+// SubmitAt with their own cycle, so no clock side channel is needed.
 func (c *hbmComponent) Idle(cycle int64) bool {
-	if c.h.Idle() {
-		c.h.SetNow(cycle)
-		return true
-	}
-	return false
+	return c.h.QuiescentAt(cycle)
+}
+
+// WakeHint implements sim.WakeHinter: left alone, the HBM's only future
+// event is the oldest posted write crossing the age-out horizon.
+// Everything else it does reacts to a submission, and submitters share
+// identity state with it (SharedState), so they wake it as partners.
+func (c *hbmComponent) WakeHint(cycle int64) int64 {
+	return c.h.NextWriteEvent()
 }
 
 // SharedState implements sim.StateSharer: every DRAM node submitting to
 // this HBM (and receiving completion callbacks from its Tick) must tick on
 // the same worker.
 func (c *hbmComponent) SharedState() []any { return []any{c.h} }
+
+// HostsCallbacks implements sim.CallbackHost: this tick fires Done closures
+// owned by submitting nodes, whose side effects can reach state those nodes
+// share under other keys (e.g. a DRAMExpand adjusting its LoopCtl when an
+// expansion kills a thread). The scheduler widens the wake set accordingly.
+func (c *hbmComponent) HostsCallbacks() {}
 
 // WorstCaseInternalLatency implements sim.LatencyBound: DRAM round trips
 // are the longest link-invisible stretch in any graph.

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 )
 
@@ -33,6 +34,9 @@ func (s *Source) Done() bool { return s.eos }
 // Idle implements sim.Idler: nothing to do once drained or backpressured.
 func (s *Source) Idle(int64) bool { return s.eos || !s.out.CanPush() }
 
+// WakeHint implements sim.WakeHinter: a source only waits on link credit.
+func (s *Source) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (s *Source) Tick(cycle int64) {
 	if s.eos || !s.out.CanPush() {
@@ -43,7 +47,7 @@ func (s *Source) Tick(cycle int64) {
 		s.pos++
 		return
 	}
-	s.out.Push(cycle, sim.Flit{EOS: true})
+	s.out.PushEOS(cycle)
 	s.eos = true
 }
 
@@ -73,15 +77,19 @@ func (s *Sink) Done() bool { return s.eos }
 // Idle implements sim.Idler: nothing to do without input.
 func (s *Sink) Idle(int64) bool { return s.eos || s.in.Empty() }
 
+// WakeHint implements sim.WakeHinter: a sink only waits on link arrivals.
+func (s *Sink) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (s *Sink) Tick(cycle int64) {
 	for !s.in.Empty() {
-		f := s.in.Pop()
+		f := s.in.Peek()
+		s.in.Drop()
 		if f.EOS {
 			s.eos = true
 			return
 		}
-		s.recs = append(s.recs, f.Vec.Records()...)
+		s.recs = f.Vec.AppendRecords(s.recs)
 	}
 }
 
@@ -102,7 +110,7 @@ type Map struct {
 	out  *sim.Link
 	fn   func(record.Rec) record.Rec
 
-	pipe     []timedVec
+	pipe     ring.Queue[timedVec]
 	eosIn    bool
 	eos      bool
 	cyclic   bool
@@ -141,7 +149,7 @@ func (m *Map) OutputLinks() []*sim.Link { return []*sim.Link{m.out} }
 // Done implements sim.Component.
 func (m *Map) Done() bool {
 	if m.cyclic {
-		return len(m.pipe) == 0
+		return m.pipe.Len() == 0
 	}
 	return m.eos
 }
@@ -150,16 +158,25 @@ func (m *Map) Done() bool {
 // matured head, accept input, forward EOS — returning true only when none
 // can fire this cycle.
 func (m *Map) Idle(cycle int64) bool {
-	if len(m.pipe) > 0 && m.pipe[0].ready <= cycle && m.out.CanPush() {
+	if m.pipe.Len() > 0 && m.pipe.Front().ready <= cycle && m.out.CanPush() {
 		return false
 	}
-	if !m.eosIn && !m.in.Empty() && len(m.pipe) < PipelineDepth+2 {
+	if !m.eosIn && !m.in.Empty() && m.pipe.Len() < PipelineDepth+2 {
 		return false
 	}
-	if m.eosIn && !m.eos && len(m.pipe) == 0 && m.out.CanPush() {
+	if m.eosIn && !m.eos && m.pipe.Len() == 0 && m.out.CanPush() {
 		return false
 	}
 	return true
+}
+
+// WakeHint implements sim.WakeHinter: the datapath's only self-timed
+// event is the head vector maturing out of the pipeline.
+func (m *Map) WakeHint(int64) int64 {
+	if m.pipe.Len() > 0 {
+		return m.pipe.Front().ready
+	}
+	return sim.WakeNever
 }
 
 // WorstCaseInternalLatency implements sim.LatencyBound: a vector can sit
@@ -169,29 +186,30 @@ func (m *Map) WorstCaseInternalLatency() int64 { return PipelineDepth }
 // Tick implements sim.Component.
 func (m *Map) Tick(cycle int64) {
 	// Drain pipeline head.
-	if len(m.pipe) > 0 && m.pipe[0].ready <= cycle && m.out.CanPush() {
-		m.out.Push(cycle, sim.Flit{Vec: m.pipe[0].v})
-		m.pipe = m.pipe[1:]
+	if m.pipe.Len() > 0 && m.pipe.Front().ready <= cycle && m.out.CanPush() {
+		*m.out.StageVec(cycle) = m.pipe.Front().v
+		m.pipe.Drop()
 	}
 	// Accept one vector per cycle.
-	if !m.eosIn && !m.in.Empty() && len(m.pipe) < PipelineDepth+2 {
-		f := m.in.Pop()
+	if !m.eosIn && !m.in.Empty() && m.pipe.Len() < PipelineDepth+2 {
+		f := m.in.Peek()
+		m.in.Drop()
 		if f.EOS {
 			m.eosIn = true
 		} else {
-			v := f.Vec
-			var out record.Vector
+			slot := m.pipe.PushRefDirty()
+			slot.ready = cycle + PipelineDepth
+			slot.v.Reset()
 			for i := 0; i < record.NumLanes; i++ {
-				if v.Valid(i) {
-					out.Push(m.fn(v.Lane[i]))
+				if f.Vec.Valid(i) {
+					slot.v.Push(m.fn(f.Vec.Lane[i]))
 				}
 			}
-			m.pipe = append(m.pipe, timedVec{v: out, ready: cycle + PipelineDepth})
 		}
 	}
 	// Forward EOS once drained.
-	if m.eosIn && !m.eos && len(m.pipe) == 0 && m.out.CanPush() {
-		m.out.Push(cycle, sim.Flit{EOS: true})
+	if m.eosIn && !m.eos && m.pipe.Len() == 0 && m.out.CanPush() {
+		m.out.PushEOS(cycle)
 		m.eos = true
 	}
 }

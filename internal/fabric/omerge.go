@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 )
 
@@ -21,7 +22,7 @@ type OrderedMerge struct {
 	out  *sim.Link
 	key  KeyFn
 
-	bufs [][]record.Rec
+	bufs []ring.Queue[record.Rec]
 	eosv []bool
 	eos  bool
 }
@@ -33,7 +34,7 @@ func NewOrderedMerge(name string, key KeyFn, ins []*sim.Link, out *sim.Link) *Or
 	}
 	return &OrderedMerge{
 		name: name, ins: ins, out: out, key: key,
-		bufs: make([][]record.Rec, len(ins)),
+		bufs: make([]ring.Queue[record.Rec], len(ins)),
 		eosv: make([]bool, len(ins)),
 	}
 }
@@ -54,7 +55,7 @@ func (m *OrderedMerge) Done() bool { return m.eos }
 // blocked or a live input with an empty buffer stalls the merge.
 func (m *OrderedMerge) Idle(int64) bool {
 	for i, in := range m.ins {
-		if !m.eosv[i] && len(m.bufs[i]) < record.NumLanes && !in.Empty() {
+		if !m.eosv[i] && m.bufs[i].Len() < record.NumLanes && !in.Empty() {
 			return false
 		}
 	}
@@ -62,49 +63,54 @@ func (m *OrderedMerge) Idle(int64) bool {
 		return true
 	}
 	for i := range m.ins {
-		if len(m.bufs[i]) == 0 && !m.eosv[i] {
+		if m.bufs[i].Len() == 0 && !m.eosv[i] {
 			return true // cannot prove the minimum; the link is also empty
 		}
 	}
 	return false // can emit records or the final EOS
 }
 
+// WakeHint implements sim.WakeHinter: the merge is purely link-driven.
+func (m *OrderedMerge) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (m *OrderedMerge) Tick(cycle int64) {
 	// Refill: pull one vector per starved input.
 	for i, in := range m.ins {
-		if m.eosv[i] || len(m.bufs[i]) >= record.NumLanes || in.Empty() {
+		if m.eosv[i] || m.bufs[i].Len() >= record.NumLanes || in.Empty() {
 			continue
 		}
 		f := in.Pop()
 		if f.EOS {
 			m.eosv[i] = true
 		} else {
-			m.bufs[i] = append(m.bufs[i], f.Vec.Records()...)
+			for k := 0; k < record.NumLanes; k++ {
+				if f.Vec.Mask&(1<<uint(k)) != 0 {
+					*m.bufs[i].PushRef() = f.Vec.Lane[k]
+				}
+			}
 		}
 	}
 	// Emit: up to one dense vector of globally smallest records. Stall if
-	// any live input is empty (cannot prove the minimum).
-	for _, ok := range m.eosv {
-		_ = ok
-	}
+	// any live input is empty (cannot prove the minimum). The output flit
+	// is staged lazily, only once the first record is proven emittable.
 	if !m.out.CanPush() {
 		return
 	}
-	var v record.Vector
-	for v.Count() < record.NumLanes {
+	var v *record.Vector
+	for v == nil || v.Count() < record.NumLanes {
 		best := -1
 		var bestKey uint64
 		stalled := false
 		for i := range m.ins {
-			if len(m.bufs[i]) == 0 {
+			if m.bufs[i].Len() == 0 {
 				if !m.eosv[i] {
 					stalled = true
 					break
 				}
 				continue
 			}
-			k := m.key(m.bufs[i][0])
+			k := m.key(*m.bufs[i].Front())
 			if best < 0 || k < bestKey {
 				best, bestKey = i, k
 			}
@@ -112,21 +118,22 @@ func (m *OrderedMerge) Tick(cycle int64) {
 		if stalled || best < 0 {
 			break
 		}
-		v.Push(m.bufs[best][0])
-		m.bufs[best] = m.bufs[best][1:]
+		if v == nil {
+			v = m.out.StageVec(cycle)
+		}
+		v.Push(m.bufs[best].Pop())
 	}
-	if v.Count() > 0 {
-		m.out.Push(cycle, sim.Flit{Vec: v})
+	if v != nil {
 		return
 	}
 	// EOS when every input has ended and drained.
 	if !m.eos {
 		for i := range m.ins {
-			if !m.eosv[i] || len(m.bufs[i]) > 0 {
+			if !m.eosv[i] || m.bufs[i].Len() > 0 {
 				return
 			}
 		}
-		m.out.Push(cycle, sim.Flit{EOS: true})
+		m.out.PushEOS(cycle)
 		m.eos = true
 	}
 }
@@ -143,13 +150,13 @@ type MergeJoin struct {
 	keyB    KeyFn
 	combine func(a, b record.Rec) record.Rec
 
-	bufA, bufB []record.Rec
+	bufA, bufB ring.Queue[record.Rec]
 	eosA, eosB bool
 
-	groupA    []record.Rec
+	groupA    []record.Rec // reused across groups; reset to length zero
 	groupKey  uint64
 	groupOpen bool // collecting the current A group
-	pending   []record.Rec
+	pending   ring.Queue[record.Rec]
 	eos       bool
 	matches   int64
 }
@@ -177,16 +184,16 @@ func (j *MergeJoin) Matches() int64 { return j.matches }
 // Idle implements sim.Idler: conservative — false whenever any buffered
 // work, poppable input, or terminal transition could advance the join.
 func (j *MergeJoin) Idle(int64) bool {
-	if len(j.pending) > 0 {
+	if j.pending.Len() > 0 {
 		return false
 	}
-	if !j.eosA && len(j.bufA) < 2*record.NumLanes && !j.a.Empty() {
+	if !j.eosA && j.bufA.Len() < 2*record.NumLanes && !j.a.Empty() {
 		return false
 	}
-	if !j.eosB && len(j.bufB) < 2*record.NumLanes && !j.b.Empty() {
+	if !j.eosB && j.bufB.Len() < 2*record.NumLanes && !j.b.Empty() {
 		return false
 	}
-	if len(j.bufA) > 0 || len(j.bufB) > 0 {
+	if j.bufA.Len() > 0 || j.bufB.Len() > 0 {
 		return false
 	}
 	if j.eosA && (j.groupOpen || len(j.groupA) > 0) {
@@ -198,10 +205,13 @@ func (j *MergeJoin) Idle(int64) bool {
 	return true
 }
 
+// WakeHint implements sim.WakeHinter: the join is purely link-driven.
+func (j *MergeJoin) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (j *MergeJoin) Tick(cycle int64) {
 	j.refill()
-	for work := 0; work < record.NumLanes && len(j.pending) < 4*record.NumLanes; work++ {
+	for work := 0; work < record.NumLanes && j.pending.Len() < 4*record.NumLanes; work++ {
 		if !j.step() {
 			break
 		}
@@ -210,20 +220,28 @@ func (j *MergeJoin) Tick(cycle int64) {
 }
 
 func (j *MergeJoin) refill() {
-	if !j.eosA && len(j.bufA) < 2*record.NumLanes && !j.a.Empty() {
+	if !j.eosA && j.bufA.Len() < 2*record.NumLanes && !j.a.Empty() {
 		f := j.a.Pop()
 		if f.EOS {
 			j.eosA = true
 		} else {
-			j.bufA = append(j.bufA, f.Vec.Records()...)
+			for i := 0; i < record.NumLanes; i++ {
+				if f.Vec.Mask&(1<<uint(i)) != 0 {
+					*j.bufA.PushRef() = f.Vec.Lane[i]
+				}
+			}
 		}
 	}
-	if !j.eosB && len(j.bufB) < 2*record.NumLanes && !j.b.Empty() {
+	if !j.eosB && j.bufB.Len() < 2*record.NumLanes && !j.b.Empty() {
 		f := j.b.Pop()
 		if f.EOS {
 			j.eosB = true
 		} else {
-			j.bufB = append(j.bufB, f.Vec.Records()...)
+			for i := 0; i < record.NumLanes; i++ {
+				if f.Vec.Mask&(1<<uint(i)) != 0 {
+					*j.bufB.PushRef() = f.Vec.Lane[i]
+				}
+			}
 		}
 	}
 }
@@ -233,7 +251,7 @@ func (j *MergeJoin) refill() {
 func (j *MergeJoin) step() bool {
 	// Phase 1: complete the current A group.
 	if j.groupOpen || len(j.groupA) == 0 {
-		if len(j.bufA) == 0 {
+		if j.bufA.Len() == 0 {
 			if !j.eosA {
 				return false // group may continue in the next vector
 			}
@@ -241,21 +259,20 @@ func (j *MergeJoin) step() bool {
 				j.groupOpen = false // EOS closes the group
 			} else if len(j.groupA) == 0 {
 				// A exhausted entirely: discard the rest of B.
-				if len(j.bufB) > 0 {
-					j.bufB = j.bufB[1:]
+				if j.bufB.Len() > 0 {
+					j.bufB.Drop()
 					return true
 				}
 				return false
 			}
 		} else {
-			ka := j.keyA(j.bufA[0])
+			ka := j.keyA(*j.bufA.Front())
 			if !j.groupOpen && len(j.groupA) == 0 {
 				j.groupKey, j.groupOpen = ka, true
 			}
 			if j.groupOpen {
 				if ka == j.groupKey {
-					j.groupA = append(j.groupA, j.bufA[0])
-					j.bufA = j.bufA[1:]
+					j.groupA = append(j.groupA, j.bufA.Pop())
 					return true
 				}
 				j.groupOpen = false // next key reached: group complete
@@ -263,52 +280,49 @@ func (j *MergeJoin) step() bool {
 		}
 	}
 	// Phase 2: consume B against the completed group.
-	if len(j.bufB) == 0 {
+	if j.bufB.Len() == 0 {
 		if j.eosB {
 			// Nothing left to match: drop the group and drain A.
-			j.groupA = nil
-			if len(j.bufA) > 0 {
-				j.bufA = j.bufA[1:]
+			j.groupA = j.groupA[:0]
+			if j.bufA.Len() > 0 {
+				j.bufA.Drop()
 				return true
 			}
 			return false
 		}
 		return false
 	}
-	kb := j.keyB(j.bufB[0])
+	kb := j.keyB(*j.bufB.Front())
 	switch {
 	case kb < j.groupKey:
-		j.bufB = j.bufB[1:]
+		j.bufB.Drop()
 	case kb == j.groupKey:
-		b := j.bufB[0]
-		j.bufB = j.bufB[1:]
+		b := j.bufB.Pop()
 		for _, a := range j.groupA {
-			j.pending = append(j.pending, j.combine(a, b))
+			*j.pending.PushRef() = j.combine(a, b)
 			j.matches++
 		}
 	default: // kb > groupKey: this group is spent
-		j.groupA = nil
+		j.groupA = j.groupA[:0]
 	}
 	return true
 }
 
 func (j *MergeJoin) emit(cycle int64) {
-	if len(j.pending) > 0 && j.out.CanPush() {
-		var v record.Vector
-		n := len(j.pending)
+	if j.pending.Len() > 0 && j.out.CanPush() {
+		n := j.pending.Len()
 		if n > record.NumLanes {
 			n = record.NumLanes
 		}
+		v := j.out.StageVec(cycle)
 		for i := 0; i < n; i++ {
-			v.Push(j.pending[i])
+			v.Push(j.pending.Pop())
 		}
-		j.pending = j.pending[n:]
-		j.out.Push(cycle, sim.Flit{Vec: v})
 		return
 	}
-	if !j.eos && j.eosA && j.eosB && len(j.bufA) == 0 && len(j.bufB) == 0 &&
-		len(j.pending) == 0 && j.out.CanPush() {
+	if !j.eos && j.eosA && j.eosB && j.bufA.Len() == 0 && j.bufB.Len() == 0 &&
+		j.pending.Len() == 0 && j.out.CanPush() {
 		j.eos = true
-		j.out.Push(cycle, sim.Flit{EOS: true})
+		j.out.PushEOS(cycle)
 	}
 }

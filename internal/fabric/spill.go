@@ -3,6 +3,7 @@ package fabric
 import (
 	"aurochs/internal/dram"
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 )
 
@@ -27,15 +28,20 @@ type SpillQueue struct {
 	out      *sim.Link
 	stat     *sim.Stats
 
-	front   []record.Rec // on-chip, ready to emit
-	spilled []record.Rec // resident in DRAM
-	refill  int          // records currently being fetched back
+	front   ring.Queue[record.Rec] // on-chip, ready to emit
+	spilled []record.Rec           // resident in DRAM
+	refill  int                    // records currently being fetched back
 	wptr    uint32
 	rptr    uint32
 	eosIn   bool
 	eos     bool
 	// Spills counts records that took the DRAM round trip.
 	Spills int64
+
+	scratch []record.Rec // reused staging for one input vector's records
+	wdata   []uint32     // reused write payload (consumed synchronously by SubmitAt)
+
+	refillCnt, spillCnt *sim.Counter
 }
 
 // NewSpillQueue builds a spill queue. base is the DRAM word address of the
@@ -48,6 +54,8 @@ func NewSpillQueue(g *Graph, name string, base uint32, recWords, onChipRecs int,
 		name: name, h: g.HBM, base: base, recWords: recWords,
 		onchip: onChipRecs, in: in, out: out, stat: g.Stats(),
 	}
+	s.refillCnt = s.stat.Counter(name + ".refills")
+	s.spillCnt = s.stat.Counter(name + ".spilled")
 	g.Add(s)
 	return s
 }
@@ -64,13 +72,13 @@ func (s *SpillQueue) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
 // Done implements sim.Component: a spill queue sits on cyclic paths and
 // never sees EOS; it is done when empty.
 func (s *SpillQueue) Done() bool {
-	return len(s.front) == 0 && len(s.spilled) == 0 && s.refill == 0
+	return s.front.Len() == 0 && len(s.spilled) == 0 && s.refill == 0
 }
 
 // Idle implements sim.Idler: nothing on chip, nothing spilled that could
 // start a refill, and no poppable input.
 func (s *SpillQueue) Idle(int64) bool {
-	if len(s.front) > 0 {
+	if s.front.Len() > 0 {
 		return false
 	}
 	if len(s.spilled) > 0 && s.refill == 0 {
@@ -86,33 +94,37 @@ func (s *SpillQueue) Idle(int64) bool {
 // requests whose completions fire from the HBM's tick.
 func (s *SpillQueue) SharedState() []any { return []any{s.h} }
 
+// WakeHint implements sim.WakeHinter: no self-timed events — progress
+// comes from link flits and HBM completions (shared-state partner).
+func (s *SpillQueue) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (s *SpillQueue) Tick(cycle int64) {
 	// Emit one vector from the on-chip segment.
-	if len(s.front) > 0 && s.out.CanPush() {
-		var v record.Vector
-		n := len(s.front)
+	if s.front.Len() > 0 && s.out.CanPush() {
+		n := s.front.Len()
 		if n > record.NumLanes {
 			n = record.NumLanes
 		}
+		v := s.out.StageVec(cycle)
 		for i := 0; i < n; i++ {
-			v.Push(s.front[i])
+			v.Push(s.front.Pop())
 		}
-		s.front = s.front[n:]
-		s.out.Push(cycle, sim.Flit{Vec: v})
 	}
 	// Refill from DRAM when the on-chip segment runs low.
-	if len(s.front) < s.onchip/2 && len(s.spilled) > 0 && s.refill == 0 {
+	if s.front.Len() < s.onchip/2 && len(s.spilled) > 0 && s.refill == 0 {
 		n := len(s.spilled)
 		if n > 64 {
 			n = 64
 		}
 		batch := append([]record.Rec(nil), s.spilled[:n]...)
 		words := n * s.recWords
-		ok := s.h.Submit(dram.Request{
+		ok := s.h.SubmitAt(cycle, dram.Request{
 			Addr: s.base + s.rptr%spillRingWords, Words: words,
 			Done: func([]uint32) {
-				s.front = append(s.front, batch...)
+				for _, r := range batch {
+					*s.front.PushRef() = r
+				}
 				s.refill = 0
 			},
 		})
@@ -120,7 +132,7 @@ func (s *SpillQueue) Tick(cycle int64) {
 			s.refill = n
 			s.spilled = s.spilled[n:]
 			s.rptr += uint32(words)
-			s.stat.Add(s.name+".refills", 1)
+			s.refillCnt.Add(1)
 		}
 	}
 	// Accept input: into the on-chip segment if it fits and nothing is
@@ -131,13 +143,19 @@ func (s *SpillQueue) Tick(cycle int64) {
 			s.eosIn = true
 			return
 		}
-		recs := f.Vec.Records()
-		if len(s.spilled) == 0 && s.refill == 0 && len(s.front)+len(recs) <= s.onchip {
-			s.front = append(s.front, recs...)
+		recs := f.Vec.AppendRecords(s.scratch[:0])
+		s.scratch = recs[:0]
+		if len(s.spilled) == 0 && s.refill == 0 && s.front.Len()+len(recs) <= s.onchip {
+			for _, r := range recs {
+				*s.front.PushRef() = r
+			}
 			return
 		}
 		words := len(recs) * s.recWords
-		data := make([]uint32, 0, words)
+		if cap(s.wdata) < words {
+			s.wdata = make([]uint32, 0, words)
+		}
+		data := s.wdata[:0]
 		for _, r := range recs {
 			for i := 0; i < s.recWords; i++ {
 				if i < r.Len() {
@@ -147,14 +165,14 @@ func (s *SpillQueue) Tick(cycle int64) {
 				}
 			}
 		}
-		if s.h.Submit(dram.Request{Addr: s.base + s.wptr%spillRingWords, Words: words, Write: true, Data: data}) {
+		if s.h.SubmitAt(cycle, dram.Request{Addr: s.base + s.wptr%spillRingWords, Words: words, Write: true, Data: data}) {
 			s.wptr += uint32(words)
 		}
 		// Even if the write was backpressured, keep the records: the
 		// traffic accounting is best-effort under saturation.
 		s.spilled = append(s.spilled, recs...)
 		s.Spills += int64(len(recs))
-		s.stat.Add(s.name+".spilled", int64(len(recs)))
+		s.spillCnt.Add(int64(len(recs)))
 	}
 }
 

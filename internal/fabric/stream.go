@@ -29,6 +29,7 @@ type DRAMScan struct {
 	completed   map[int][]uint32 // chunk seq -> data, awaiting in-order append
 	appendNext  int
 	buf         []uint32
+	bufHead     int // consumed prefix of buf; compacted, never resliced away
 	eos         bool
 	schema      *record.Schema // lint:sharedstate-ok — schemas are immutable after construction
 }
@@ -70,12 +71,15 @@ func (s *DRAMScan) OutputLinks() []*sim.Link { return []*sim.Link{s.out} }
 // Done implements sim.Component.
 func (s *DRAMScan) Done() bool { return s.eos }
 
+// buffered returns the word count awaiting record assembly.
+func (s *DRAMScan) buffered() int { return len(s.buf) - s.bufHead }
+
 // Idle implements sim.Idler: mirrors Tick's issue/emit/EOS conditions.
 func (s *DRAMScan) Idle(int64) bool {
-	if s.next < len(s.chunks) && s.outstanding < 8 && len(s.buf) < 4096 {
+	if s.next < len(s.chunks) && s.outstanding < 8 && s.buffered() < 4096 {
 		return false
 	}
-	if len(s.buf) >= s.recWords && s.out.CanPush() {
+	if s.buffered() >= s.recWords && s.out.CanPush() {
 		return false
 	}
 	if !s.eos && s.next == len(s.chunks) && s.outstanding == 0 {
@@ -88,15 +92,19 @@ func (s *DRAMScan) Idle(int64) bool {
 // completion callbacks.
 func (s *DRAMScan) SharedState() []any { return []any{s.h} }
 
+// WakeHint implements sim.WakeHinter: no self-timed events — progress
+// comes from HBM completions (shared-state partner) and link credit.
+func (s *DRAMScan) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (s *DRAMScan) Tick(cycle int64) {
 	// Issue chunk reads while the reorder window has room. Completions
 	// may arrive out of order across channels; they append to the stream
 	// strictly in sequence.
-	for s.next < len(s.chunks) && s.outstanding < 8 && len(s.buf) < 4096 {
+	for s.next < len(s.chunks) && s.outstanding < 8 && s.buffered() < 4096 {
 		ext := s.chunks[s.next]
 		seq := s.next
-		if !s.h.Submit(dram.Request{Addr: ext.Addr, Words: ext.Words, Done: func(data []uint32) {
+		if !s.h.SubmitAt(cycle, dram.Request{Addr: ext.Addr, Words: ext.Words, Done: func(data []uint32) {
 			s.outstanding--
 			s.completed[seq] = data
 			for d, ok := s.completed[s.appendNext]; ok; d, ok = s.completed[s.appendNext] {
@@ -110,23 +118,29 @@ func (s *DRAMScan) Tick(cycle int64) {
 		s.next++
 		s.outstanding++
 	}
-	// Emit one vector per cycle from buffered words.
-	if len(s.buf) >= s.recWords && s.out.CanPush() {
-		var v record.Vector
-		for len(s.buf) >= s.recWords && v.Count() < record.NumLanes {
+	// Emit one vector per cycle from buffered words. The staged vector is
+	// filled in place; consumed words advance bufHead and the buffer is
+	// compacted so its capacity is reused instead of reallocated.
+	if s.buffered() >= s.recWords && s.out.CanPush() {
+		v := s.out.StageVec(cycle)
+		for s.buffered() >= s.recWords && v.Count() < record.NumLanes {
 			var r record.Rec
 			for i := 0; i < s.recWords; i++ {
-				r = r.Append(s.buf[i])
+				r = r.Append(s.buf[s.bufHead+i])
 			}
-			s.buf = s.buf[s.recWords:]
+			s.bufHead += s.recWords
 			v.Push(r)
 		}
-		s.out.Push(cycle, sim.Flit{Vec: v})
 	}
-	if !s.eos && s.next == len(s.chunks) && s.outstanding == 0 && len(s.buf) < s.recWords && s.out.CanPush() {
+	if s.bufHead == len(s.buf) {
+		s.buf, s.bufHead = s.buf[:0], 0
+	} else if s.bufHead >= 4096 {
+		s.buf, s.bufHead = s.buf[:copy(s.buf, s.buf[s.bufHead:])], 0
+	}
+	if !s.eos && s.next == len(s.chunks) && s.outstanding == 0 && s.buffered() < s.recWords && s.out.CanPush() {
 		// Trailing words smaller than a record are padding; drop them.
-		s.buf = s.buf[:0]
-		s.out.Push(cycle, sim.Flit{EOS: true})
+		s.buf, s.bufHead = s.buf[:0], 0
+		s.out.PushEOS(cycle)
 		s.eos = true
 	}
 }
@@ -194,6 +208,10 @@ func (a *DRAMAppend) Idle(int64) bool {
 // completion callbacks.
 func (a *DRAMAppend) SharedState() []any { return []any{a.h} }
 
+// WakeHint implements sim.WakeHinter: no self-timed events — progress
+// comes from link flits and HBM completions (shared-state partner).
+func (a *DRAMAppend) WakeHint(int64) int64 { return sim.WakeNever }
+
 // Tick implements sim.Component.
 func (a *DRAMAppend) Tick(cycle int64) {
 	if !a.eosIn && !a.in.Empty() && a.outstanding < 8 {
@@ -213,23 +231,29 @@ func (a *DRAMAppend) Tick(cycle int64) {
 			}
 		}
 	}
-	// Flush in 1 KiB chunks (or whatever remains at EOS).
+	// Flush in 1 KiB chunks (or whatever remains at EOS). SubmitAt
+	// consumes write payloads synchronously, so chunks are sliced straight
+	// out of the staging buffer — no copy — and the consumed prefix is
+	// compacted afterwards so the buffer's capacity is reused.
 	const chunk = 256
-	for len(a.buf) >= chunk || (a.eosIn && len(a.buf) > 0) {
-		n := len(a.buf)
+	head := 0
+	for len(a.buf)-head >= chunk || (a.eosIn && len(a.buf)-head > 0) {
+		n := len(a.buf) - head
 		if n > chunk {
 			n = chunk
 		}
-		data := append([]uint32(nil), a.buf[:n]...)
-		if !a.h.Submit(dram.Request{
-			Addr: a.base + a.written, Words: n, Write: true, Data: data,
+		if !a.h.SubmitAt(cycle, dram.Request{
+			Addr: a.base + a.written, Words: n, Write: true, Data: a.buf[head : head+n],
 			Done: func([]uint32) { a.outstanding-- },
 		}) {
 			break
 		}
 		a.outstanding++
 		a.written += uint32(n)
-		a.buf = a.buf[n:]
+		head += n
+	}
+	if head > 0 {
+		a.buf = a.buf[:copy(a.buf, a.buf[head:])]
 	}
 	if a.eosIn && !a.eos && len(a.buf) == 0 && a.outstanding == 0 {
 		a.eos = true

@@ -1,0 +1,34 @@
+package record
+
+import "testing"
+
+func TestVecPoolRoundTrip(t *testing.T) {
+	var p VecPool
+	v := p.Get()
+	v.Push(Make(1, 2))
+	p.Put(v)
+	w := p.Get()
+	if w != v {
+		t.Fatalf("pool did not recycle the returned vector")
+	}
+	if w.Mask != 0 {
+		t.Fatalf("recycled vector not cleared: mask %#x", w.Mask)
+	}
+	p.Put(nil) // must be a no-op
+	if got := p.Get(); got == nil {
+		t.Fatalf("Get returned nil")
+	}
+}
+
+func TestVecPoolZeroAllocSteadyState(t *testing.T) {
+	var p VecPool
+	p.Put(p.Get()) // prime the free list
+	allocs := testing.AllocsPerRun(1000, func() {
+		v := p.Get()
+		v.Push(Make(3, 4))
+		p.Put(v)
+	})
+	if allocs != 0 {
+		t.Fatalf("VecPool Get/Put steady state allocates %.1f allocs/op; want 0", allocs)
+	}
+}

@@ -39,6 +39,18 @@ func (v *Vector) Push(r Rec) bool {
 	return n+1 == NumLanes
 }
 
+// PushRef claims the next free low lane of a dense vector and returns a
+// pointer to it, so callers move records with a single copy instead of
+// passing them through Push's stack argument. It panics on a full vector.
+func (v *Vector) PushRef() *Rec {
+	n := v.Count()
+	if n >= NumLanes {
+		panic("record: push to full vector")
+	}
+	v.Mask |= 1 << uint(n)
+	return &v.Lane[n]
+}
+
 // Compact returns a dense copy of v: valid lanes shuffled low, mask packed.
 // This is the functional effect of the shuffle network + barrel shifter in
 // the compute tile's compaction datapath.
@@ -52,6 +64,12 @@ func (v Vector) Compact() Vector {
 	return out
 }
 
+// Reset clears the vector for reuse: the mask is zeroed, so stale lane
+// contents are unobservable through Valid/Records/Flatten. This is the
+// in-place counterpart of assigning Vector{} without the 840-byte copy,
+// used by the zero-allocation staging paths (sim.Link.StageVec, pools).
+func (v *Vector) Reset() { v.Mask = 0 }
+
 // Records returns the valid records in lane order.
 func (v Vector) Records() []Rec {
 	out := make([]Rec, 0, v.Count())
@@ -61,6 +79,19 @@ func (v Vector) Records() []Rec {
 		}
 	}
 	return out
+}
+
+// AppendRecords appends the valid records to dst in lane order and returns
+// the extended slice. Unlike Records it allocates only when dst lacks
+// capacity, so steady-state consumers (sinks, merges, DRAM backlogs) that
+// recycle their accumulators run allocation-free.
+func (v *Vector) AppendRecords(dst []Rec) []Rec {
+	for i := 0; i < NumLanes; i++ {
+		if v.Valid(i) {
+			dst = append(dst, v.Lane[i])
+		}
+	}
+	return dst
 }
 
 // String renders the vector for debugging.

@@ -1,0 +1,82 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrderAcrossWraps(t *testing.T) {
+	var q Queue[int]
+	next := 0 // next value to pop
+	push := 0 // next value to push
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(push)
+			push++
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.Pop(); got != next {
+				t.Fatalf("pop=%d want %d", got, next)
+			}
+			next++
+		}
+	}
+	for !q.Empty() {
+		if got := q.Pop(); got != next {
+			t.Fatalf("drain pop=%d want %d", got, next)
+		}
+		next++
+	}
+	if next != push {
+		t.Fatalf("drained %d, pushed %d", next, push)
+	}
+}
+
+func TestPushRefAndAt(t *testing.T) {
+	var q Queue[[4]int]
+	for i := 0; i < 10; i++ {
+		p := q.PushRef()
+		p[0] = i
+	}
+	for i := 0; i < 10; i++ {
+		if q.At(i)[0] != i {
+			t.Fatalf("At(%d)=%v", i, q.At(i))
+		}
+	}
+	q.DropN(3)
+	if q.Len() != 7 || q.Front()[0] != 3 {
+		t.Fatalf("after DropN: len=%d front=%v", q.Len(), q.Front())
+	}
+	q.Reset()
+	if !q.Empty() {
+		t.Fatal("Reset did not empty queue")
+	}
+}
+
+func TestPanicOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue must panic")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}
+
+// TestSteadyStateAllocFree pins the reason this package exists: once warm,
+// push/pop cycles do not touch the allocator.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 64; i++ {
+		q.Push(i)
+	}
+	q.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Push(i)
+		}
+		for i := 0; i < 32; i++ {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"aurochs/internal/record"
+)
+
+// The zero-allocation contract of the hot path: steady-state link traffic
+// must never touch the allocator. These are regression gates — a change
+// that reintroduces a per-flit allocation fails here long before it shows
+// up on a profile.
+
+func TestLinkPushPopZeroAlloc(t *testing.T) {
+	sys := NewSystem()
+	l := sys.NewLink("hot", 4, 1)
+	var cycle int64
+	f := Flit{}
+	f.Vec.Push(record.Make(1, 2, 3))
+	allocs := testing.AllocsPerRun(1000, func() {
+		if l.CanPush() {
+			l.Push(cycle, f)
+		}
+		l.commit(cycle)
+		cycle++
+		for !l.Empty() {
+			_ = l.Pop()
+		}
+		l.commit(cycle)
+		cycle++
+	})
+	if allocs != 0 {
+		t.Fatalf("Link Push/Pop steady state allocates %.1f allocs/op; want 0", allocs)
+	}
+}
+
+func TestLinkStageVecPeekDropZeroAlloc(t *testing.T) {
+	sys := NewSystem()
+	l := sys.NewLink("hot", 4, 1)
+	var cycle int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		if l.CanPush() {
+			v := l.StageVec(cycle)
+			v.Push(record.Make(7, 8))
+		}
+		l.commit(cycle)
+		cycle++
+		for !l.Empty() {
+			f := l.Peek()
+			_ = f.Vec.Mask
+			l.Drop()
+		}
+		l.commit(cycle)
+		cycle++
+	})
+	if allocs != 0 {
+		t.Fatalf("Link StageVec/Peek/Drop steady state allocates %.1f allocs/op; want 0", allocs)
+	}
+}
+
+func TestLinkPushEOSZeroAlloc(t *testing.T) {
+	sys := NewSystem()
+	l := sys.NewLink("hot", 2, 1)
+	var cycle int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.PushEOS(cycle)
+		l.commit(cycle)
+		cycle++
+		l.Drop()
+		l.commit(cycle)
+		cycle++
+	})
+	if allocs != 0 {
+		t.Fatalf("Link PushEOS steady state allocates %.1f allocs/op; want 0", allocs)
+	}
+}
+
+func TestCounterAddZeroAlloc(t *testing.T) {
+	s := NewStats()
+	c := s.Counter("hot.counter")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Counter.Add allocates %.1f allocs/op; want 0", allocs)
+	}
+	if got := s.Snapshot()["hot.counter"]; got <= 0 {
+		t.Fatalf("counter lost its adds: %d", got)
+	}
+}

@@ -25,13 +25,32 @@ type Flit struct {
 //   - CanPush is a pure function of state committed at the end of the
 //     previous cycle: pops performed earlier in the same cycle cannot make
 //     it flip from false to true, so tick order stays unobservable.
+//
+// Storage is a single fixed ring of capacity slots. Because every launched
+// flit holds a credit whether it is still in flight or already buffered,
+// visible + in-flight occupancy can never exceed capacity — so one ring
+// holds both segments (visible entries first, in-flight entries behind
+// them) and commit "moves" an arrival by advancing a boundary counter
+// instead of copying the ~840-byte flit between slices. Steady-state
+// Push/Pop touch no allocator at all; StageVec and Peek/Drop additionally
+// avoid the flit copy by handing out pointers into the ring.
 type Link struct {
 	name    string
 	cap     int
 	latency int
 
-	buf      []Flit   // visible to the consumer
-	inflight []timedF // pushed, not yet arrived
+	// Ring indices are split by owner so the parallel kernel can tick both
+	// endpoints concurrently: the consumer advances head/nVis (Drop), the
+	// producer advances tail/nFly (stage), and commit — which runs at the
+	// end-of-cycle barrier — is the only place that reads both sides.
+	// tail always equals (head+nVis+nFly) mod capacity: Drop moves a slot
+	// from the visible run to free space by head++/nVis--, leaving the sum
+	// unchanged, so the producer never needs the consumer's counters.
+	ring []slotF
+	head int // consumer-owned: ring index of the oldest visible flit
+	nVis int // consumer-decremented, commit-incremented: visible flits
+	nFly int // producer-owned: flits pushed but not yet arrived
+	tail int // producer-owned: ring index of the next free slot
 
 	credits int // producer-side: pushes permitted before the next commit
 
@@ -40,13 +59,24 @@ type Link struct {
 
 	// pushedNow/poppedNow record per-cycle activity; commit collects and
 	// clears them so the runner detects progress without sweeping counters.
+	// The producer writes only pushedNow and the consumer only poppedNow,
+	// which is what lets the parallel kernel tick both endpoints of a link
+	// concurrently.
 	pushedNow bool
 	poppedNow bool
+
+	// Scheduler bookkeeping (see wake.go). id is the index in System.links
+	// (-1 for links built outside a System); wasDrained/wasFly cache the
+	// drain/in-flight state as of the last commit so the runner maintains
+	// its O(1) termination and fast-forward counters incrementally.
+	id         int
+	wasDrained bool
+	wasFly     bool
 }
 
-type timedF struct {
+type slotF struct {
 	f     Flit
-	ready int64 // first cycle the flit may enter buf
+	ready int64 // first cycle the flit may become visible
 }
 
 func newLink(name string, capacity, latency int) *Link {
@@ -58,7 +88,8 @@ func newLink(name string, capacity, latency int) *Link {
 	if credits < 0 {
 		credits = 0
 	}
-	return &Link{name: name, cap: capacity, latency: latency, credits: credits}
+	return &Link{name: name, cap: capacity, latency: latency,
+		credits: credits, ring: make([]slotF, credits), id: -1, wasDrained: true}
 }
 
 // Name returns the link's identifier.
@@ -76,41 +107,105 @@ func (l *Link) CanPush() bool {
 	return l.credits > 0
 }
 
-// Push stages a flit for delivery after the link latency, consuming one
-// credit. The caller must check CanPush first; pushing without a credit is
-// a modelling bug and panics.
-func (l *Link) Push(cycle int64, f Flit) {
+// slot returns the i-th occupied slot counting from head (0 = oldest
+// visible; nVis = first in-flight).
+func (l *Link) slot(i int) *slotF {
+	p := l.head + i
+	if p >= len(l.ring) {
+		p -= len(l.ring)
+	}
+	return &l.ring[p]
+}
+
+// stage claims the next free ring slot for a push at cycle, consuming one
+// credit and stamping the arrival time. Occupancy (nVis+nFly) can never
+// reach capacity while a credit remains, so the claimed slot is free.
+func (l *Link) stage(cycle int64) *slotF {
 	if l.credits <= 0 {
 		panic("sim: push to full link " + l.name)
 	}
 	l.credits--
-	l.inflight = append(l.inflight, timedF{f: f, ready: cycle + int64(l.latency)})
+	s := &l.ring[l.tail]
+	l.tail++
+	if l.tail >= len(l.ring) {
+		l.tail = 0
+	}
+	s.ready = cycle + int64(l.latency)
+	l.nFly++
 	l.pushes++
 	l.pushedNow = true
+	return s
+}
+
+// Push stages a flit for delivery after the link latency, consuming one
+// credit. The caller must check CanPush first; pushing without a credit is
+// a modelling bug and panics.
+func (l *Link) Push(cycle int64, f Flit) {
+	l.stage(cycle).f = f
+}
+
+// StageVec is the zero-copy form of Push for data flits: it consumes a
+// credit and returns a pointer to the staged flit's (cleared) vector so the
+// producer builds lanes directly in the ring instead of copying a whole
+// vector through Push. The pointer is valid only until the producer's tick
+// returns. The caller must check CanPush first.
+func (l *Link) StageVec(cycle int64) *record.Vector {
+	s := l.stage(cycle)
+	s.f.EOS = false
+	s.f.Vec.Reset()
+	return &s.f.Vec
+}
+
+// PushEOS stages an end-of-stream pulse without copying a flit.
+func (l *Link) PushEOS(cycle int64) {
+	s := l.stage(cycle)
+	s.f.EOS = true
+	s.f.Vec.Reset()
 }
 
 // Empty reports whether the consumer has nothing to pop this cycle.
-func (l *Link) Empty() bool { return len(l.buf) == 0 }
+func (l *Link) Empty() bool { return l.nVis == 0 }
 
-// Peek returns the head flit without consuming it. Panics if empty.
-func (l *Link) Peek() Flit {
-	if len(l.buf) == 0 {
+// Peek returns the head flit without consuming it. The pointer's contents
+// stay stable until the end-of-cycle commit, even across a Pop/Drop in the
+// same tick: the producer cannot stage into the slot because the freed
+// credit is only returned at commit, and a full producer burst fills
+// exactly the slots that were free at the previous commit. Consumers may
+// therefore Drop early and keep reading the peeked flit for the rest of
+// their tick. Panics if empty.
+func (l *Link) Peek() *Flit {
+	if l.nVis == 0 {
 		panic("sim: peek on empty link " + l.name)
 	}
-	return l.buf[0]
+	return &l.ring[l.head].f
 }
 
-// Pop consumes and returns the head flit. Panics if empty.
+// Pop consumes and returns the head flit. Panics if empty. Consumers on the
+// hot path that only inspect the flit should prefer Peek+Drop, which skips
+// this copy.
 func (l *Link) Pop() Flit {
-	f := l.Peek()
-	l.buf = l.buf[1:]
-	l.pops++
-	l.poppedNow = true
+	f := *l.Peek()
+	l.Drop()
 	return f
 }
 
+// Drop consumes the head flit without copying it out (the zero-copy
+// counterpart of Pop, paired with Peek). Panics if empty.
+func (l *Link) Drop() {
+	if l.nVis == 0 {
+		panic("sim: pop on empty link " + l.name)
+	}
+	l.head++
+	if l.head >= len(l.ring) {
+		l.head = 0
+	}
+	l.nVis--
+	l.pops++
+	l.poppedNow = true
+}
+
 // Drained reports whether no flits remain anywhere in the link.
-func (l *Link) Drained() bool { return len(l.buf) == 0 && len(l.inflight) == 0 }
+func (l *Link) Drained() bool { return l.nVis == 0 && l.nFly == 0 }
 
 // Pushes returns the total flits ever pushed (for stats/deadlock detection).
 func (l *Link) Pushes() int64 { return l.pushes }
@@ -118,28 +213,38 @@ func (l *Link) Pushes() int64 { return l.pushes }
 // Pops returns the total flits ever popped.
 func (l *Link) Pops() int64 { return l.pops }
 
-// commit ends the link's cycle: arrived in-flight flits move into the
-// visible buffer, the producer's credits are recomputed from the space the
-// consumer freed, and the per-cycle activity flags are collected. It
-// reports whether the link saw a push or a pop this cycle — the progress
-// signal the runner's deadlock detector consumes.
-func (l *Link) commit(cycle int64) bool {
-	n := 0
-	for n < len(l.inflight) && l.inflight[n].ready <= cycle+1 {
+// pending reports whether commit has any work this cycle: per-cycle
+// activity to collect or in-flight entries that may arrive.
+func (l *Link) pending() bool { return l.pushedNow || l.poppedNow || l.nFly > 0 }
+
+// commit ends the link's cycle: arrived in-flight flits join the visible
+// run (a boundary advance, not a copy), the producer's credits are
+// recomputed from the space the consumer freed, and the per-cycle activity
+// flags are collected. It returns the progress signal the deadlock detector
+// consumes (a push or pop happened) and a wake signal for the event
+// scheduler: whether anything observable about the link changed this cycle
+// — traffic, an arrival, or a credit return — meaning the endpoints (and
+// any component inspecting this link's state) must be re-examined.
+func (l *Link) commit(cycle int64) (progress, wake bool) {
+	arrivals := 0
+	for l.nFly > 0 && l.slot(l.nVis).ready <= cycle+1 {
 		// ready <= cycle+1: a flit pushed at cycle C with latency 1 is
 		// visible at cycle C+1, i.e. after this commit.
-		l.buf = append(l.buf, l.inflight[n].f)
-		n++
+		l.nVis++
+		l.nFly--
+		arrivals++
 	}
-	l.inflight = l.inflight[n:]
 	// Credit return: every buffer slot not occupied (and not promised to a
 	// flit still in flight) is a credit for the producer's next cycle.
-	l.credits = l.cap - len(l.buf) - len(l.inflight)
-	if l.credits < 0 {
-		l.credits = 0
+	credits := l.cap - l.nVis - l.nFly
+	if credits < 0 {
+		credits = 0
 	}
-	active := l.pushedNow || l.poppedNow
+	gained := credits > l.credits
+	l.credits = credits
+	progress = l.pushedNow || l.poppedNow
+	wake = progress || arrivals > 0 || gained
 	l.pushedNow = false
 	l.poppedNow = false
-	return active
+	return progress, wake
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
 
 // Parallel tick kernel. Registered links make tick order unobservable
 // (package doc), so components may tick concurrently within a cycle — with
@@ -18,51 +22,106 @@ import "sort"
 //     scheduler unions same-side endpoints. Components without port
 //     interfaces are unioned into one conservative group.
 //
-// Each cycle: the coordinator broadcasts the cycle number, every worker
-// ticks its components (skipping ones whose Idler proves a no-op), a
+// Each cycle: the coordinator rotates the wake sets (wake.go), broadcasts
+// the cycle number, and every worker walks its bin in ascending index
+// order, examining only members whose wake bit is set. Because a bin is a
+// union of whole shared-state groups, every same-cycle partner wake is an
+// intra-bin event, handled by the owning worker exactly as the serial
+// drain would — the wake discipline never crosses a bin mid-cycle. Wake
+// bitmap words are shared between bins, so workers touch them with atomic
+// ops; the coordinator's serial phases (set rotation, timer registration,
+// link commit) are ordered against the workers by the channel barrier. A
 // barrier waits for all workers, then link commit runs serially. Because
 // commit is the only place credits return and arrivals surface, the
 // barrier placement — after all ticks, before commit — is what preserves
 // the synchronous-clock semantics.
 type workerPool struct {
-	start []chan int64
-	done  chan struct{}
-	live  int
-}
+	sys    *System
+	sched  *scheduler
+	bins   [][]int
+	start  []chan int64
+	done   chan struct{}
+	noSkip bool
 
-// compEntry pairs a component with its pre-resolved optional interfaces so
-// the per-cycle loop does no type assertions.
-type compEntry struct {
-	c    Component
-	idle Idler
+	// Per-bin outboxes, written by the owning worker before it signals
+	// done and read by the coordinator after the barrier: components that
+	// went to sleep this cycle (with their wake hints) and the net change
+	// to the not-Done census.
+	sleeps  [][]timerEnt
+	doneDel []int
 }
 
 // newWorkerPool partitions s.comps into independent groups, packs the
-// groups onto opt.Workers workers, and starts the worker goroutines.
-func newWorkerPool(s *System, opt RunOptions) *workerPool {
-	bins := shardComponents(s, opt.Workers)
-	p := &workerPool{done: make(chan struct{}, len(bins))}
-	for _, bin := range bins {
-		entries := make([]compEntry, len(bin))
-		for i, ci := range bin {
-			entries[i] = compEntry{c: s.comps[ci], idle: s.idlers[ci]}
-		}
+// groups onto opt workers, and starts the worker goroutines.
+func newWorkerPool(s *System, sched *scheduler, workers int, noSkip bool) *workerPool {
+	bins := shardComponents(s, workers)
+	p := &workerPool{
+		sys:     s,
+		sched:   sched,
+		bins:    bins,
+		done:    make(chan struct{}, len(bins)),
+		noSkip:  noSkip,
+		sleeps:  make([][]timerEnt, len(bins)),
+		doneDel: make([]int, len(bins)),
+	}
+	for w, bin := range bins {
 		ch := make(chan int64)
 		p.start = append(p.start, ch)
-		p.live++
-		go func(work []compEntry, start <-chan int64) {
-			for cycle := range start {
-				for _, e := range work {
-					if !opt.NoIdleSkip && e.idle != nil && e.idle.Idle(cycle) {
-						continue
-					}
-					e.c.Tick(cycle)
-				}
-				p.done <- struct{}{}
-			}
-		}(entries, ch)
+		go p.worker(w, bin, ch)
 	}
 	return p
+}
+
+// worker processes one bin each cycle: ascending walk over the bin's
+// members, examining those with a set wake bit, reproducing the serial
+// drain's decisions (idle→sleep, else tick + re-arm + partner wakes).
+func (p *workerPool) worker(w int, bin []int, start <-chan int64) {
+	s := p.sys
+	sc := p.sched
+	for cycle := range start {
+		sleeps := p.sleeps[w][:0]
+		delta := 0
+		for _, i := range bin {
+			word, mask := &sc.awake[i>>6], uint64(1)<<uint(i&63)
+			if atomic.LoadUint64(word)&mask == 0 {
+				continue
+			}
+			atomic.AndUint64(word, ^mask)
+			idler := s.idlers[i]
+			if !p.noSkip && idler != nil && idler.Idle(cycle) {
+				if !sc.poll.get(i) {
+					if hint := sc.hinters[i].WakeHint(cycle); hint != WakeNever {
+						sleeps = append(sleeps, timerEnt{comp: int32(i), at: hint})
+					}
+				}
+				continue
+			}
+			s.comps[i].Tick(cycle)
+			dw := &sc.doneBits[i>>6]
+			if d := s.comps[i].Done(); d != (atomic.LoadUint64(dw)&mask != 0) {
+				if d {
+					atomic.OrUint64(dw, mask)
+					delta--
+				} else {
+					atomic.AndUint64(dw, ^mask)
+					delta++
+				}
+			}
+			for _, pi := range sc.partners[i] {
+				// Partners share a bin with i by construction, so a
+				// same-cycle (ahead-of-cursor) wake stays on this worker.
+				pw, pm := &sc.awake[pi>>6], uint64(1)<<uint(pi&63)
+				if int(pi) <= i {
+					pw = &sc.next[pi>>6]
+				}
+				atomic.OrUint64(pw, pm)
+			}
+			atomic.OrUint64(&sc.next[i>>6], mask)
+		}
+		p.sleeps[w] = sleeps
+		p.doneDel[w] = delta
+		p.done <- struct{}{}
+	}
 }
 
 // stop terminates the worker goroutines.
@@ -73,24 +132,59 @@ func (p *workerPool) stop() {
 }
 
 // stepParallel advances one cycle on the worker pool: broadcast, barrier,
-// serial link commit. Progress detection is identical to the serial
-// kernel's — commit's collected per-cycle activity flags.
-func (s *System) stepParallel(p *workerPool) bool {
-	cycle := s.cycle
+// timer/census merge, serial link commit. Progress detection is identical
+// to the serial kernel's — commit's collected per-cycle activity flags.
+func (sc *scheduler) stepParallel(cycle int64, p *workerPool) bool {
 	for _, ch := range p.start {
 		ch <- cycle
 	}
-	for i := 0; i < p.live; i++ {
+	for range p.start {
 		<-p.done
 	}
-	moved := false
-	for _, l := range s.links {
-		if l.commit(cycle) {
-			moved = true
+	for w := range p.bins {
+		for _, e := range p.sleeps[w] {
+			if e.at <= cycle {
+				sc.next.set(int(e.comp))
+			} else {
+				sc.wheel.schedule(cycle, e.comp, e.at)
+			}
+		}
+		sc.notDone += p.doneDel[w]
+	}
+	return sc.commitLinks(cycle)
+}
+
+// autoWorkers resolves RunOptions.Workers auto mode (negative values): use
+// up to max workers, but fall back to the serial kernel when the barrier
+// cannot pay for itself. The decision is a pure function of the topology
+// and GOMAXPROCS — never of simulation results — and both kernels are
+// bit-identical anyway, so the fallback is unobservable in outputs.
+func (s *System) autoWorkers(max int) int {
+	if max < 2 || runtime.GOMAXPROCS(0) < 2 {
+		return 1
+	}
+	// Census threshold: a graph this small cannot amortize a per-cycle
+	// barrier no matter how it shards.
+	if len(s.comps) < 8 {
+		return 1
+	}
+	bins := shardComponents(s, max)
+	if len(bins) < 2 {
+		return 1
+	}
+	// Balance threshold: when one shard holds most of the components the
+	// other workers idle at the barrier while it runs serially anyway
+	// (hash-aggregate's 0.99x regression was this shape).
+	largest := 0
+	for _, b := range bins {
+		if len(b) > largest {
+			largest = len(b)
 		}
 	}
-	s.cycle++
-	return moved
+	if largest*4 > len(s.comps)*3 {
+		return 1
+	}
+	return len(bins)
 }
 
 // shardComponents groups components that must share a worker, then packs

@@ -261,3 +261,48 @@ func TestRunParallelSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestAutoWorkers: negative Workers resolves through the topology
+// heuristics — engage on wide independent graphs, fall back to serial on
+// small censuses, single shards, or single-CPU hosts.
+func TestAutoWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+
+	wide, _ := buildChains(6, 10) // 36 comps, many independent shards
+	if got := wide.autoWorkers(4); got < 2 {
+		t.Errorf("wide independent graph resolved to %d workers; want >= 2", got)
+	}
+	if got := wide.autoWorkers(1); got != 1 {
+		t.Errorf("max=1 resolved to %d workers; want 1", got)
+	}
+
+	small := NewSystem() // census below the barrier-amortization floor
+	l := small.NewLink("l", 4, 1)
+	small.Add(&genSource{name: "src", out: l, n: 4})
+	small.Add(&collector{name: "snk", in: l})
+	if got := small.autoWorkers(4); got != 1 {
+		t.Errorf("tiny graph resolved to %d workers; want 1", got)
+	}
+
+	runtime.GOMAXPROCS(1)
+	if got := wide.autoWorkers(4); got != 1 {
+		t.Errorf("single-CPU host resolved to %d workers; want 1", got)
+	}
+	runtime.GOMAXPROCS(2)
+
+	// End to end: auto mode is bit-identical to serial and records what it
+	// resolved to.
+	refCycles, refOuts, _ := runChains(t, RunOptions{})
+	autoCycles, autoOuts, _ := runChains(t, RunOptions{Workers: -4})
+	if autoCycles != refCycles || !reflect.DeepEqual(autoOuts, refOuts) {
+		t.Errorf("auto mode diverged from serial: %d vs %d cycles", autoCycles, refCycles)
+	}
+	sys, _ := buildChains(6, 10)
+	if _, err := sys.RunWith(1_000_000, RunOptions{Workers: -4}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.EffectiveWorkers() < 1 {
+		t.Errorf("EffectiveWorkers() = %d; want >= 1", sys.EffectiveWorkers())
+	}
+}

@@ -100,6 +100,10 @@ type System struct {
 	links  []*Link
 	cycle  int64
 	stats  *Stats
+
+	// effectiveWorkers records the worker count the last RunWith actually
+	// used after auto-mode resolution (see RunOptions.Workers).
+	effectiveWorkers int
 }
 
 // NewSystem creates an empty simulation.
@@ -164,10 +168,16 @@ func (e *BudgetError) Error() string {
 // RunOptions selects the tick kernel.
 type RunOptions struct {
 	// Workers is the number of goroutines ticking components each cycle.
-	// Values <= 1 select the serial kernel. Components sharing state
-	// (declared via StateSharer or implied by shared links) stay on one
-	// worker, so results are bit-identical to the serial kernel at any
-	// worker count.
+	// Values 0 and 1 select the serial kernel; values > 1 request that
+	// many workers. Negative values select auto mode: up to -Workers
+	// workers, falling back to the serial kernel when the topology cannot
+	// profit — too few independent union-find shards, a component census
+	// too small to amortize the per-cycle barrier, one shard dominating
+	// the load, or a single-CPU host. Components sharing state (declared
+	// via StateSharer or implied by shared links) stay on one worker, so
+	// results are bit-identical to the serial kernel at any worker count;
+	// the fallback only changes wall-clock time. EffectiveWorkers reports
+	// what a run resolved to.
 	Workers int
 	// NoIdleSkip disables per-component quiescence: every component ticks
 	// every cycle, as the pre-quiescence kernel did. Results are identical
@@ -188,26 +198,68 @@ func (s *System) RunParallel(maxCycles int64, workers int) (int64, error) {
 	return s.RunWith(maxCycles, RunOptions{Workers: workers})
 }
 
-// RunWith is Run with an explicit kernel selection.
+// RunWith is Run with an explicit kernel selection. Both kernels are
+// event-driven (see wake.go): a cycle examines only the components in the
+// wake set, and fully quiescent stretches fast-forward to the next timer.
+// The fast-forward advances the clock and the no-progress counter by
+// exactly the cycles it skips, so deadlock and budget errors carry the
+// same cycle numbers the polling kernel reported.
 func (s *System) RunWith(maxCycles int64, opt RunOptions) (int64, error) {
+	workers := opt.Workers
+	if workers < 0 {
+		workers = s.autoWorkers(-workers)
+	}
 	grace := s.graceWindow()
+	sched := newScheduler(s)
+	sched.noSkip = opt.NoIdleSkip
 	var pool *workerPool
-	if opt.Workers > 1 && len(s.comps) > 1 {
-		pool = newWorkerPool(s, opt)
+	if workers > 1 && len(s.comps) > 1 {
+		pool = newWorkerPool(s, sched, workers, opt.NoIdleSkip)
 		defer pool.stop()
+	}
+	s.effectiveWorkers = 1
+	if pool != nil {
+		s.effectiveWorkers = len(pool.bins)
 	}
 	idle := int64(0)
 	start := s.cycle
 	for s.cycle-start < maxCycles {
-		if s.allDone() {
+		if sched.allDone() {
 			return s.cycle - start, nil
+		}
+		sched.beginCycle(s.cycle)
+		if !opt.NoIdleSkip && sched.quiescent() {
+			// Nothing is scheduled: every cycle until the next timer is
+			// identical — no ticks, no commits, no progress. Jump there
+			// (bounded by the deadlock and budget horizons), charging the
+			// skipped cycles to the no-progress counter so the detector's
+			// arithmetic matches a cycle-by-cycle run exactly.
+			jump := int64(1)
+			if nt := sched.wheel.next(s.cycle); nt != WakeNever {
+				jump = nt - s.cycle
+			} else {
+				jump = grace - idle + 1
+			}
+			if d := grace - idle + 1; d < jump {
+				jump = d
+			}
+			if left := maxCycles - (s.cycle - start); left < jump {
+				jump = left
+			}
+			s.cycle += jump
+			idle += jump
+			if idle > grace {
+				return s.cycle - start, &DeadlockError{Cycle: s.cycle, Stuck: s.stuckNames()}
+			}
+			continue
 		}
 		var moved bool
 		if pool != nil {
-			moved = s.stepParallel(pool)
+			moved = sched.stepParallel(s.cycle, pool)
 		} else {
-			moved = s.step(!opt.NoIdleSkip)
+			moved = sched.stepSerial(s.cycle)
 		}
+		s.cycle++
 		if moved {
 			idle = 0
 		} else {
@@ -217,10 +269,20 @@ func (s *System) RunWith(maxCycles int64, opt RunOptions) (int64, error) {
 			}
 		}
 	}
-	if s.allDone() {
+	if sched.allDone() {
 		return s.cycle - start, nil
 	}
 	return s.cycle - start, &BudgetError{Budget: maxCycles, Cycle: s.cycle, Stuck: s.stuckNames()}
+}
+
+// EffectiveWorkers reports the worker count the most recent RunWith used
+// after resolving auto mode (1 when it fell back to the serial kernel, or
+// before any run).
+func (s *System) EffectiveWorkers() int {
+	if s.effectiveWorkers < 1 {
+		return 1
+	}
+	return s.effectiveWorkers
 }
 
 // graceWindow derives the deadlock detector's no-progress tolerance from
@@ -246,28 +308,9 @@ func (s *System) graceWindow() int64 {
 	return g
 }
 
-// step advances one cycle on the serial kernel and reports whether any link
-// carried traffic. Progress detection is O(links) single-pass: commit
-// collects each link's per-cycle push/pop flags, replacing the old kernel's
-// double sweep of cumulative counters before and after the tick loop.
-func (s *System) step(skipIdle bool) bool {
-	cycle := s.cycle
-	for i, c := range s.comps {
-		if skipIdle && s.idlers[i] != nil && s.idlers[i].Idle(cycle) {
-			continue
-		}
-		c.Tick(cycle)
-	}
-	moved := false
-	for _, l := range s.links {
-		if l.commit(cycle) {
-			moved = true
-		}
-	}
-	s.cycle++
-	return moved
-}
-
+// allDone is the full-sweep termination check; the runner proper uses the
+// scheduler's O(1) incremental version, but the conformance harnesses (which
+// instrument every cycle anyway) keep using this one.
 func (s *System) allDone() bool {
 	for _, c := range s.comps {
 		if !c.Done() {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats is a named-counter set shared across a simulation. Components
@@ -12,58 +13,73 @@ import (
 // compactions, DRAM row hits/misses) that the benchmark harness and tests
 // read back to explain throughput numbers.
 //
-// Counters are sharded by name hash: a single simulation running on the
-// parallel tick path has many components incrementing counters in the same
-// cycle, and a single mutex would serialize exactly the hot path the
-// worker pool exists to spread out. Increments are commutative, so the
-// final values are independent of tick order — which is what keeps the
-// parallel kernel bit-identical to the serial one.
+// The hot path is a Counter handle: components resolve their counter names
+// once at construction and bump an atomic int64 per event — no per-tick map
+// lookup, no string hashing, no interface boxing of deltas. Increments are
+// commutative, so final values are independent of tick order — which is
+// what keeps the parallel kernel bit-identical to the serial one. Snapshot
+// coherence is preserved by a reader-writer lock: every Add holds the read
+// side, so a Snapshot (write side) still observes one consistent point in
+// time rather than a torn mix of before/after values.
 type Stats struct {
-	shards [statsShards]statsShard
+	mu       sync.RWMutex
+	counters map[string]*Counter
 }
 
-type statsShard struct {
-	mu       sync.Mutex
-	counters map[string]int64
+// Counter is a handle to one named statistic. Obtain with Stats.Counter at
+// construction time; Add is safe from concurrent workers.
+type Counter struct {
+	stats *Stats
+	v     int64
 }
 
-// statsShards is the stripe count; a small power of two keeps the hash
-// cheap while spreading contention across more locks than workers.
-const statsShards = 32
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	c.stats.mu.RLock()
+	atomic.AddInt64(&c.v, delta)
+	c.stats.mu.RUnlock()
+}
+
+// Value returns the counter's current value.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats {
-	s := &Stats{}
-	for i := range s.shards {
-		s.shards[i].counters = make(map[string]int64)
-	}
-	return s
+	return &Stats{counters: make(map[string]*Counter)}
 }
 
-// shard maps a counter name to its stripe (FNV-1a, deterministic).
-func (s *Stats) shard(name string) *statsShard {
-	h := uint32(2166136261)
-	for i := 0; i < len(name); i++ {
-		h ^= uint32(name[i])
-		h *= 16777619
+// Counter returns the handle for name, creating it at zero on first use.
+func (s *Stats) Counter(name string) *Counter {
+	s.mu.RLock()
+	c := s.counters[name]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
 	}
-	return &s.shards[h&(statsShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{stats: s}
+	s.counters[name] = c
+	return c
 }
 
-// Add increments counter name by delta.
+// Add increments counter name by delta (the by-name convenience for cold
+// paths; hot paths should hold a Counter handle).
 func (s *Stats) Add(name string, delta int64) {
-	sh := s.shard(name)
-	sh.mu.Lock()
-	sh.counters[name] += delta
-	sh.mu.Unlock()
+	s.Counter(name).Add(delta)
 }
 
 // Get returns counter name (zero if never written).
 func (s *Stats) Get(name string) int64 {
-	sh := s.shard(name)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.counters[name]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c := s.counters[name]; c != nil {
+		return c.Value()
+	}
+	return 0
 }
 
 // Ratio returns num/den as a float, or 0 when den is zero.
@@ -75,23 +91,16 @@ func (s *Stats) Ratio(num, den string) float64 {
 	return float64(s.Get(num)) / float64(d)
 }
 
-// Snapshot returns a coherent copy of every counter: all stripe locks are
-// held while the copy is taken, so a reader racing concurrent writers sees
-// one consistent point in time rather than a torn mix of before/after
-// values.
+// Snapshot returns a coherent copy of every counter: the write lock
+// excludes every in-flight Add (which holds the read side), so a reader
+// racing concurrent writers sees one consistent point in time.
 func (s *Stats) Snapshot() map[string]int64 {
-	for i := range s.shards {
-		s.shards[i].mu.Lock()
-	}
-	out := make(map[string]int64)
-	for i := range s.shards {
-		// lint:maprange-ok — copying into a map; order cannot matter.
-		for k, v := range s.shards[i].counters {
-			out[k] = v
-		}
-	}
-	for i := range s.shards {
-		s.shards[i].mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	// lint:maprange-ok — copying into a map; order cannot matter.
+	for k, c := range s.counters {
+		out[k] = atomic.LoadInt64(&c.v)
 	}
 	return out
 }

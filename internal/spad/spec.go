@@ -145,9 +145,11 @@ type Spec struct {
 	Modify func(cur uint32, r record.Rec) uint32
 	// Apply merges the response into the thread record and returns the
 	// updated thread. resp holds Width words for OpRead and one word (the
-	// pre-op value) for RMW ops; it is nil for OpWrite. Returning keep ==
-	// false drops the thread (rarely used; filtering normally happens in
-	// compute tiles).
+	// pre-op value) for RMW ops; it is nil for OpWrite. resp is only valid
+	// for the duration of the call — the tile recycles the buffer after
+	// Apply returns, so copy values out rather than retaining the slice.
+	// Returning keep == false drops the thread (rarely used; filtering
+	// normally happens in compute tiles).
 	Apply func(r record.Rec, resp []uint32) (out record.Rec, keep bool)
 
 	// In, when set, declares the schema of thread records this stream

@@ -84,21 +84,36 @@ type Tile struct {
 	out   *sim.Link
 	stats *sim.Stats
 
-	queues    [][]qent
-	bankBusy  []int64 // bank free again at this cycle
-	pending   []bankOp
-	ready     []record.Rec // completed threads awaiting output vectorization
-	rob       map[int64][]record.Rec
-	robLive   map[int64]uint32 // lanes with a retired record per seq
-	robCount  map[int64]int    // outstanding requests per seq (in-order mode)
-	robHead   int64
-	seq       int64
-	rr        int
-	eosIn     bool
-	eosSent   bool
-	nameGrant string
-	nameConf  string
-	nameReq   string
+	queues   [][]qent
+	bankBusy []int64 // bank free again at this cycle
+	pending  []bankOp
+	ready    []record.Rec // completed threads awaiting output vectorization
+	rob      map[int64][]record.Rec
+	robLive  map[int64]uint32 // lanes with a retired record per seq
+	robCount map[int64]int    // outstanding requests per seq (in-order mode)
+	robHead  int64
+	seq      int64
+	rr       int
+	eosIn    bool
+	eosSent  bool
+
+	// Allocator acceleration state. The arbitration itself is unchanged —
+	// these only let the scan skip banks and lanes that provably hold no
+	// bidding request, so the single-cycle matching stays bit-identical
+	// while the host cost drops from banks×lanes×depth struct copies to a
+	// handful of counter probes.
+	banks      int     // t.mem.Banks(), hoisted
+	width      int     // t.spec.width(), hoisted
+	nq         int     // total occupied issue-queue slots (incl. granted)
+	bids       int     // total un-granted slots (active bidders)
+	bankBids   []int32 // un-granted slots per bank
+	laneBids   []int32 // un-granted slots per lane×bank, lane*banks+bank
+	laneIssued []bool  // per-cycle scratch: lane already issued this cycle
+	respFree   [][]uint32
+
+	cGrants, cConf, cReq *sim.Counter
+	cDropped, cRespStall *sim.Counter
+	cInStall, cOutStall  *sim.Counter
 }
 
 // NewTile builds a scratchpad stream pipeline over mem, reading thread
@@ -128,21 +143,30 @@ func NewTile(cfg Config, mem *Mem, spec Spec, in, out *sim.Link, stats *sim.Stat
 		panic(fmt.Sprintf("spad: spec.Data required for %s", spec.Op))
 	}
 	t := &Tile{
-		cfg:       cfg,
-		mem:       mem,
-		spec:      spec,
-		in:        in,
-		out:       out,
-		stats:     stats,
-		queues:    make([][]qent, cfg.Lanes),
-		bankBusy:  make([]int64, mem.Banks()),
-		rob:       make(map[int64][]record.Rec),
-		robLive:   make(map[int64]uint32),
-		robCount:  make(map[int64]int),
-		nameGrant: cfg.Name + ".grants",
-		nameConf:  cfg.Name + ".conflicts",
-		nameReq:   cfg.Name + ".requests",
+		cfg:        cfg,
+		mem:        mem,
+		spec:       spec,
+		in:         in,
+		out:        out,
+		stats:      stats,
+		queues:     make([][]qent, cfg.Lanes),
+		bankBusy:   make([]int64, mem.Banks()),
+		rob:        make(map[int64][]record.Rec),
+		robLive:    make(map[int64]uint32),
+		robCount:   make(map[int64]int),
+		banks:      mem.Banks(),
+		bankBids:   make([]int32, mem.Banks()),
+		laneBids:   make([]int32, cfg.Lanes*mem.Banks()),
+		laneIssued: make([]bool, cfg.Lanes),
+		cGrants:    stats.Counter(cfg.Name + ".grants"),
+		cConf:      stats.Counter(cfg.Name + ".conflicts"),
+		cReq:       stats.Counter(cfg.Name + ".requests"),
+		cDropped:   stats.Counter(cfg.Name + ".dropped"),
+		cRespStall: stats.Counter(cfg.Name + ".resp_stall"),
+		cInStall:   stats.Counter(cfg.Name + ".in_stall"),
+		cOutStall:  stats.Counter(cfg.Name + ".out_stall"),
 	}
+	t.width = t.spec.width()
 	return t
 }
 
@@ -183,13 +207,8 @@ func (t *Tile) Done() bool { return t.eosSent }
 // queued, pending, or ready, no input is poppable, and EOS (if due) has
 // been sent.
 func (t *Tile) Idle(int64) bool {
-	if len(t.pending) > 0 || len(t.ready) > 0 {
+	if len(t.pending) > 0 || len(t.ready) > 0 || t.nq > 0 {
 		return false
-	}
-	for _, q := range t.queues {
-		if len(q) > 0 {
-			return false
-		}
 	}
 	if t.cfg.InOrder && t.robHead < t.seq {
 		return false
@@ -206,6 +225,11 @@ func (t *Tile) Idle(int64) bool {
 // SharedState implements sim.StateSharer: tiles mutate their backing Mem
 // at grant time, and several tiles may share one Mem.
 func (t *Tile) SharedState() []any { return []any{t.mem} }
+
+// WakeHint implements sim.WakeHinter: Idle reports non-idle whenever any
+// operation is queued, pending, or ready, so a sleeping tile holds no
+// maturing state — only a link flit can produce work.
+func (t *Tile) WakeHint(int64) int64 { return sim.WakeNever }
 
 // WorstCaseInternalLatency implements sim.LatencyBound: a full set of
 // issue queues drains through the banks in at most depth×lanes grants,
@@ -227,9 +251,12 @@ func (t *Tile) Tick(cycle int64) {
 // response to the thread record.
 func (t *Tile) retire(cycle int64) {
 	n := 0
-	for _, op := range t.pending {
+	for i := range t.pending {
+		op := &t.pending[i]
 		if op.done > cycle {
-			t.pending[n] = op
+			if n != i {
+				t.pending[n] = *op
+			}
 			n++
 			continue
 		}
@@ -237,8 +264,13 @@ func (t *Tile) retire(cycle int64) {
 		if t.spec.Apply != nil {
 			out, keep = t.spec.Apply(op.rec, op.resp)
 		}
+		if op.resp != nil {
+			// Apply may not retain resp (see Spec.Apply); recycle the buffer.
+			t.respFree = append(t.respFree, op.resp)
+			op.resp = nil
+		}
 		if !keep {
-			t.stats.Add(t.cfg.Name+".dropped", 1)
+			t.cDropped.Add(1)
 			t.retireSeq(op.seq)
 			continue
 		}
@@ -275,48 +307,53 @@ func (t *Tile) allocate(cycle int64) {
 	if len(t.ready)+len(t.pending) >= 4*t.cfg.Lanes {
 		// Response-side backpressure: stop granting when the output
 		// compactor is saturated so the pipeline stays bounded.
-		t.stats.Add(t.cfg.Name+".resp_stall", 1)
+		t.cRespStall.Add(1)
 		return
 	}
-	laneIssued := make([]bool, t.cfg.Lanes)
 	granted := 0
-	for b := 0; b < t.mem.Banks(); b++ {
-		bank := (b + t.rr) & (t.mem.Banks() - 1)
-		if t.bankBusy[bank] > cycle {
-			continue
+	if t.bids > 0 {
+		for i := range t.laneIssued {
+			t.laneIssued[i] = false
 		}
-		// Find a bidding lane for this bank (greedy maximal matching;
-		// the hardware allocator is combinational and single-cycle).
-		found := false
-		for l := 0; l < t.cfg.Lanes && !found; l++ {
-			lane := (l + t.rr) % t.cfg.Lanes
-			if laneIssued[lane] {
+		for b := 0; b < t.banks; b++ {
+			bank := (b + t.rr) & (t.banks - 1)
+			if t.bankBids[bank] == 0 || t.bankBusy[bank] > cycle {
 				continue
 			}
-			// FIFO scan order gives priority to older requests, matching
-			// Capstan's age-based allocation rounds.
-			for si, e := range t.queues[lane] {
-				if e.granted || e.bank != bank {
+			// Find a bidding lane for this bank (greedy maximal matching;
+			// the hardware allocator is combinational and single-cycle).
+			// laneBids tells us which lanes hold a live bid for this bank,
+			// so only the winning lane's queue is actually scanned.
+			for l := 0; l < t.cfg.Lanes; l++ {
+				lane := (l + t.rr) % t.cfg.Lanes
+				if t.laneIssued[lane] || t.laneBids[lane*t.banks+bank] == 0 {
 					continue
 				}
-				t.grant(cycle, lane, si)
-				laneIssued[lane] = true
-				granted++
-				found = true
+				// FIFO scan order gives priority to older requests, matching
+				// Capstan's age-based allocation rounds.
+				q := t.queues[lane]
+				for si := range q {
+					e := &q[si]
+					if e.granted || e.bank != bank {
+						continue
+					}
+					t.grant(cycle, lane, si)
+					t.laneIssued[lane] = true
+					granted++
+					break
+				}
 				break
 			}
 		}
 	}
 	t.rr++
-	t.stats.Add(t.nameGrant, int64(granted))
+	if granted > 0 {
+		t.cGrants.Add(int64(granted))
+	}
 	// Conflicts: requests that wanted service this cycle but were not
 	// granted (a direct proxy for bank-conflict serialization).
-	queued := 0
-	for _, q := range t.queues {
-		queued += len(q)
-	}
-	if queued > granted {
-		t.stats.Add(t.nameConf, int64(queued-granted))
+	if t.nq > granted {
+		t.cConf.Add(int64(t.nq - granted))
 	}
 }
 
@@ -328,18 +365,17 @@ func (t *Tile) allocate(cycle int64) {
 // halves the required queue depth. In Capstan (in-order) mode the slot
 // stays occupied until its whole vector dequeues.
 func (t *Tile) grant(cycle int64, lane, si int) {
-	e := t.queues[lane][si]
-	if t.cfg.InOrder {
-		t.queues[lane][si].granted = true
-	} else {
-		t.queues[lane] = append(t.queues[lane][:si], t.queues[lane][si+1:]...)
-	}
+	e := &t.queues[lane][si]
+	bank := e.bank
+	t.bids--
+	t.bankBids[bank]--
+	t.laneBids[lane*t.banks+bank]--
 
-	w := t.spec.width()
+	w := t.width
 	var resp []uint32
 	switch t.spec.Op {
 	case OpRead:
-		resp = make([]uint32, w)
+		resp = t.respBuf(w)
 		for i := 0; i < w; i++ {
 			resp[i] = t.mem.Read(e.addr + uint32(i))
 		}
@@ -352,19 +388,23 @@ func (t *Tile) grant(cycle int64, lane, si int) {
 		if cur == t.spec.Data(e.rec, 0) {
 			t.mem.Write(e.addr, t.spec.Data(e.rec, 1))
 		}
-		resp = []uint32{cur}
+		resp = t.respBuf(1)
+		resp[0] = cur
 	case OpFAA:
 		cur := t.mem.Read(e.addr)
 		t.mem.Write(e.addr, cur+t.spec.Data(e.rec, 0))
-		resp = []uint32{cur}
+		resp = t.respBuf(1)
+		resp[0] = cur
 	case OpXCHG:
 		cur := t.mem.Read(e.addr)
 		t.mem.Write(e.addr, t.spec.Data(e.rec, 0))
-		resp = []uint32{cur}
+		resp = t.respBuf(1)
+		resp[0] = cur
 	case OpModify:
 		cur := t.mem.Read(e.addr)
 		t.mem.Write(e.addr, t.spec.Modify(cur, e.rec))
-		resp = []uint32{cur}
+		resp = t.respBuf(1)
+		resp[0] = cur
 	}
 
 	// Bank occupancy: a width-w access streams w fields through the bank;
@@ -374,22 +414,41 @@ func (t *Tile) grant(cycle int64, lane, si int) {
 	if t.spec.Op.IsRMW() && !t.cfg.ForwardRMW {
 		busy = 2
 	}
-	bank := t.mem.Bank(e.addr)
 	t.bankBusy[bank] = cycle + busy
-	t.pending = append(t.pending, bankOp{
-		rec:  e.rec,
-		resp: resp,
-		done: cycle + int64(t.cfg.AccessLatency) + busy - 1,
-		seq:  e.seq,
-		lane: lane,
-	})
+	t.pending = append(t.pending, bankOp{})
+	op := &t.pending[len(t.pending)-1]
+	op.rec = e.rec
+	op.resp = resp
+	op.done = cycle + int64(t.cfg.AccessLatency) + busy - 1
+	op.seq = e.seq
+	op.lane = lane
+
+	if t.cfg.InOrder {
+		e.granted = true
+	} else {
+		t.queues[lane] = append(t.queues[lane][:si], t.queues[lane][si+1:]...)
+		t.nq--
+	}
+}
+
+// respBuf hands out a response buffer from the retire-side freelist,
+// allocating only until the pipeline's steady-state population is covered.
+func (t *Tile) respBuf(w int) []uint32 {
+	if n := len(t.respFree); n > 0 {
+		b := t.respFree[n-1]
+		t.respFree = t.respFree[:n-1]
+		if cap(b) >= w {
+			return b[:w]
+		}
+	}
+	return make([]uint32, w)
 }
 
 // emit vectorizes completed threads and pushes at most one dense vector per
 // cycle downstream.
 func (t *Tile) emit(cycle int64) {
 	if !t.out.CanPush() {
-		t.stats.Add(t.cfg.Name+".out_stall", 1)
+		t.cOutStall.Add(1)
 		return
 	}
 	if t.cfg.InOrder {
@@ -399,16 +458,15 @@ func (t *Tile) emit(cycle int64) {
 	if len(t.ready) == 0 {
 		return
 	}
-	var v record.Vector
 	n := len(t.ready)
 	if n > record.NumLanes {
 		n = record.NumLanes
 	}
+	v := t.out.StageVec(cycle)
 	for i := 0; i < n; i++ {
-		v.Push(t.ready[i])
+		*v.PushRef() = t.ready[i]
 	}
 	t.ready = t.ready[n:]
-	t.out.Push(cycle, sim.Flit{Vec: v})
 }
 
 // emitInOrder releases the oldest vector only once all of its requests have
@@ -434,14 +492,19 @@ func (t *Tile) emitInOrder(cycle int64) {
 	// Vector dequeue frees this vector's issue-queue slots — the point
 	// where Capstan reclaims space that Aurochs reclaimed at grant time.
 	for lane := range t.queues {
+		q := t.queues[lane]
 		n := 0
-		for _, e := range t.queues[lane] {
-			if e.seq != t.robHead {
-				t.queues[lane][n] = e
+		for i := range q {
+			if q[i].seq != t.robHead {
+				if n != i {
+					q[n] = q[i]
+				}
 				n++
+			} else {
+				t.nq-- // dequeued slots were all granted; bid counts unaffected
 			}
 		}
-		t.queues[lane] = t.queues[lane][:n]
+		t.queues[lane] = q[:n]
 	}
 	t.robHead++
 	if v.Count() > 0 {
@@ -456,17 +519,17 @@ func (t *Tile) accept(cycle int64) {
 	}
 	f := t.in.Peek()
 	if f.EOS {
-		t.in.Pop()
+		t.in.Drop()
 		t.eosIn = true
 		return
 	}
 	for i := 0; i < record.NumLanes; i++ {
 		if f.Vec.Valid(i) && len(t.queues[i%t.cfg.Lanes]) >= t.cfg.IssueDepth {
-			t.stats.Add(t.cfg.Name+".in_stall", 1)
+			t.cInStall.Add(1)
 			return
 		}
 	}
-	t.in.Pop()
+	t.in.Drop()
 	seq := t.seq
 	t.seq++
 	count := 0
@@ -474,19 +537,29 @@ func (t *Tile) accept(cycle int64) {
 		if !f.Vec.Valid(i) {
 			continue
 		}
-		r := f.Vec.Lane[i]
-		addr := t.spec.Addr(r)
-		if int(addr)+t.spec.width() > t.mem.Words() {
-			panic(fmt.Sprintf("%s: address %d+%d out of range (%d words)", t.cfg.Name, addr, t.spec.width(), t.mem.Words()))
+		addr := t.spec.Addr(f.Vec.Lane[i])
+		if int(addr)+t.width > t.mem.Words() {
+			panic(fmt.Sprintf("%s: address %d+%d out of range (%d words)", t.cfg.Name, addr, t.width, t.mem.Words()))
 		}
 		lane := i % t.cfg.Lanes
-		t.queues[lane] = append(t.queues[lane], qent{rec: r, addr: addr, bank: t.mem.Bank(addr), seq: seq})
+		bank := t.mem.Bank(addr)
+		q := append(t.queues[lane], qent{})
+		e := &q[len(q)-1]
+		e.rec = f.Vec.Lane[i]
+		e.addr = addr
+		e.bank = bank
+		e.seq = seq
+		t.queues[lane] = q
+		t.nq++
+		t.bids++
+		t.bankBids[bank]++
+		t.laneBids[lane*t.banks+bank]++
 		count++
 	}
 	if t.cfg.InOrder {
 		t.robCount[seq] = count
 	}
-	t.stats.Add(t.nameReq, int64(count))
+	t.cReq.Add(int64(count))
 }
 
 // finishEOS forwards end-of-stream once the pipeline has fully drained.
@@ -494,12 +567,7 @@ func (t *Tile) finishEOS(cycle int64) {
 	if t.eosSent || !t.eosIn {
 		return
 	}
-	for _, q := range t.queues {
-		if len(q) > 0 {
-			return
-		}
-	}
-	if len(t.pending) > 0 || len(t.ready) > 0 {
+	if t.nq > 0 || len(t.pending) > 0 || len(t.ready) > 0 {
 		return
 	}
 	if t.cfg.InOrder && t.robHead < t.seq {
