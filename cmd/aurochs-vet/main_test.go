@@ -19,25 +19,41 @@ import (
 func TestAnalyzersFor(t *testing.T) {
 	cases := []struct {
 		rel   string
+		opt   vetOptions
 		n     int
 		first string
+		last  string
 	}{
-		{"internal/sim", 4, "determinism"},
-		{"internal/fabric", 4, "determinism"},
-		{"internal/core", 4, "determinism"},
-		{"internal/blueprint", 4, "determinism"},
-		{"internal/bench", 0, ""},
-		{"cmd/aurochs-vet", 0, ""},
-		{".", 0, ""},
+		{"internal/sim", vetOptions{}, 4, "determinism", "orderdep"},
+		{"internal/fabric", vetOptions{}, 4, "determinism", "orderdep"},
+		{"internal/core", vetOptions{}, 4, "determinism", "orderdep"},
+		{"internal/blueprint", vetOptions{}, 4, "determinism", "orderdep"},
+		{"internal/bench", vetOptions{}, 0, "", ""},
+		{"cmd/aurochs-vet", vetOptions{}, 0, "", ""},
+		{".", vetOptions{}, 0, "", ""},
+		// The engine scope grows the optional provers; packages outside it
+		// (blueprint, dram) never do.
+		{"internal/sim", vetOptions{Wake: true}, 5, "determinism", "wakeprop"},
+		{"internal/ring", vetOptions{Allocs: true}, 5, "determinism", "hotalloc"},
+		{"internal/core", vetOptions{Wake: true, Allocs: true}, 6, "determinism", "hotalloc"},
+		{"internal/blueprint", vetOptions{Wake: true, Allocs: true}, 4, "determinism", "orderdep"},
+		{"internal/dram", vetOptions{Wake: true, Allocs: true}, 4, "determinism", "orderdep"},
+		// Explicitly named fixture packages run the optional provers so the
+		// CI negative gates exercise the real analyzer path.
+		{"internal/analysis/testdata/src/wakebad", vetOptions{Wake: true}, 5, "determinism", "wakeprop"},
+		{"internal/analysis/testdata/src/allocbad", vetOptions{Allocs: true}, 5, "determinism", "hotalloc"},
 	}
 	for _, tc := range cases {
-		as := analyzersFor(tc.rel)
+		as := analyzersFor(tc.rel, tc.opt)
 		if len(as) != tc.n {
-			t.Errorf("analyzersFor(%q) = %d analyzers, want %d", tc.rel, len(as), tc.n)
+			t.Errorf("analyzersFor(%q, %+v) = %d analyzers, want %d", tc.rel, tc.opt, len(as), tc.n)
 			continue
 		}
 		if tc.n > 0 && as[0].Name != tc.first {
-			t.Errorf("analyzersFor(%q)[0] = %s, want %s", tc.rel, as[0].Name, tc.first)
+			t.Errorf("analyzersFor(%q, %+v)[0] = %s, want %s", tc.rel, tc.opt, as[0].Name, tc.first)
+		}
+		if tc.n > 0 && as[len(as)-1].Name != tc.last {
+			t.Errorf("analyzersFor(%q, %+v)[last] = %s, want %s", tc.rel, tc.opt, as[len(as)-1].Name, tc.last)
 		}
 	}
 }
@@ -76,8 +92,12 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // the shipped registry, whose waived effects must carry waived=true).
 // Regenerate with: go test ./cmd/aurochs-vet -run TestJSONGolden -update
 func TestJSONGolden(t *testing.T) {
-	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "orderbad")
-	src, err := vetPackages([]string{fixture})
+	fixtures := []string{
+		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "orderbad"),
+		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "wakebad"),
+		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "allocbad"),
+	}
+	src, err := vetPackages(fixtures, vetOptions{Wake: true, Allocs: true})
 	if err != nil {
 		t.Fatal(err)
 	}

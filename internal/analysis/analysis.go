@@ -65,8 +65,19 @@ type Pass struct {
 	findings *[]lint.Finding
 }
 
-// Reportf records one finding at pos.
+// Reportf records one error-severity finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", format, args...)
+}
+
+// Warnf records one warning-severity finding at pos: reported and counted,
+// but a warnings-only run still exits 0 — the channel for sites an analyzer
+// cannot prove either way.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.report(pos, lint.SevWarning, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, severity, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.findings = append(*p.findings, lint.Finding{
 		File:     position.Filename,
@@ -74,6 +85,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Rule:     p.Analyzer.Name,
 		Msg:      fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
+		Severity: severity,
 	})
 }
 

@@ -116,6 +116,78 @@ func TestOrderCleanFixture(t *testing.T) {
 	}
 }
 
+// TestWakeBadFixture: every unsanctioned mutation of wake-relevant state is
+// caught — the plain setter, the termination flip, and the registered
+// closure — and each message names the field it writes.
+func TestWakeBadFixture(t *testing.T) {
+	pkg := loadFixture(t, "wakebad")
+	fs := runAnalyzers(t, pkg, Wakeprop)
+	if got := countRule(fs, "wakeprop"); got != 3 {
+		t.Fatalf("wakeprop: got %d findings, want 3\n%v", got, fs)
+	}
+	var sawInject, sawFinish, sawClosure bool
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "Inject") && strings.Contains(f.Msg, "pending") {
+			sawInject = true
+		}
+		if strings.Contains(f.Msg, "Finish") && strings.Contains(f.Msg, "eos") {
+			sawFinish = true
+		}
+		if strings.Contains(f.Msg, "closure") && strings.Contains(f.Msg, "pending") {
+			sawClosure = true
+		}
+	}
+	if !sawInject || !sawFinish || !sawClosure {
+		t.Errorf("missing expected findings (inject=%v finish=%v closure=%v):\n%v",
+			sawInject, sawFinish, sawClosure, fs)
+	}
+}
+
+// TestWakeCleanFixture: every discharge rule — tick-reachable helpers,
+// builder chaining, link notification on the mutation path, the decl-level
+// waiver, and the StateSharer closure rule — passes without findings.
+func TestWakeCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "wakeclean")
+	if fs := runAnalyzers(t, pkg, Wakeprop); len(fs) != 0 {
+		t.Errorf("clean fixture flagged:\n%v", fs)
+	}
+}
+
+// TestAllocBadFixture: every class of hidden allocation on the hot path is
+// caught — append growth, map writes, make, escaping composites, closure
+// cells, interface boxing, fmt, and string concatenation.
+func TestAllocBadFixture(t *testing.T) {
+	pkg := loadFixture(t, "allocbad")
+	fs := runAnalyzers(t, pkg, Hotalloc)
+	if got := countRule(fs, "hotalloc"); got != 8 {
+		t.Fatalf("hotalloc: got %d findings, want 8\n%v", got, fs)
+	}
+	for _, want := range []string{
+		"append", "map", "make", "composite", "closure", "interface", "fmt", "concat",
+	} {
+		found := false
+		for _, f := range fs {
+			if strings.Contains(f.Msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q:\n%v", want, fs)
+		}
+	}
+}
+
+// TestAllocCleanFixture: the audited allocation-free surface — link and ring
+// ops, fixed-size records, in-place filtering, shrinking appends, cold panic
+// arguments, and a reviewed amortization waiver — passes without findings.
+func TestAllocCleanFixture(t *testing.T) {
+	pkg := loadFixture(t, "allocclean")
+	if fs := runAnalyzers(t, pkg, Hotalloc); len(fs) != 0 {
+		t.Errorf("clean fixture flagged:\n%v", fs)
+	}
+}
+
 // TestDeterminismAdapter: the folded PR-1 rules report identically through
 // the driver — counts match the lint package's own fixture expectations.
 func TestDeterminismAdapter(t *testing.T) {

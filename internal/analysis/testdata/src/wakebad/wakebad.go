@@ -1,0 +1,51 @@
+// Package wakebad is an analysis fixture: a sleeping component whose
+// wake-relevant state — the fields its Idle/Done answers read — is mutated
+// through entry points no sanctioned wake channel announces. Every
+// violation here is counted by TestWakeBadFixture; update both together.
+// This package is also a CI negative fixture — the workflow runs
+// aurochs-vet -wake on it and requires a failing exit.
+package wakebad
+
+import "aurochs/internal/sim"
+
+// Node sleeps as soon as its backlog drains; nothing below wakes it back up.
+type Node struct {
+	in      *sim.Link
+	pending int
+	eos     bool
+}
+
+func (n *Node) Name() string { return "wakebad" }
+
+func (n *Node) Done() bool { return n.eos }
+
+// Idle reads pending and the input link, making both wake-relevant.
+func (n *Node) Idle(int64) bool { return n.pending == 0 && n.in.Empty() }
+
+func (n *Node) Tick(cycle int64) {
+	if n.pending > 0 {
+		n.pending--
+	}
+}
+
+// Inject is a plain setter another component calls mid-run: it makes the
+// node runnable, but no link commit, partner tick, or timer announces it —
+// a sleeping node never sees the work. FINDING: writes pending.
+func (n *Node) Inject(k int) {
+	n.pending += k
+}
+
+// Finish flips the Done answer from outside Tick; the scheduler's O(1)
+// termination census never re-reads it. FINDING: writes eos.
+func (n *Node) Finish() {
+	n.eos = true
+}
+
+// Subscribe hands a mutating callback to an arbitrary registry. Node
+// declares no SharedState, so when the callback eventually fires there is
+// no partner-tick wake covering it. FINDING: closure mutates pending.
+func (n *Node) Subscribe(register func(func())) {
+	register(func() {
+		n.pending++
+	})
+}

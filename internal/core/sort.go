@@ -44,9 +44,14 @@ type tileSorter struct {
 
 	fill  []record.Rec
 	drain []record.Rec
-	tile  int
-	eosIn bool
-	eos   bool
+	// drainBase pins the full backing array behind drain (which is consumed
+	// by reslicing) so the swap can recycle it as the next fill buffer: the
+	// two arrays ping-pong and the sorter stops allocating once both reach
+	// tile capacity.
+	drainBase []record.Rec
+	tile      int
+	eosIn     bool
+	eos       bool
 }
 
 func newTileSorter(name string, key fabric.KeyFn, tile int, in, out *sim.Link) *tileSorter {
@@ -103,14 +108,20 @@ func (t *tileSorter) Tick(cycle int64) {
 		if f.EOS {
 			t.eosIn = true
 		} else {
-			t.fill = append(t.fill, f.Vec.Records()...)
+			// AppendRecords copies lanes without Records' per-call slice;
+			// growth stops once each ping-pong buffer reaches tile
+			// capacity (see the swap below).
+			t.fill = f.Vec.AppendRecords(t.fill) // lint:hotalloc-ok warmup growth, buffers ping-pong at steady state
 		}
 	}
-	// Swap when the fill tile is complete and the drain side is free.
+	// Swap when the fill tile is complete and the drain side is free. The
+	// comparator closure and sort.SliceStable's internals allocate once per
+	// tile swap — amortized over the tile-size cycles spent filling it.
 	if len(t.drain) == 0 && (len(t.fill) >= t.tile || (t.eosIn && len(t.fill) > 0)) {
-		sort.SliceStable(t.fill, func(i, j int) bool { return t.key(t.fill[i]) < t.key(t.fill[j]) })
+		sort.SliceStable(t.fill, func(i, j int) bool { return t.key(t.fill[i]) < t.key(t.fill[j]) }) // lint:hotalloc-ok per-tile swap, amortized
 		t.drain = t.fill
-		t.fill = nil
+		t.fill = t.drainBase[:0]
+		t.drainBase = t.drain
 	}
 	if t.eosIn && !t.eos && len(t.fill) == 0 && len(t.drain) == 0 && t.out.CanPush() {
 		t.out.Push(cycle, sim.Flit{EOS: true})

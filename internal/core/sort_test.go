@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"aurochs/internal/dram"
+	"aurochs/internal/fabric"
 	"aurochs/internal/record"
 )
 
@@ -178,5 +179,67 @@ func TestHashJoinParallelismSpeedsUp(t *testing.T) {
 	c1, c4 := run(1), run(4)
 	if c4 >= c1 {
 		t.Errorf("P=4 (%d cyc) must beat P=1 (%d cyc)", c4, c1)
+	}
+}
+
+// bufProbe watches a tileSorter's swap buffers from inside the cycle loop,
+// recording the identity of every backing array drainBase ever points at.
+type bufProbe struct {
+	ts       *tileSorter
+	backings map[*record.Rec]bool
+	swaps    int
+	last     *record.Rec
+}
+
+func (p *bufProbe) Name() string { return "bufprobe" }
+func (p *bufProbe) Done() bool   { return true }
+
+// SharedState pins the probe to the sorter's shard under the parallel
+// kernel: declaring the sorter's input link unions the probe with the
+// link's consumer, so sampling its unexported buffers cannot race.
+func (p *bufProbe) SharedState() []any { return []any{p.ts.in} }
+func (p *bufProbe) Tick(int64) {
+	if len(p.ts.drainBase) == 0 {
+		return
+	}
+	base := &p.ts.drainBase[0]
+	if base != p.last {
+		p.backings[base] = true
+		p.swaps++
+		p.last = base
+	}
+}
+
+// TestTileSorterBuffersPingPong: the regression test for the fill-buffer
+// reallocation the hotalloc prover surfaced — the sorter used to discard its
+// drained tile (`fill = nil`) and grow a fresh one from scratch every swap.
+// With the ping-pong fix, an entire multi-tile run touches exactly two
+// backing arrays no matter how many tiles stream through.
+func TestTileSorterBuffersPingPong(t *testing.T) {
+	g := fabric.NewGraph()
+	in, out := g.Link("in"), g.Link("out")
+	const tile = 64
+	recs := make([]record.Rec, tile*6+11) // several full tiles plus a ragged tail
+	for i := range recs {
+		recs[i] = record.Make(uint32((i*2654435761)%4096), uint32(i))
+	}
+	ts := newTileSorter("ts", keyF0, tile, in, out)
+	probe := &bufProbe{ts: ts, backings: map[*record.Rec]bool{}}
+	g.Add(fabric.NewSource("src", recs, in))
+	g.Add(ts)
+	snk := fabric.NewSink("snk", out)
+	g.Add(snk, probe)
+	if _, err := g.Sys.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if snk.Count() != len(recs) {
+		t.Fatalf("sorted %d of %d", snk.Count(), len(recs))
+	}
+	if probe.swaps < 6 {
+		t.Fatalf("only %d tile swaps observed; want >= 6", probe.swaps)
+	}
+	if got := len(probe.backings); got != 2 {
+		t.Errorf("drain tiles lived in %d distinct backing arrays across %d swaps; ping-pong requires exactly 2",
+			got, probe.swaps)
 	}
 }

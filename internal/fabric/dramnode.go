@@ -122,6 +122,11 @@ func (d *DRAMNode) Tick(cycle int64) {
 // submit pushes backlogged records into the memory system, stalling when
 // the response side backs up (bounded buffering, like the scratchpad's
 // response compactor).
+//
+// lint:hotalloc-ok — the per-request payload slices and completion closures
+// escape into the HBM callback and live until the response returns; one
+// small allocation per DRAM request is amortized over the multi-ten-cycle
+// round trip, and the write scratch (d.wdata) is cap-guarded reuse.
 func (d *DRAMNode) submit(cycle int64) {
 	for d.backlog.Len() > 0 && d.outstanding < d.maxOutstanding &&
 		d.ready.Len()+d.outstanding < 8*record.NumLanes {
@@ -183,19 +188,28 @@ func (d *DRAMNode) submit(cycle int64) {
 	}
 }
 
+// completer binds one response to the completion path.
+//
+// lint:hotalloc-ok — one closure per atomic request, amortized over the
+// DRAM round trip (see submit).
 func (d *DRAMNode) completer(r record.Rec, resp []uint32) func([]uint32) {
 	return func([]uint32) { d.complete(r, resp) }
 }
 
-// complete applies the response to the thread and queues it for output.
+// complete applies the response to the thread and queues it for output. It
+// runs inside the HBM's tick (the completion callback fires when the
+// controller retires the request), and DRAMNode declares that HBM via
+// SharedState — so the kernel's partner-tick wake channel re-examines this
+// node's Idle on every HBM tick and the mutations below cannot strand a
+// sleeping node.
 func (d *DRAMNode) complete(r record.Rec, resp []uint32) {
-	d.outstanding--
+	d.outstanding-- // lint:wakeprop-ok fires inside the HBM partner's tick; partner-tick wake re-checks Idle
 	out, keep := r, true
 	if d.spec.Apply != nil {
 		out, keep = d.spec.Apply(r, resp)
 	}
 	if keep {
-		*d.ready.PushRefDirty() = out
+		*d.ready.PushRefDirty() = out // lint:wakeprop-ok fires inside the HBM partner's tick; partner-tick wake re-checks Idle
 	} else {
 		d.dropCnt.Add(1)
 	}

@@ -112,7 +112,9 @@ func (d *DRAMExpand) Tick(cycle int64) {
 		r := *d.backlog.Front()
 		ok := d.h.SubmitAt(cycle, dram.Request{
 			Addr: d.addrFn(r), Words: d.width,
-			Done: func(data []uint32) {
+			// One completion closure per fetch, amortized over the DRAM
+			// round trip.
+			Done: func(data []uint32) { // lint:hotalloc-ok per-request closure, amortized over the DRAM round trip
 				d.outstanding--
 				children := d.expand(r, data)
 				if d.ctl != nil {

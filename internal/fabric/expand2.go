@@ -109,10 +109,11 @@ func (d *DRAMExpand2) Tick(cycle int64) {
 	// Submit paired fetches: both blocks must arrive before expansion.
 	for d.backlog.Len() > 0 && d.outstanding < d.maxOutstanding && d.ready.Len() < 8*record.NumLanes {
 		r := *d.backlog.Front()
-		// Two requests joined by a shared arrival counter.
+		// Two requests joined by a shared arrival counter. The three
+		// closures per fetch pair are amortized over the DRAM round trip.
 		arrived := 0
 		var dataA, dataB []uint32
-		done := func() {
+		done := func() { // lint:hotalloc-ok per-request closure, amortized over the DRAM round trip
 			arrived++
 			if arrived < 2 {
 				return
@@ -126,7 +127,7 @@ func (d *DRAMExpand2) Tick(cycle int64) {
 				*d.ready.PushRefDirty() = c
 			}
 		}
-		okA := d.h.SubmitAt(cycle, dram.Request{Addr: d.addrA(r), Words: d.widthA, Done: func(data []uint32) {
+		okA := d.h.SubmitAt(cycle, dram.Request{Addr: d.addrA(r), Words: d.widthA, Done: func(data []uint32) { // lint:hotalloc-ok per-request closure, amortized over the DRAM round trip
 			dataA = data
 			done()
 		}})
@@ -134,7 +135,7 @@ func (d *DRAMExpand2) Tick(cycle int64) {
 			d.stallCnt.Add(1)
 			break
 		}
-		okB := d.h.SubmitAt(cycle, dram.Request{Addr: d.addrB(r), Words: d.widthB, Done: func(data []uint32) {
+		okB := d.h.SubmitAt(cycle, dram.Request{Addr: d.addrB(r), Words: d.widthB, Done: func(data []uint32) { // lint:hotalloc-ok per-request closure, amortized over the DRAM round trip
 			dataB = data
 			done()
 		}})

@@ -272,7 +272,9 @@ func (j *MergeJoin) step() bool {
 			}
 			if j.groupOpen {
 				if ka == j.groupKey {
-					j.groupA = append(j.groupA, j.bufA.Pop())
+					// Reset to groupA[:0] when the group closes, so the
+					// backing array grows to the largest group then reuses.
+					j.groupA = append(j.groupA, j.bufA.Pop()) // lint:hotalloc-ok grows to the largest join group, then reuses
 					return true
 				}
 				j.groupOpen = false // next key reached: group complete

@@ -38,6 +38,19 @@ import (
 	"strings"
 )
 
+// Severity classifies a finding. The zero value ("", historical findings)
+// is an error: only findings explicitly marked SevWarning are advisory.
+const (
+	// SevError findings are contract violations: a non-waived error makes
+	// aurochs-vet exit non-zero.
+	SevError = "error"
+	// SevWarning findings are advisory — unprovable-but-suspect sites
+	// (credit sufficiency the prover cannot bound, cross-package calls an
+	// allocation walk cannot see into). They are reported and counted but a
+	// warnings-only run exits 0.
+	SevWarning = "warning"
+)
+
 // Finding is one rule violation, JSON-ready for -json output.
 type Finding struct {
 	File string `json:"file"`
@@ -49,15 +62,27 @@ type Finding struct {
 	// specific violation within that pass; for single-rule analyzers the
 	// two coincide.
 	Analyzer string `json:"analyzer"`
+	// Severity is SevError or SevWarning; empty means SevError (the
+	// zero value keeps old JSON readable).
+	Severity string `json:"severity,omitempty"`
 	// Waived marks diagnostics accepted on an explicit waiver: reported
 	// for reviewability, but not counted toward a failing exit status.
 	Waived bool `json:"waived"`
 }
 
+// IsError reports whether the finding counts toward a failing exit status
+// (it is neither waived nor a warning).
+func (f Finding) IsError() bool {
+	return !f.Waived && f.Severity != SevWarning
+}
+
 func (f Finding) String() string {
 	suffix := ""
+	if f.Severity == SevWarning {
+		suffix = " (warning)"
+	}
 	if f.Waived {
-		suffix = " (waived)"
+		suffix += " (waived)"
 	}
 	return fmt.Sprintf("%s:%d: %s: %s%s", f.File, f.Line, f.Rule, f.Msg, suffix)
 }

@@ -134,6 +134,7 @@ func (p *workerPool) stop() {
 // stepParallel advances one cycle on the worker pool: broadcast, barrier,
 // timer/census merge, serial link commit. Progress detection is identical
 // to the serial kernel's — commit's collected per-cycle activity flags.
+// hot:path — this is the parallel kernel's per-cycle loop.
 func (sc *scheduler) stepParallel(cycle int64, p *workerPool) bool {
 	for _, ch := range p.start {
 		ch <- cycle

@@ -306,3 +306,39 @@ func TestAutoWorkers(t *testing.T) {
 		t.Errorf("EffectiveWorkers() = %d; want >= 1", sys.EffectiveWorkers())
 	}
 }
+
+// TestEnvWorkers: the AUROCHS_WORKERS override applies only when the caller
+// expressed no preference (Workers == 0), parses leniently, and produces
+// bit-identical results to an explicit worker count.
+func TestEnvWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		val  string
+		want int
+	}{
+		{"", 0},
+		{"4", 4},
+		{"-2", -2},
+		{"banana", 0},
+	} {
+		t.Setenv("AUROCHS_WORKERS", tc.val)
+		if got := envWorkers(); got != tc.want {
+			t.Errorf("AUROCHS_WORKERS=%q: envWorkers() = %d; want %d", tc.val, got, tc.want)
+		}
+	}
+
+	// End to end: a plain Run under the env override matches serial output.
+	t.Setenv("AUROCHS_WORKERS", "")
+	refCycles, refOuts, _ := runChains(t, RunOptions{})
+	t.Setenv("AUROCHS_WORKERS", "3")
+	envCycles, envOuts, _ := runChains(t, RunOptions{})
+	if envCycles != refCycles || !reflect.DeepEqual(envOuts, refOuts) {
+		t.Errorf("env-selected kernel diverged from serial: %d vs %d cycles", envCycles, refCycles)
+	}
+
+	// An explicit choice wins over the environment.
+	t.Setenv("AUROCHS_WORKERS", "7")
+	expCycles, expOuts, _ := runChains(t, RunOptions{Workers: 2})
+	if expCycles != refCycles || !reflect.DeepEqual(expOuts, refOuts) {
+		t.Errorf("explicit Workers diverged under env override: %d vs %d cycles", expCycles, refCycles)
+	}
+}

@@ -16,7 +16,9 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 )
 
 // Component is one clocked element of the fabric: a compute tile, a
@@ -177,13 +179,33 @@ type RunOptions struct {
 	// via StateSharer or implied by shared links) stay on one worker, so
 	// results are bit-identical to the serial kernel at any worker count;
 	// the fallback only changes wall-clock time. EffectiveWorkers reports
-	// what a run resolved to.
+	// what a run resolved to. When Workers is 0, the AUROCHS_WORKERS
+	// environment variable (if set to a valid integer) supplies the value
+	// instead — CI uses this to force the whole test suite through the
+	// parallel kernel under the race detector.
 	Workers int
 	// NoIdleSkip disables per-component quiescence: every component ticks
 	// every cycle, as the pre-quiescence kernel did. Results are identical
 	// either way for components honouring the Idler contract; the knob
 	// exists for A/B validation and debugging.
 	NoIdleSkip bool
+}
+
+// envWorkers reads the AUROCHS_WORKERS environment override. It applies
+// only when RunOptions.Workers is 0 (the caller expressed no preference),
+// so CI can force every simulation in the test suite through the parallel
+// kernel — under the race detector this turns the whole suite into a
+// determinism stress. Unset, empty, or unparsable values keep the default.
+func envWorkers() int {
+	v := os.Getenv("AUROCHS_WORKERS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // Run ticks the system until every component reports Done, the cycle budget
@@ -206,6 +228,9 @@ func (s *System) RunParallel(maxCycles int64, workers int) (int64, error) {
 // same cycle numbers the polling kernel reported.
 func (s *System) RunWith(maxCycles int64, opt RunOptions) (int64, error) {
 	workers := opt.Workers
+	if workers == 0 {
+		workers = envWorkers()
+	}
 	if workers < 0 {
 		workers = s.autoWorkers(-workers)
 	}

@@ -144,9 +144,11 @@ func newTimerWheel() *timerWheel {
 func (w *timerWheel) schedule(now int64, comp int32, at int64) {
 	if at-now < wheelSlots {
 		idx := at % wheelSlots
-		w.slots[idx] = append(w.slots[idx], timerEnt{comp: comp, at: at})
+		// Buckets are filtered in place at expiry, so each grows to its
+		// steady-state population once and then reuses its array.
+		w.slots[idx] = append(w.slots[idx], timerEnt{comp: comp, at: at}) // lint:hotalloc-ok bucket warmup growth, array reused after expiry
 	} else {
-		w.far = append(w.far, timerEnt{comp: comp, at: at})
+		w.far = append(w.far, timerEnt{comp: comp, at: at}) // lint:hotalloc-ok far-list warmup growth, array reused by refill's in-place filter
 		if at < w.farMin {
 			w.farMin = at
 		}
@@ -174,7 +176,7 @@ func (w *timerWheel) expireInto(cycle int64, dst bitset) {
 			dst.set(int(e.comp))
 			w.count--
 		} else {
-			kept = append(kept, e)
+			kept = append(kept, e) // lint:hotalloc-ok in-place filter into bucket[:0], cannot grow
 		}
 	}
 	w.slots[cycle%wheelSlots] = kept
@@ -187,9 +189,10 @@ func (w *timerWheel) refill(cycle int64) {
 	for _, e := range w.far {
 		if e.at-cycle < wheelSlots {
 			idx := e.at % wheelSlots
-			w.slots[idx] = append(w.slots[idx], e)
+			// Each far entry folds into a bucket exactly once.
+			w.slots[idx] = append(w.slots[idx], e) // lint:hotalloc-ok bucket warmup growth, array reused after expiry
 		} else {
-			kept = append(kept, e)
+			kept = append(kept, e) // lint:hotalloc-ok in-place filter into far[:0], cannot grow
 			if e.at < w.farMin {
 				w.farMin = e.at
 			}
@@ -407,7 +410,8 @@ func dedupSorted(xs []int32) []int32 {
 func (sc *scheduler) allDone() bool { return sc.notDone == 0 && sc.undrained == 0 }
 
 // beginCycle rotates the wake sets: this cycle's set is last cycle's
-// accumulated wakes, the poll shim, and expiring timers.
+// accumulated wakes, the poll shim, and expiring timers. hot:path — runs
+// once per simulated cycle.
 func (sc *scheduler) beginCycle(cycle int64) {
 	sc.awake, sc.next = sc.next, sc.awake
 	sc.next.clearAll()
@@ -461,7 +465,8 @@ func (sc *scheduler) sleep(i int, cycle int64) {
 // stepSerial advances one cycle on the serial event kernel: drain the wake
 // set in ascending index order (accepting same-cycle insertions ahead of
 // the cursor), then commit every link with pending work. It reports
-// link-traffic progress, exactly like the polling kernel's step.
+// link-traffic progress, exactly like the polling kernel's step. hot:path —
+// this is the serial kernel's per-cycle loop.
 func (sc *scheduler) stepSerial(cycle int64) bool {
 	s := sc.sys
 	aw := sc.awake
@@ -492,7 +497,8 @@ func (sc *scheduler) stepSerial(cycle int64) bool {
 
 // commitLinks runs the end-of-cycle commit over every link with pending
 // work and applies the wake consequences. Serial in both kernels (the
-// parallel kernel barriers first), so plain state suffices.
+// parallel kernel barriers first), so plain state suffices. hot:path —
+// runs once per simulated cycle.
 func (sc *scheduler) commitLinks(cycle int64) bool {
 	moved := false
 	for id, l := range sc.sys.links {

@@ -89,6 +89,7 @@ type Tile struct {
 	pending  []bankOp
 	ready    []record.Rec // completed threads awaiting output vectorization
 	rob      map[int64][]record.Rec
+	robFree  [][]record.Rec   // recycled ROB slot slices (in-order mode)
 	robLive  map[int64]uint32 // lanes with a retired record per seq
 	robCount map[int64]int    // outstanding requests per seq (in-order mode)
 	robHead  int64
@@ -266,7 +267,7 @@ func (t *Tile) retire(cycle int64) {
 		}
 		if op.resp != nil {
 			// Apply may not retain resp (see Spec.Apply); recycle the buffer.
-			t.respFree = append(t.respFree, op.resp)
+			t.respFree = append(t.respFree, op.resp) // lint:hotalloc-ok freelist bounded by pipeline population
 			op.resp = nil
 		}
 		if !keep {
@@ -279,14 +280,28 @@ func (t *Tile) retire(cycle int64) {
 			// stream order exactly.
 			slots := t.rob[op.seq]
 			if slots == nil {
-				slots = make([]record.Rec, t.cfg.Lanes)
+				if n := len(t.robFree); n > 0 {
+					// Reuse a slice released by emitInOrder: the ROB
+					// population is bounded, so the freelist covers
+					// steady state without fresh allocation.
+					slots = t.robFree[n-1]
+					t.robFree = t.robFree[:n-1]
+					clear(slots)
+				} else {
+					slots = make([]record.Rec, t.cfg.Lanes) // lint:hotalloc-ok freelist warmup, bounded by the in-flight window
+				}
 			}
 			slots[op.lane] = out
-			t.rob[op.seq] = slots
-			t.robLive[op.seq] |= 1 << uint(op.lane)
+			// The reorder window is bounded by issue-queue backpressure, so
+			// the maps' bucket arrays stop growing once it is covered.
+			t.rob[op.seq] = slots            // lint:hotalloc-ok bounded reorder window, buckets reused after delete
+			t.robLive[op.seq] |= 1 << uint(op.lane) // lint:hotalloc-ok bounded reorder window, buckets reused after delete
 			t.retireSeq(op.seq)
 		} else {
-			t.ready = append(t.ready, out)
+			// Bounded by the response-side backpressure in allocate; emit
+			// compacts consumed records to the front so the backing array
+			// is reused rather than slid off the end.
+			t.ready = append(t.ready, out) // lint:hotalloc-ok bounded by backpressure, compacted in emit
 		}
 	}
 	t.pending = t.pending[:n]
@@ -415,7 +430,9 @@ func (t *Tile) grant(cycle int64, lane, si int) {
 		busy = 2
 	}
 	t.bankBusy[bank] = cycle + busy
-	t.pending = append(t.pending, bankOp{})
+	// Grows to the bounded in-flight population once; retire compacts it
+	// in place, so the backing array is reused at steady state.
+	t.pending = append(t.pending, bankOp{}) // lint:hotalloc-ok bounded in-flight ops, compacted in place by retire
 	op := &t.pending[len(t.pending)-1]
 	op.rec = e.rec
 	op.resp = resp
@@ -441,7 +458,7 @@ func (t *Tile) respBuf(w int) []uint32 {
 			return b[:w]
 		}
 	}
-	return make([]uint32, w)
+	return make([]uint32, w) // lint:hotalloc-ok freelist warmup, bounded by steady-state population
 }
 
 // emit vectorizes completed threads and pushes at most one dense vector per
@@ -466,7 +483,10 @@ func (t *Tile) emit(cycle int64) {
 	for i := 0; i < n; i++ {
 		*v.PushRef() = t.ready[i]
 	}
-	t.ready = t.ready[n:]
+	// Compact instead of reslicing off the front: t.ready[n:] would walk
+	// the backing array forward until append in retire reallocates it; the
+	// copy keeps the array's full capacity live forever.
+	t.ready = t.ready[:copy(t.ready, t.ready[n:])]
 }
 
 // emitInOrder releases the oldest vector only once all of its requests have
@@ -485,6 +505,9 @@ func (t *Tile) emitInOrder(cycle int64) {
 		if live&(1<<uint(lane)) != 0 {
 			v.Push(slots[lane])
 		}
+	}
+	if slots != nil {
+		t.robFree = append(t.robFree, slots) // lint:hotalloc-ok freelist growth bounded by the in-flight window
 	}
 	delete(t.rob, t.robHead)
 	delete(t.robCount, t.robHead)
@@ -543,7 +566,7 @@ func (t *Tile) accept(cycle int64) {
 		}
 		lane := i % t.cfg.Lanes
 		bank := t.mem.Bank(addr)
-		q := append(t.queues[lane], qent{})
+		q := append(t.queues[lane], qent{}) // lint:hotalloc-ok bounded by IssueDepth backpressure in the loop above
 		e := &q[len(q)-1]
 		e.rec = f.Vec.Lane[i]
 		e.addr = addr
@@ -557,7 +580,7 @@ func (t *Tile) accept(cycle int64) {
 		count++
 	}
 	if t.cfg.InOrder {
-		t.robCount[seq] = count
+		t.robCount[seq] = count // lint:hotalloc-ok bounded reorder window, buckets reused after delete
 	}
 	t.cReq.Add(int64(count))
 }
