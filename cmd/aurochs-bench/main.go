@@ -33,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink -json benchmark datasets (CI-sized)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the -json benchmark's parallel runs (0 = auto mode up to GOMAXPROCS)")
 	compare := flag.String("compare", "", "after -json, gate the fresh report against this baseline report (fails on >10% serial cycles/sec regression)")
+	gate := flag.String("gate", "", "after -json, require experiments to beat serial: comma-separated name:minSpeedup pairs (e.g. fig11a-hashjoin-p16:1.2); skipped on single-core hosts")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	flag.Parse()
@@ -68,6 +69,11 @@ func main() {
 		}
 		if *compare != "" {
 			if err := bench.Compare(*jsonOut, *compare, 0.10); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *gate != "" {
+			if err := bench.GateParallel(*jsonOut, *gate); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -75,6 +75,12 @@ var knownAllocFree = map[string]bool{
 	"internal/record.Rec.Get": true, "internal/record.Rec.Len": true,
 	"internal/record.Rec.Append": true, "internal/record.Rec.Set": true,
 	"internal/record.Make": true,
+	// sync/atomic typed wrappers compile to single load/store/RMW
+	// instructions on a field the caller already owns.
+	"sync/atomic.Int64.Load": true, "sync/atomic.Int64.Store": true,
+	"sync/atomic.Int64.Add": true, "sync/atomic.Int64.CompareAndSwap": true,
+	"sync/atomic.Uint64.Load": true, "sync/atomic.Uint64.Store": true,
+	"sync/atomic.Uint64.Add": true, "sync/atomic.Uint64.CompareAndSwap": true,
 	// reflect.TypeOf returns the interned rtype; the argument here is
 	// always a pointer, which boxes without allocating.
 	"reflect.TypeOf": true,

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a PerfReport to a temp file and returns its path.
+func writeReport(t *testing.T, name string, rep PerfReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func multiCoreReport() PerfReport {
+	return PerfReport{
+		GOMAXPROCS: 4, NumCPU: 4,
+		Experiments: []PerfExperiment{
+			{
+				Name: "fig11a-hashjoin-p16", Rows: 1 << 15,
+				Serial:   PerfRun{WorkersRequested: 1, WorkersResolved: 1, CyclesPerSec: 30000, WallSeconds: 1.0},
+				Parallel: PerfRun{WorkersRequested: -4, WorkersResolved: 4, CyclesPerSec: 60000, WallSeconds: 0.5},
+				Identical: true, Speedup: 2.0,
+			},
+		},
+	}
+}
+
+// TestGateParallelPasses: an engaged, identical, fast-enough experiment on a
+// multi-core report clears the gate.
+func TestGateParallelPasses(t *testing.T) {
+	p := writeReport(t, "ok.json", multiCoreReport())
+	if err := GateParallel(p, "fig11a-hashjoin-p16:1.2"); err != nil {
+		t.Fatalf("gate failed on a winning report: %v", err)
+	}
+}
+
+// TestGateParallelFailures: fallback on a multi-core host, a sub-floor
+// speedup, a lost bit-identity, and a missing experiment each fail the
+// gate with the offender named.
+func TestGateParallelFailures(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*PerfReport)
+		spec   string
+		want   string
+	}{
+		{"fallback", func(r *PerfReport) {
+			r.Experiments[0].Fallback = true
+			r.Experiments[0].FallbackReason = "imbalance"
+			r.Experiments[0].Speedup = 1.0
+		}, "fig11a-hashjoin-p16:1.2", "fell back to serial (imbalance)"},
+		{"slow", func(r *PerfReport) {
+			r.Experiments[0].Speedup = 1.05
+		}, "fig11a-hashjoin-p16:1.2", "below required"},
+		{"divergent", func(r *PerfReport) {
+			r.Experiments[0].Identical = false
+		}, "fig11a-hashjoin-p16:1.2", "not bit-identical"},
+		{"missing", nil, "no-such-experiment:1.0", "missing"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := multiCoreReport()
+			if tc.mutate != nil {
+				tc.mutate(&rep)
+			}
+			p := writeReport(t, "r.json", rep)
+			err := GateParallel(p, tc.spec)
+			if err == nil {
+				t.Fatal("gate passed; want failure")
+			}
+			if !strings.Contains(err.Error(), "requirement") {
+				t.Errorf("error %q does not summarize requirements", err)
+			}
+		})
+	}
+}
+
+// TestGateParallelSkipsSingleCoreHost: a report produced where no speedup
+// is measurable must not fail the gate — the host, not the kernel, is the
+// limit, and the report says so loudly.
+func TestGateParallelSkipsSingleCoreHost(t *testing.T) {
+	rep := multiCoreReport()
+	rep.NumCPU, rep.GOMAXPROCS = 1, 1
+	rep.SingleCoreHost = true
+	rep.Experiments[0].Fallback = true
+	rep.Experiments[0].FallbackReason = "single-core-host"
+	rep.Experiments[0].SingleCoreHost = true
+	rep.Experiments[0].Speedup = 1.0
+	p := writeReport(t, "single.json", rep)
+	if err := GateParallel(p, "fig11a-hashjoin-p16:1.2"); err != nil {
+		t.Fatalf("gate failed on a single-core report: %v", err)
+	}
+}
+
+// TestCompareGates: serial regression beyond tolerance fails; matching or
+// improved reports pass; undeclared sub-1.0 speedups fail.
+func TestCompareGates(t *testing.T) {
+	base := writeReport(t, "base.json", multiCoreReport())
+
+	same := writeReport(t, "same.json", multiCoreReport())
+	if err := Compare(same, base, 0.10); err != nil {
+		t.Fatalf("identical report failed compare: %v", err)
+	}
+
+	slow := multiCoreReport()
+	slow.Experiments[0].Serial.CyclesPerSec = 20000
+	if err := Compare(writeReport(t, "slow.json", slow), base, 0.10); err == nil {
+		t.Fatal("33% serial regression passed compare")
+	}
+
+	lost := multiCoreReport()
+	lost.Experiments[0].Speedup = 0.8
+	if err := Compare(writeReport(t, "lost.json", lost), base, 0.10); err == nil {
+		t.Fatal("undeclared 0.8x speedup passed compare")
+	}
+}
+
+// TestCompareReadsCommittedBaselines: the real committed reports parse
+// under the current schema and gate cleanly against themselves — renamed
+// fields must never strand an old baseline.
+func TestCompareReadsCommittedBaselines(t *testing.T) {
+	for _, p := range []string{"../../BENCH_3.json", "../../BENCH_4.json"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Skipf("%s not present", p)
+		}
+		if err := Compare(p, p, 0.10); err != nil {
+			t.Errorf("%s vs itself: %v", p, err)
+		}
+	}
+}

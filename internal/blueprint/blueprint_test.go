@@ -62,3 +62,62 @@ func TestBlueprintBuildsAreIndependent(t *testing.T) {
 		}
 	}
 }
+
+// TestBlueprintStagePlans: every registered topology decomposes into a
+// deterministic two-level (stage x lane) shard plan that covers each
+// component exactly once; rebuilding a blueprint reproduces the identical
+// plan shape (the planner never consults map iteration order). The test
+// also reports each plan's balance so a blueprint whose parallel shape
+// degenerates (one atom swallowing the graph) shows up in -v output with
+// the numbers auto mode will quote when it falls back.
+func TestBlueprintStagePlans(t *testing.T) {
+	for _, bp := range All() {
+		bp := bp
+		t.Run(bp.Name, func(t *testing.T) {
+			g, err := bp.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			plan := g.StagePlan()
+			n := 0
+			for _, sh := range plan.Shards {
+				n += len(sh)
+			}
+			comps := len(g.Sys.Components())
+			if n != comps {
+				t.Fatalf("plan covers %d of %d components", n, comps)
+			}
+			if len(plan.CompStage) != comps {
+				t.Fatalf("CompStage has %d entries for %d components", len(plan.CompStage), comps)
+			}
+			if plan.Stages < 1 || plan.MaxLanes < 1 {
+				t.Fatalf("degenerate plan: %d stages, %d lanes", plan.Stages, plan.MaxLanes)
+			}
+			// Determinism across rebuilds: same shard membership, stage by stage.
+			g2, err := bp.Build()
+			if err != nil {
+				t.Fatalf("rebuild: %v", err)
+			}
+			plan2 := g2.StagePlan()
+			if len(plan2.Shards) != len(plan.Shards) || plan2.Stages != plan.Stages ||
+				plan2.MaxLanes != plan.MaxLanes || plan2.Largest != plan.Largest {
+				t.Fatalf("rebuild changed the plan shape: %d/%d/%d/%d vs %d/%d/%d/%d",
+					len(plan.Shards), plan.Stages, plan.MaxLanes, plan.Largest,
+					len(plan2.Shards), plan2.Stages, plan2.MaxLanes, plan2.Largest)
+			}
+			for i := range plan.Shards {
+				if len(plan.Shards[i]) != len(plan2.Shards[i]) {
+					t.Fatalf("rebuild changed shard %d membership", i)
+				}
+				for j := range plan.Shards[i] {
+					if plan.Shards[i][j] != plan2.Shards[i][j] {
+						t.Fatalf("rebuild changed shard %d member %d", i, j)
+					}
+				}
+			}
+			t.Logf("%s: %d comps, %d shards, %d stages, %d lanes, largest %d (%.0f%%)",
+				bp.Name, comps, len(plan.Shards), plan.Stages, plan.MaxLanes,
+				plan.Largest, plan.LargestShare()*100)
+		})
+	}
+}

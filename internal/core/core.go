@@ -47,6 +47,11 @@ type Result struct {
 	// Workers is the tick-kernel worker count the run resolved to after
 	// auto-mode selection (1 = the serial kernel).
 	Workers int
+	// Kernel is the tick-kernel decision of the run's dominant phase (the
+	// phase with the largest component census): requested vs resolved
+	// workers, the auto-mode fallback reason if one tripped, and the
+	// stage/lane shard shape the decision was made on.
+	Kernel sim.KernelDecision
 }
 
 // Seconds converts cycles to wall time at the fabric clock.
@@ -63,7 +68,8 @@ func runGraph(g *fabric.Graph, maxCycles int64) (Result, error) {
 		before = g.HBM.BytesMoved()
 	}
 	cycles, err := g.Run(maxCycles)
-	res := Result{Cycles: cycles, Stats: g.Stats(), Workers: g.Sys.EffectiveWorkers()}
+	res := Result{Cycles: cycles, Stats: g.Stats(), Workers: g.Sys.EffectiveWorkers(),
+		Kernel: g.Sys.KernelDecision()}
 	if g.HBM != nil {
 		// Attribute posted writes still resident in the combining buffer
 		// to the phase that produced them.

@@ -200,6 +200,9 @@ func accumulate(total *Result, r Result) {
 	if r.Workers > total.Workers {
 		total.Workers = r.Workers // report the widest phase
 	}
+	if r.Kernel.Components > total.Kernel.Components {
+		total.Kernel = r.Kernel // report the dominant (largest-census) phase
+	}
 	if total.Stats == nil {
 		total.Stats = sim.NewStats()
 	}

@@ -94,6 +94,23 @@ func (g *Graph) AttachHBM(h *dram.HBM) {
 	g.Sys.Add(g.hbmTicker)
 }
 
+// StagePlan returns the two-level shard decomposition of the wired graph:
+// pipeline stages (topological layers of the link graph, with recirculating
+// loops collapsed to one layer) and, within each stage, lanes — component
+// groups whose links never alias and whose shared-state keys are disjoint.
+// This is exactly the plan the parallel kernel schedules by, exposed so
+// placements, benchmarks, and tests can reason about a blueprint's
+// parallel shape before (or without) running it.
+func (g *Graph) StagePlan() *sim.ShardPlan {
+	return g.Sys.PlanShards()
+}
+
+// StageOf returns each component's pipeline stage, indexed by registration
+// order (the order of Graph.Add calls), as computed by StagePlan.
+func (g *Graph) StageOf() []int {
+	return g.Sys.PlanShards().CompStage
+}
+
 // Run verifies the graph topology, then simulates until the graph drains
 // and returns elapsed cycles. A malformed graph is rejected before the
 // first cycle with a *CheckError naming each structural bug.

@@ -200,49 +200,49 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestShardingDeterministic: the component→worker assignment is a pure
-// function of the topology.
+// TestShardingDeterministic: the shard plan is a pure function of the
+// topology.
 func TestShardingDeterministic(t *testing.T) {
 	s1, _ := buildChains(5, 10)
 	s2, _ := buildChains(5, 10)
-	b1 := shardComponents(s1, 4)
-	b2 := shardComponents(s2, 4)
-	if !reflect.DeepEqual(b1, b2) {
-		t.Fatalf("sharding not deterministic:\n%v\n%v", b1, b2)
+	p1 := s1.PlanShards()
+	p2 := s2.PlanShards()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("sharding not deterministic:\n%+v\n%+v", p1, p2)
 	}
 }
 
 // TestShardingRespectsSharedState: components declaring a common state key
-// land in the same bin; independent chains spread across bins.
+// land in the same shard; independent chains spread across shards.
 func TestShardingRespectsSharedState(t *testing.T) {
 	s, _ := buildChains(4, 10)
-	bins := shardComponents(s, 4)
-	if len(bins) < 2 {
-		t.Fatalf("expected multiple bins for independent chains, got %d", len(bins))
+	plan := s.PlanShards()
+	if len(plan.Shards) < 2 {
+		t.Fatalf("expected multiple shards for independent chains, got %d", len(plan.Shards))
 	}
-	// Find the two sharedCounter components and check they share a bin.
-	binOf := make(map[int]int)
-	for b, bin := range bins {
-		for _, ci := range bin {
-			binOf[ci] = b
+	// Find the two sharedCounter components and check they share a shard.
+	shardOf := make(map[int]int)
+	for sh, members := range plan.Shards {
+		for _, ci := range members {
+			shardOf[ci] = sh
 		}
 	}
-	var counterBins []int
+	var counterShards []int
 	for i, c := range s.Components() {
 		if _, ok := c.(*sharedCounter); ok {
-			counterBins = append(counterBins, binOf[i])
+			counterShards = append(counterShards, shardOf[i])
 		}
 	}
-	if len(counterBins) != 2 {
-		t.Fatalf("found %d sharedCounter components", len(counterBins))
+	if len(counterShards) != 2 {
+		t.Fatalf("found %d sharedCounter components", len(counterShards))
 	}
-	if counterBins[0] != counterBins[1] {
-		t.Fatalf("shared-state components scheduled on different workers: %v", counterBins)
+	if counterShards[0] != counterShards[1] {
+		t.Fatalf("shared-state components scheduled on different workers: %v", counterShards)
 	}
 	// Every component must be assigned exactly once.
 	seen := 0
-	for _, bin := range bins {
-		seen += len(bin)
+	for _, members := range plan.Shards {
+		seen += len(members)
 	}
 	if seen != len(s.Components()) {
 		t.Fatalf("sharding covered %d of %d components", seen, len(s.Components()))
@@ -270,24 +270,24 @@ func TestAutoWorkers(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	wide, _ := buildChains(6, 10) // 36 comps, many independent shards
-	if got := wide.autoWorkers(4); got < 2 {
-		t.Errorf("wide independent graph resolved to %d workers; want >= 2", got)
+	if got, reason := wide.autoWorkers(4, wide.PlanShards()); got < 2 {
+		t.Errorf("wide independent graph resolved to %d workers (%s); want >= 2", got, reason)
 	}
-	if got := wide.autoWorkers(1); got != 1 {
-		t.Errorf("max=1 resolved to %d workers; want 1", got)
+	if got, reason := wide.autoWorkers(1, wide.PlanShards()); got != 1 || reason != FallbackAutoCap {
+		t.Errorf("max=1 resolved to %d workers (%q); want 1 (%q)", got, reason, FallbackAutoCap)
 	}
 
 	small := NewSystem() // census below the barrier-amortization floor
 	l := small.NewLink("l", 4, 1)
 	small.Add(&genSource{name: "src", out: l, n: 4})
 	small.Add(&collector{name: "snk", in: l})
-	if got := small.autoWorkers(4); got != 1 {
-		t.Errorf("tiny graph resolved to %d workers; want 1", got)
+	if got, reason := small.autoWorkers(4, small.PlanShards()); got != 1 || reason != FallbackSmallCensus {
+		t.Errorf("tiny graph resolved to %d workers (%q); want 1 (%q)", got, reason, FallbackSmallCensus)
 	}
 
 	runtime.GOMAXPROCS(1)
-	if got := wide.autoWorkers(4); got != 1 {
-		t.Errorf("single-CPU host resolved to %d workers; want 1", got)
+	if got, reason := wide.autoWorkers(4, wide.PlanShards()); got != 1 || reason != FallbackSingleCoreHost {
+		t.Errorf("single-CPU host resolved to %d workers (%q); want 1 (%q)", got, reason, FallbackSingleCoreHost)
 	}
 	runtime.GOMAXPROCS(2)
 

@@ -1,0 +1,366 @@
+package sim
+
+import "sort"
+
+// Two-level sharding: stage × lane.
+//
+// The unit of parallel scheduling is the *atom*: the smallest set of
+// components that must tick on one worker, in registration order, for the
+// parallel kernel to reproduce the serial kernel bit-for-bit. Atoms are
+// computed by union-find exactly as before (same-side link endpoints race;
+// declared SharedState keys interleave through heap the kernel cannot see).
+//
+// What changed is everything above the atom. The old kernel packed atoms
+// into one static bin per worker and walked every bin member every cycle;
+// a 16-lane join whose lanes woke unevenly left most workers idling at the
+// barrier while one walked its whole bin. The planner now gives each atom a
+// two-level identity:
+//
+//   - stage: the atom's topological layer in the link graph (strongly
+//     connected components — the recirculating loops — collapse to one
+//     layer, then longest-path from the sources). Stages are the paper's
+//     pipeline phases: partition feeds build feeds probe.
+//   - lane: the atom's ordinal within its stage. A P-pipeline kernel shows
+//     up as P lanes per stage — components whose links never alias and
+//     whose SharedState keys are disjoint, so they may tick concurrently.
+//
+// Shards (= atoms, ordered by (stage, lane)) are the currency of the
+// work-stealing scheduler in steal.go: each cycle only the *woken* shards
+// are enqueued, and idle workers steal half of a victim's remaining shards
+// instead of waiting at the barrier. The ShardPlan is also the kernel's
+// telemetry: auto mode's fallback decisions quote its shape instead of
+// silently running serial.
+
+// ShardPlan is the deterministic two-level decomposition of a System's
+// components for the parallel kernel, plus the derived shape metrics the
+// auto-mode heuristics and the bench harness report.
+type ShardPlan struct {
+	// Shards holds the correctness atoms, each a sorted slice of component
+	// indices, ordered by (Stage, Lane). Every component appears in exactly
+	// one shard.
+	Shards [][]int
+	// Stage[s] is shard s's topological layer; Lane[s] its ordinal within
+	// that layer. Both are indexed like Shards.
+	Stage []int
+	Lane  []int
+	// CompStage[i] is component i's stage (its shard's stage).
+	CompStage []int
+	// Stages is the number of topological layers; MaxLanes the lane count
+	// of the widest stage.
+	Stages   int
+	MaxLanes int
+	// Largest is the population of the biggest shard — the serial chain the
+	// barrier cannot split, which drives the imbalance fallback.
+	Largest int
+}
+
+// LargestShare returns the largest shard's fraction of all components
+// (0 when the plan is empty).
+func (p *ShardPlan) LargestShare() float64 {
+	n := 0
+	for _, s := range p.Shards {
+		n += len(s)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(p.Largest) / float64(n)
+}
+
+// PlanShards computes the two-level shard decomposition of the registered
+// components. The plan is a pure function of the topology: atoms are
+// identified by their smallest member, stages by deterministic traversals
+// in registration/creation order, and lanes by smallest-member order within
+// a stage — no map iteration order is ever consulted.
+func (s *System) PlanShards() *ShardPlan {
+	n := len(s.comps)
+	plan := &ShardPlan{CompStage: make([]int, n)}
+	if n == 0 {
+		return plan
+	}
+	atoms, atomOf := buildAtoms(s)
+	stage := stageAtoms(s, atoms, atomOf)
+
+	// Order atoms by (stage, smallest member); assign lanes within stages.
+	order := make([]int, len(atoms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if stage[order[a]] != stage[order[b]] {
+			return stage[order[a]] < stage[order[b]]
+		}
+		return atoms[order[a]][0] < atoms[order[b]][0]
+	})
+	lane, lastStage := 0, -1
+	for _, a := range order {
+		if stage[a] != lastStage {
+			lane, lastStage = 0, stage[a]
+			plan.Stages++
+		}
+		plan.Shards = append(plan.Shards, atoms[a])
+		plan.Stage = append(plan.Stage, stage[a])
+		plan.Lane = append(plan.Lane, lane)
+		lane++
+		if lane > plan.MaxLanes {
+			plan.MaxLanes = lane
+		}
+		if len(atoms[a]) > plan.Largest {
+			plan.Largest = len(atoms[a])
+		}
+		for _, i := range atoms[a] {
+			plan.CompStage[i] = stage[a]
+		}
+	}
+	return plan
+}
+
+// linkEnds returns per-link producer and consumer component lists, indexed
+// by link id (assigned here, idempotently, in creation order).
+func linkEnds(s *System) (prod, cons [][]int) {
+	for id, l := range s.links {
+		l.id = id
+	}
+	prod = make([][]int, len(s.links))
+	cons = make([][]int, len(s.links))
+	add := func(dst [][]int, l *Link, i int) {
+		if l != nil && l.id >= 0 && l.id < len(dst) {
+			dst[l.id] = append(dst[l.id], i)
+		}
+	}
+	for i, c := range s.comps {
+		if op, ok := c.(OutputPorts); ok {
+			for _, l := range op.OutputLinks() {
+				add(prod, l, i)
+			}
+		}
+		if ip, ok := c.(InputPorts); ok {
+			for _, l := range ip.InputLinks() {
+				add(cons, l, i)
+			}
+		}
+	}
+	return prod, cons
+}
+
+// buildAtoms groups components that must share a worker (the union-find
+// from the original scheduler, unchanged in what it unions): same-side link
+// endpoints, declared shared-state claimants, and — conservatively — every
+// component with neither ports nor a SharedState declaration. It returns
+// the atoms ordered by smallest member, each sorted ascending, and the
+// component→atom index.
+func buildAtoms(s *System) (atoms [][]int, atomOf []int) {
+	n := len(s.comps)
+	uf := newUnionFind(n)
+	prod, cons := linkEnds(s)
+
+	// Same-side link endpoints race; union them. (A single producer and a
+	// single consumer on one link touch disjoint link state and may run
+	// concurrently — that is the whole point of registered links.)
+	for id := range s.links {
+		for k := 1; k < len(prod[id]); k++ {
+			uf.union(prod[id][0], prod[id][k])
+		}
+		for k := 1; k < len(cons[id]); k++ {
+			uf.union(cons[id][0], cons[id][k])
+		}
+	}
+
+	// Components with no ports and no shared-state claim cannot be proven
+	// independent of anything: one conservative atom.
+	opaque := -1
+	for i, c := range s.comps {
+		_, hasOut := c.(OutputPorts)
+		_, hasIn := c.(InputPorts)
+		_, shares := c.(StateSharer)
+		if !hasOut && !hasIn && !shares {
+			if opaque < 0 {
+				opaque = i
+			} else {
+				uf.union(opaque, i)
+			}
+		}
+	}
+
+	// Declared shared state: identity keys union their claimants; a *Link
+	// key also unions the claimant with the link's endpoints.
+	keyOwner := make(map[any]int)
+	for i, c := range s.comps {
+		ss, ok := c.(StateSharer)
+		if !ok {
+			continue
+		}
+		for _, key := range ss.SharedState() {
+			if key == nil {
+				continue
+			}
+			if l, isLink := key.(*Link); isLink {
+				if l.id >= 0 && l.id < len(prod) {
+					for _, j := range prod[l.id] {
+						uf.union(i, j)
+					}
+					for _, j := range cons[l.id] {
+						uf.union(i, j)
+					}
+				}
+				continue
+			}
+			if j, seen := keyOwner[key]; seen {
+				uf.union(i, j)
+			} else {
+				keyOwner[key] = i
+			}
+		}
+	}
+
+	// Collect atoms in order of their smallest member (roots are minimal by
+	// the union-find convention, so ascending component order discovers
+	// atoms in smallest-member order and members arrive sorted).
+	atomOf = make([]int, n)
+	rootAtom := make([]int, n)
+	for i := range rootAtom {
+		rootAtom[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		a := rootAtom[r]
+		if a < 0 {
+			a = len(atoms)
+			rootAtom[r] = a
+			atoms = append(atoms, nil)
+		}
+		atoms[a] = append(atoms[a], i)
+		atomOf[i] = a
+	}
+	return atoms, atomOf
+}
+
+// stageAtoms assigns each atom a topological layer of the atom-level link
+// graph: strongly connected components (the recirculating loops) collapse
+// to one layer, and a layer is the longest path from the sources in the
+// condensation. Deterministic: edges are discovered in link-creation order
+// and the SCC walk seeds atoms in smallest-member order.
+func stageAtoms(s *System, atoms [][]int, atomOf []int) []int {
+	na := len(atoms)
+	prod, cons := linkEnds(s)
+	adj := make([][]int32, na)
+	for id := range s.links {
+		for _, pi := range prod[id] {
+			for _, ci := range cons[id] {
+				a, b := atomOf[pi], atomOf[ci]
+				if a != b {
+					adj[a] = append(adj[a], int32(b))
+				}
+			}
+		}
+	}
+	scc := condense(adj)
+
+	// Tarjan emits SCCs in reverse topological order of the condensation,
+	// so walking the emission list backwards visits every predecessor
+	// before its successors: one pass computes longest-path layers.
+	sccStage := make([]int, scc.count)
+	for k := scc.count - 1; k >= 0; k-- {
+		// Relax out-edges of every atom in SCC k.
+		for a := 0; a < na; a++ {
+			if scc.of[a] != int32(k) {
+				continue
+			}
+			for _, b := range adj[a] {
+				bs := scc.of[b]
+				if bs == int32(k) {
+					continue
+				}
+				if d := sccStage[k] + 1; d > sccStage[bs] {
+					sccStage[bs] = d
+				}
+			}
+		}
+	}
+	stage := make([]int, na)
+	for a := 0; a < na; a++ {
+		stage[a] = sccStage[scc.of[a]]
+	}
+	return stage
+}
+
+// sccResult maps each node to its strongly connected component. Components
+// are numbered in Tarjan emission order, which is reverse topological order
+// of the condensation.
+type sccResult struct {
+	of    []int32
+	count int
+}
+
+// condense runs an iterative Tarjan SCC over adj. Deterministic: roots are
+// tried in ascending index order and edges in list order.
+func condense(adj [][]int32) sccResult {
+	n := len(adj)
+	const unvisited = int32(-1)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32   // Tarjan's SCC stack
+	type frame struct { // explicit DFS stack (graphs can be deep chains)
+		v  int32
+		ei int
+	}
+	var frames []frame
+	next := int32(0)
+	count := 0
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: int32(root)})
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished: pop an SCC if v is a root, then propagate low.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(count)
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccResult{of: comp, count: count}
+}

@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// buildStaged wires `lanes` parallel 3-stage pipelines so the link graph has
+// an unambiguous layer structure: src -> s1 -> s2 -> s3 -> snk per lane, all
+// lanes independent.
+func buildStaged(lanes, recsPer int) *System {
+	s := NewSystem()
+	for c := 0; c < lanes; c++ {
+		l0 := s.NewLink("l0", 4, 1)
+		l1 := s.NewLink("l1", 4, 2)
+		l2 := s.NewLink("l2", 4, 1)
+		l3 := s.NewLink("l3", 4, 3)
+		s.Add(&genSource{name: "src", out: l0, n: uint32(recsPer)})
+		s.Add(&addStage{name: "s1", in: l0, out: l1, add: 1})
+		s.Add(&addStage{name: "s2", in: l1, out: l2, add: 10})
+		s.Add(&addStage{name: "s3", in: l2, out: l3, add: 100})
+		s.Add(&collector{name: "snk", in: l3})
+	}
+	return s
+}
+
+// TestShardPlanStagesAndLanes: a P-lane pipeline graph decomposes into
+// pipeline stages (one per topological layer) with P lanes per stage, and
+// the shards come out ordered by (stage, lane).
+func TestShardPlanStagesAndLanes(t *testing.T) {
+	const lanes = 4
+	plan := buildStaged(lanes, 8).PlanShards()
+
+	if plan.Stages != 5 {
+		t.Errorf("Stages = %d; want 5 (src, s1, s2, s3, snk layers)", plan.Stages)
+	}
+	if plan.MaxLanes != lanes {
+		t.Errorf("MaxLanes = %d; want %d", plan.MaxLanes, lanes)
+	}
+	if len(plan.Shards) != 5*lanes {
+		t.Errorf("len(Shards) = %d; want %d", len(plan.Shards), 5*lanes)
+	}
+	// (stage, lane) ordering is strictly increasing.
+	for i := 1; i < len(plan.Shards); i++ {
+		if plan.Stage[i] < plan.Stage[i-1] ||
+			(plan.Stage[i] == plan.Stage[i-1] && plan.Lane[i] != plan.Lane[i-1]+1) {
+			t.Fatalf("shard %d out of (stage, lane) order: (%d,%d) after (%d,%d)",
+				i, plan.Stage[i], plan.Lane[i], plan.Stage[i-1], plan.Lane[i-1])
+		}
+	}
+	// Each pipeline position c%5 of every lane lands in stage c%5.
+	for i, st := range plan.CompStage {
+		if want := i % 5; st != want {
+			t.Errorf("component %d: stage %d; want %d", i, st, want)
+		}
+	}
+	if plan.Largest != 1 {
+		t.Errorf("Largest = %d; want 1 (all atoms singletons)", plan.Largest)
+	}
+	if share := plan.LargestShare(); share != 1.0/float64(5*lanes) {
+		t.Errorf("LargestShare() = %v; want %v", share, 1.0/float64(5*lanes))
+	}
+}
+
+// TestShardPlanStageMonotone: for every link, either both endpoints share a
+// shard (an aliasing/shared-state atom, or a recirculating loop collapsed to
+// one layer) or the consumer's stage strictly exceeds the producer's. This
+// is the invariant that makes a stage a pipeline phase.
+func TestShardPlanStageMonotone(t *testing.T) {
+	s, _ := buildChains(5, 8)
+	plan := s.PlanShards()
+	shardOf := make([]int, len(s.comps))
+	for sh, members := range plan.Shards {
+		for _, i := range members {
+			shardOf[i] = sh
+		}
+	}
+	prod, cons := linkEnds(s)
+	for id := range s.links {
+		for _, pi := range prod[id] {
+			for _, ci := range cons[id] {
+				if shardOf[pi] == shardOf[ci] {
+					continue
+				}
+				if plan.CompStage[ci] <= plan.CompStage[pi] {
+					t.Errorf("link %d: consumer %d stage %d <= producer %d stage %d in distinct shards",
+						id, ci, plan.CompStage[ci], pi, plan.CompStage[pi])
+				}
+			}
+		}
+	}
+}
+
+// TestShardPlanCollapsesLoops: a recirculating loop (a link-graph cycle) is
+// one strongly connected component and must collapse to a single stage —
+// its members cannot be pipeline-ordered against each other.
+func TestShardPlanCollapsesLoops(t *testing.T) {
+	s := NewSystem()
+	ext := s.NewLink("ext", 4, 1)
+	fwd := s.NewLink("fwd", 4, 1)
+	back := s.NewLink("back", 4, 1)
+	out := s.NewLink("out", 4, 1)
+	s.Add(&genSource{name: "src", out: ext, n: 4})
+	// entry consumes ext+back, feeds fwd; body consumes fwd, feeds back+out:
+	// entry and body form a two-node cycle through back.
+	s.Add(&loopEntry{name: "entry", ins: []*Link{ext, back}, out: fwd})
+	s.Add(&loopBody{name: "body", in: fwd, outs: []*Link{back, out}})
+	s.Add(&collector{name: "snk", in: out})
+
+	plan := s.PlanShards()
+	ci := func(name string) int {
+		for i, c := range s.comps {
+			if c.Name() == name {
+				return i
+			}
+		}
+		t.Fatalf("no component %q", name)
+		return -1
+	}
+	eSt, bSt := plan.CompStage[ci("entry")], plan.CompStage[ci("body")]
+	if eSt != bSt {
+		t.Errorf("loop members in different stages: entry %d, body %d", eSt, bSt)
+	}
+	if src := plan.CompStage[ci("src")]; src >= eSt {
+		t.Errorf("source stage %d not before loop stage %d", src, eSt)
+	}
+	if snk := plan.CompStage[ci("snk")]; snk <= bSt {
+		t.Errorf("sink stage %d not after loop stage %d", snk, bSt)
+	}
+}
+
+type loopEntry struct {
+	name string
+	ins  []*Link
+	out  *Link
+}
+
+func (c *loopEntry) Name() string         { return c.name }
+func (c *loopEntry) Done() bool           { return true }
+func (c *loopEntry) InputLinks() []*Link  { return c.ins }
+func (c *loopEntry) OutputLinks() []*Link { return []*Link{c.out} }
+func (c *loopEntry) Tick(int64)           {}
+
+type loopBody struct {
+	name string
+	in   *Link
+	outs []*Link
+}
+
+func (c *loopBody) Name() string         { return c.name }
+func (c *loopBody) Done() bool           { return true }
+func (c *loopBody) InputLinks() []*Link  { return []*Link{c.in} }
+func (c *loopBody) OutputLinks() []*Link { return c.outs }
+func (c *loopBody) Tick(int64)           {}
+
+// TestShardPlanMapOrderIndependent: the plan must be a pure function of the
+// topology even though shared-state keys live in a Go map. Rebuilding the
+// same topology many times (fresh map allocations, fresh key addresses,
+// different iteration orders) must always produce the same plan shape and
+// membership.
+func TestShardPlanMapOrderIndependent(t *testing.T) {
+	shape := func(p *ShardPlan) [][]int { return p.Shards }
+	ref, _ := buildChains(6, 4)
+	want := shape(ref.PlanShards())
+	for trial := 0; trial < 50; trial++ {
+		s, _ := buildChains(6, 4)
+		if got := shape(s.PlanShards()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: plan differs:\n got %v\nwant %v", trial, got, want)
+		}
+	}
+	// Repeated planning of one System is stable too (PlanShards mutates no
+	// planner-visible state).
+	s, _ := buildChains(6, 4)
+	p1, p2 := s.PlanShards(), s.PlanShards()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("re-planning one system diverged:\n%+v\n%+v", p1, p2)
+	}
+}
+
+// TestStealBitIdentityImbalanced: a deliberately imbalanced graph — one
+// chain carries 20x the records of the rest, so its shard stays awake long
+// after the others drain — must still be bit-identical to serial at every
+// worker count. This is the shape work stealing exists for.
+func TestStealBitIdentityImbalanced(t *testing.T) {
+	build := func() (*System, []*collector) {
+		s := NewSystem()
+		var sinks []*collector
+		for c := 0; c < 8; c++ {
+			n := 40
+			if c == 0 {
+				n = 800
+			}
+			l0 := s.NewLink("l0", 4, 1)
+			l1 := s.NewLink("l1", 4, 2)
+			l2 := s.NewLink("l2", 4, 1)
+			s.Add(&genSource{name: "src", out: l0, n: uint32(n)})
+			s.Add(&addStage{name: "s1", in: l0, out: l1, add: 1})
+			s.Add(&addStage{name: "s2", in: l1, out: l2, add: 10})
+			snk := &collector{name: "snk", in: l2}
+			s.Add(snk)
+			sinks = append(sinks, snk)
+		}
+		return s, sinks
+	}
+	run := func(opt RunOptions) (int64, [][]uint32) {
+		s, sinks := build()
+		cycles, err := s.RunWith(1_000_000, opt)
+		if err != nil {
+			t.Fatalf("run %+v: %v", opt, err)
+		}
+		outs := make([][]uint32, len(sinks))
+		for i, snk := range sinks {
+			outs[i] = snk.got
+		}
+		return cycles, outs
+	}
+	refCycles, refOuts := run(RunOptions{})
+	for _, w := range []int{2, 3, 4, 8} {
+		cycles, outs := run(RunOptions{Workers: w})
+		if cycles != refCycles {
+			t.Errorf("workers=%d: cycles %d != serial %d", w, cycles, refCycles)
+		}
+		if !reflect.DeepEqual(outs, refOuts) {
+			t.Errorf("workers=%d: outputs differ from serial", w)
+		}
+	}
+}
+
+// TestWSDequeClaimSteal: single-threaded semantics of the deque — claims
+// and steals partition the items with no loss or duplication, and
+// steal-half takes ceil(half) of what remains.
+func TestWSDequeClaimSteal(t *testing.T) {
+	d := &wsDeque{items: make([]int32, 16)}
+	d.reset()
+	for i := int32(0); i < 10; i++ {
+		d.push(i)
+	}
+	buf := make([]int32, 16)
+	got := d.stealHalf(buf)
+	if len(got) != 5 {
+		t.Fatalf("stealHalf of 10 took %d; want 5", len(got))
+	}
+	seen := map[int32]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	for {
+		v, ok := d.claimOne()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("item %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("delivered %d of 10 items", len(seen))
+	}
+	if got := d.stealHalf(buf); len(got) != 0 {
+		t.Fatalf("stealHalf on empty deque returned %v", got)
+	}
+
+	// Steal is capped by the thief's buffer.
+	d.reset()
+	for i := int32(0); i < 10; i++ {
+		d.push(i)
+	}
+	if got := d.stealHalf(buf[:2]); len(got) != 2 {
+		t.Fatalf("buffer-capped steal took %d; want 2", len(got))
+	}
+}
+
+// TestWSDequeConcurrent: claimants and thieves racing on one deque deliver
+// every item exactly once. Run with -race this is the memory-model check
+// for the CAS-advance design.
+func TestWSDequeConcurrent(t *testing.T) {
+	const items = 4096
+	const thieves = 4
+	d := &wsDeque{items: make([]int32, items)}
+	d.reset()
+	for i := int32(0); i < items; i++ {
+		d.push(i)
+	}
+	var mu sync.Mutex
+	counts := make([]int, items)
+	var wg sync.WaitGroup
+	deliver := func(got []int32) {
+		mu.Lock()
+		for _, v := range got {
+			counts[v]++
+		}
+		mu.Unlock()
+	}
+	wg.Add(1 + thieves)
+	go func() { // owner claims one at a time
+		defer wg.Done()
+		var local []int32
+		for {
+			v, ok := d.claimOne()
+			if !ok {
+				break
+			}
+			local = append(local, v)
+		}
+		deliver(local)
+	}()
+	for th := 0; th < thieves; th++ {
+		go func() {
+			defer wg.Done()
+			buf := make([]int32, items)
+			var local []int32
+			for {
+				got := d.stealHalf(buf)
+				if len(got) == 0 {
+					break
+				}
+				local = append(local, got...)
+			}
+			deliver(local)
+		}()
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d delivered %d times", i, c)
+		}
+	}
+}
+
+// TestKernelDecisionRecorded: RunWith leaves a full decision record — in
+// the System and mirrored into Stats meta — for both the engaged and the
+// fallen-back kernels.
+func TestKernelDecisionRecorded(t *testing.T) {
+	s, _ := buildChains(6, 10)
+	if _, err := s.RunWith(1_000_000, RunOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	d := s.KernelDecision()
+	if d.Requested != 4 {
+		t.Errorf("Requested = %d; want 4", d.Requested)
+	}
+	if d.Resolved < 2 {
+		t.Errorf("Resolved = %d; want >= 2 (explicit request on a shardable graph)", d.Resolved)
+	}
+	if d.Fallback != FallbackNone {
+		t.Errorf("Fallback = %q; want none", d.Fallback)
+	}
+	if d.Shards < 2 || d.Stages < 2 || d.Components != len(s.comps) {
+		t.Errorf("shape not recorded: %+v", d)
+	}
+	if v, ok := s.Stats().MetaLookup("kernel.fallback"); !ok || v != "" {
+		t.Errorf("Stats meta kernel.fallback = %q, %v; want \"\", true", v, ok)
+	}
+	if v, _ := s.Stats().MetaLookup("kernel.workers_resolved"); v == "" || v == "1" {
+		t.Errorf("Stats meta kernel.workers_resolved = %q; want >= 2", v)
+	}
+
+	// Serial request records its reason too.
+	s2, _ := buildChains(6, 10)
+	if _, err := s2.RunWith(1_000_000, RunOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := s2.KernelDecision(); d.Fallback != FallbackRequestedSerial || d.Resolved != 1 {
+		t.Errorf("serial request decision = %+v; want requested-serial/1", d)
+	}
+}

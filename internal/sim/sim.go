@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 )
@@ -106,6 +107,10 @@ type System struct {
 	// effectiveWorkers records the worker count the last RunWith actually
 	// used after auto-mode resolution (see RunOptions.Workers).
 	effectiveWorkers int
+	// lastKernel records the most recent RunWith's full kernel decision:
+	// requested vs resolved workers, the fallback reason (if any), and the
+	// shard-plan shape it was decided on.
+	lastKernel KernelDecision
 }
 
 // NewSystem creates an empty simulation.
@@ -227,25 +232,38 @@ func (s *System) RunParallel(maxCycles int64, workers int) (int64, error) {
 // exactly the cycles it skips, so deadlock and budget errors carry the
 // same cycle numbers the polling kernel reported.
 func (s *System) RunWith(maxCycles int64, opt RunOptions) (int64, error) {
-	workers := opt.Workers
-	if workers == 0 {
-		workers = envWorkers()
+	requested := opt.Workers
+	if requested == 0 {
+		requested = envWorkers()
 	}
-	if workers < 0 {
-		workers = s.autoWorkers(-workers)
+	plan := s.PlanShards()
+	workers, reason := requested, FallbackNone
+	switch {
+	case requested < 0:
+		workers, reason = s.autoWorkers(-requested, plan)
+	case requested <= 1:
+		workers, reason = 1, FallbackRequestedSerial
+	default:
+		// An explicit positive count skips the auto heuristics, but a plan
+		// with a single shard (or a single component) is serial regardless:
+		// one atom can only ever run on one worker.
+		if len(plan.Shards) < 2 || len(s.comps) < 2 {
+			workers, reason = 1, FallbackSingleShard
+		}
 	}
 	grace := s.graceWindow()
 	sched := newScheduler(s)
 	sched.noSkip = opt.NoIdleSkip
 	var pool *workerPool
-	if workers > 1 && len(s.comps) > 1 {
-		pool = newWorkerPool(s, sched, workers, opt.NoIdleSkip)
+	if workers > 1 {
+		pool = newWorkerPool(s, sched, plan, workers, opt.NoIdleSkip)
 		defer pool.stop()
 	}
 	s.effectiveWorkers = 1
 	if pool != nil {
-		s.effectiveWorkers = len(pool.bins)
+		s.effectiveWorkers = pool.workers()
 	}
+	s.recordKernelDecision(requested, reason, plan)
 	idle := int64(0)
 	start := s.cycle
 	for s.cycle-start < maxCycles {
@@ -308,6 +326,40 @@ func (s *System) EffectiveWorkers() int {
 		return 1
 	}
 	return s.effectiveWorkers
+}
+
+// KernelDecision reports how the most recent RunWith resolved its tick
+// kernel: requested vs resolved workers, the fallback reason (if any), and
+// the shard-plan shape the decision was made on. Zero before any run.
+func (s *System) KernelDecision() KernelDecision { return s.lastKernel }
+
+// recordKernelDecision stores the resolved kernel choice and surfaces it
+// through the Stats meta channel (never the counters, which must stay
+// bit-identical across kernels). The fallback reason in particular is no
+// longer discarded: harnesses read it back via Stats().Meta() or
+// KernelDecision() and the bench JSON quotes it per experiment.
+func (s *System) recordKernelDecision(requested int, reason string, plan *ShardPlan) {
+	s.lastKernel = KernelDecision{
+		Requested:    requested,
+		Resolved:     s.EffectiveWorkers(),
+		Fallback:     reason,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Components:   len(s.comps),
+		Shards:       len(plan.Shards),
+		Stages:       plan.Stages,
+		MaxLanes:     plan.MaxLanes,
+		LargestShard: plan.Largest,
+		LargestShare: plan.LargestShare(),
+	}
+	st := s.stats
+	st.SetMeta("kernel.workers_requested", strconv.Itoa(requested))
+	st.SetMeta("kernel.workers_resolved", strconv.Itoa(s.EffectiveWorkers()))
+	st.SetMeta("kernel.fallback", reason)
+	st.SetMeta("kernel.shards", strconv.Itoa(len(plan.Shards)))
+	st.SetMeta("kernel.stages", strconv.Itoa(plan.Stages))
+	st.SetMeta("kernel.max_lanes", strconv.Itoa(plan.MaxLanes))
+	st.SetMeta("kernel.largest_shard", strconv.Itoa(plan.Largest))
+	st.SetMeta("kernel.gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)))
 }
 
 // graceWindow derives the deadlock detector's no-progress tolerance from

@@ -24,6 +24,15 @@ import (
 type Stats struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+
+	// meta holds host-side run telemetry (kernel selection, fallback
+	// reasons, worker resolution) keyed by name. It is deliberately a
+	// separate namespace from the counters: counters are simulation results
+	// and must be bit-identical across kernels, while meta *describes* the
+	// kernel choice and differs between serial and parallel runs by design.
+	// Snapshot and String never include it; read it with Meta/MetaLookup.
+	metaMu sync.Mutex
+	meta   map[string]string
 }
 
 // Counter is a handle to one named statistic. Obtain with Stats.Counter at
@@ -103,6 +112,38 @@ func (s *Stats) Snapshot() map[string]int64 {
 		out[k] = atomic.LoadInt64(&c.v)
 	}
 	return out
+}
+
+// SetMeta records one host-side telemetry fact (e.g. the kernel fallback
+// reason). Meta is outside the counter namespace: it never appears in
+// Snapshot or String, so it cannot break serial/parallel stats identity.
+func (s *Stats) SetMeta(name, value string) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if s.meta == nil {
+		s.meta = make(map[string]string)
+	}
+	s.meta[name] = value
+}
+
+// Meta returns a copy of the host-side telemetry map.
+func (s *Stats) Meta() map[string]string {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	out := make(map[string]string, len(s.meta))
+	// lint:maprange-ok — copying into a map; order cannot matter.
+	for k, v := range s.meta {
+		out[k] = v
+	}
+	return out
+}
+
+// MetaLookup returns one telemetry value and whether it was recorded.
+func (s *Stats) MetaLookup(name string) (string, bool) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	v, ok := s.meta[name]
+	return v, ok
 }
 
 // Names returns all counter names, sorted.

@@ -1,0 +1,165 @@
+package sim
+
+import "sync/atomic"
+
+// Work stealing over shard tick-batches.
+//
+// Each cycle the coordinator consults the wake scheduler's dirty set
+// (wake.go) and enqueues only the *woken* shards — an item of work is "tick
+// the awake members of shard s this cycle" — round-robin onto per-worker
+// bounded deques. Workers drain their own deque one shard at a time; a
+// worker that runs dry scans the other deques in a fixed ring order and
+// steals half of a victim's remaining items in one claim. The cycle ends at
+// the usual barrier, before the serial link commit, so the synchronous-clock
+// semantics (and bit-identity with the serial kernel) are untouched.
+//
+// Why this is safe with no per-item synchronization beyond a CAS on the
+// deque head:
+//
+//   - Shards are correctness atoms (shard.go): every pair of components
+//     that could observe each other's same-cycle effects shares a shard,
+//     and a shard is processed by exactly one claimant per cycle, walking
+//     members in ascending registration order — the serial interleaving.
+//   - The deque arrays are filled by the coordinator while the workers are
+//     parked at the cycle barrier; during the cycle workers only *claim*
+//     (advance head by CAS). Tail is fixed. Every claim takes a disjoint
+//     range, so each shard is processed exactly once.
+//   - Cross-shard communication happens only through links (committed
+//     serially after the barrier) and the wake bitmaps (atomic, commutative
+//     set/clear whose drain order is fixed by index, not arrival).
+//
+// Determinism: which worker processes a shard is a race, but it is an
+// unobservable one — all per-shard effects are confined to the shard's own
+// components, per-worker outboxes are merged by the coordinator into
+// order-insensitive structures (timer wheel buckets, bitmap ORs, an integer
+// sum), and stats counters are commutative atomics.
+
+// wsDeque is one worker's bounded deque of shard ids for the current cycle.
+// The coordinator writes items[0:tail] and resets head before releasing the
+// workers; claimants advance head with CAS. head == tail means empty.
+type wsDeque struct {
+	head  atomic.Int64
+	tail  int64
+	items []int32
+	// pad keeps neighbouring deques' hot head words out of one cache line.
+	pad [104]byte //nolint:unused // false-sharing spacer
+}
+
+// reset prepares the deque for a new cycle (coordinator only).
+func (d *wsDeque) reset() {
+	d.head.Store(0)
+	d.tail = 0
+}
+
+// push appends a shard id (coordinator only, between cycles). items is
+// preallocated to the shard count and a shard is enqueued at most once per
+// cycle, so this never grows.
+func (d *wsDeque) push(s int32) {
+	d.items[d.tail] = s
+	d.tail++
+}
+
+// claimOne takes the next unclaimed item, competing with thieves.
+func (d *wsDeque) claimOne() (int32, bool) {
+	for {
+		h := d.head.Load()
+		if h >= d.tail {
+			return 0, false
+		}
+		if d.head.CompareAndSwap(h, h+1) {
+			return d.items[h], true
+		}
+	}
+}
+
+// stealHalf claims half of the remaining items (at least one) into buf and
+// returns the claimed prefix. An empty result means the victim ran dry.
+func (d *wsDeque) stealHalf(buf []int32) []int32 {
+	for {
+		h := d.head.Load()
+		n := d.tail - h
+		if n <= 0 {
+			return buf[:0]
+		}
+		take := (n + 1) / 2
+		if take > int64(len(buf)) {
+			take = int64(len(buf))
+		}
+		if d.head.CompareAndSwap(h, h+take) {
+			return buf[:copy(buf[:take], d.items[h:h+take])]
+		}
+	}
+}
+
+// shardQueue is the per-pool scheduling state: the shard membership tables
+// and the per-worker deques.
+type shardQueue struct {
+	shards  [][]int // plan.Shards: atoms in (stage, lane) order
+	shardOf []int32 // component -> shard index
+	// shardWords[s] lists the (awake-bitmap word, member mask) pairs that
+	// cover shard s's members, so "is any member awake?" is a handful of
+	// masked loads instead of a member walk.
+	shardWords [][]wordMask
+	deques     []wsDeque
+}
+
+type wordMask struct {
+	word int32
+	mask uint64
+}
+
+func newShardQueue(plan *ShardPlan, workers int) *shardQueue {
+	q := &shardQueue{shards: plan.Shards}
+	ncomp := 0
+	for _, sh := range plan.Shards {
+		ncomp += len(sh)
+	}
+	q.shardOf = make([]int32, ncomp)
+	q.shardWords = make([][]wordMask, len(plan.Shards))
+	for s, sh := range plan.Shards {
+		var wm []wordMask
+		for _, i := range sh {
+			q.shardOf[i] = int32(s)
+			w := int32(i >> 6)
+			m := uint64(1) << uint(i&63)
+			if len(wm) > 0 && wm[len(wm)-1].word == w {
+				wm[len(wm)-1].mask |= m
+			} else {
+				wm = append(wm, wordMask{word: w, mask: m})
+			}
+		}
+		q.shardWords[s] = wm
+	}
+	q.deques = make([]wsDeque, workers)
+	for w := range q.deques {
+		q.deques[w].items = make([]int32, len(plan.Shards))
+	}
+	return q
+}
+
+// distribute enqueues every shard with at least one awake member,
+// round-robin across the deques in (stage, lane) order. Coordinator only:
+// runs between the cycle barriers, so plain reads of the wake bitmap are
+// ordered. Returns the number of shards enqueued. hot:path — runs once per
+// parallel cycle.
+func (q *shardQueue) distribute(awake bitset) int {
+	for w := range q.deques {
+		q.deques[w].reset()
+	}
+	nw := len(q.deques)
+	active := 0
+	for s := range q.shards {
+		woken := false
+		for _, wm := range q.shardWords[s] {
+			if awake[wm.word]&wm.mask != 0 {
+				woken = true
+				break
+			}
+		}
+		if woken {
+			q.deques[active%nw].push(int32(s))
+			active++
+		}
+	}
+	return active
+}
