@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/aurochs-vet [-json] [-graphs] [-schemas] [-wake] [-allocs] [packages]
+//	go run ./cmd/aurochs-vet [-json] [-all] [-graphs] [-schemas] [-wake] [-allocs] [-phase] [packages]
 //
 // Packages default to ./... — directories are classified by path:
 //
@@ -28,10 +28,14 @@
 // both ends, and explicitly waived order-dependent effects are reported
 // with "waived": true — visible in the JSON stream, but not a failure.
 //
-// -wake adds the missed-wake prover (wakeprop) and -allocs the hot-path
-// allocation prover (hotalloc) over the engine packages (internal/sim,
-// fabric, spad, ring, core) — see DESIGN.md §11. Reviewed sites carry
-// lint:wakeprop-ok / lint:hotalloc-ok markers and surface as waived.
+// -wake adds the missed-wake prover (wakeprop), -allocs the hot-path
+// allocation prover (hotalloc), and -phase the barrier-phase confinement
+// prover (phaseconf) over the engine packages (internal/sim, fabric, spad,
+// ring, core) — see DESIGN.md §11 and §13. Reviewed sites carry
+// lint:wakeprop-ok / lint:hotalloc-ok / lint:phaseconf-ok markers and
+// surface as waived. -all enables every analyzer family at once
+// (-graphs -schemas -wake -allocs -phase) — the CI gate, so a new analyzer
+// can never be silently left out of the pipeline.
 //
 // Exit status is 1 when error-severity findings exist, 2 on usage or I/O
 // errors; warnings and waived findings are reported (and counted on
@@ -95,6 +99,9 @@ type vetOptions struct {
 	// Allocs enables the static allocation prover (hotalloc) on the engine
 	// scope.
 	Allocs bool
+	// Phase enables the barrier-phase confinement prover (phaseconf) on the
+	// engine scope.
+	Phase bool
 }
 
 // analyzersFor maps a module-relative directory to the analyzers it must
@@ -126,6 +133,9 @@ func analyzersFor(rel string, opt vetOptions) []*analysis.Analyzer {
 		}
 		if opt.Allocs {
 			as = append(as, analysis.Hotalloc)
+		}
+		if opt.Phase {
+			as = append(as, analysis.Phaseconf)
 		}
 	}
 	return as
@@ -298,7 +308,12 @@ func run() (int, error) {
 	schemas := flag.Bool("schemas", false, "with -graphs, require every blueprint link to be schema-typed at both ends")
 	wake := flag.Bool("wake", false, "run the missed-wake prover (wakeprop) over the engine packages")
 	allocs := flag.Bool("allocs", false, "run the static allocation prover (hotalloc) over the engine packages")
+	phase := flag.Bool("phase", false, "run the barrier-phase confinement prover (phaseconf) over the engine packages")
+	all := flag.Bool("all", false, "enable every analyzer family (-graphs -schemas -wake -allocs -phase)")
 	flag.Parse()
+	if *all {
+		*graphs, *schemas, *wake, *allocs, *phase = true, true, true, true, true
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
@@ -307,7 +322,7 @@ func run() (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	all, err := vetPackages(dirs, vetOptions{Wake: *wake, Allocs: *allocs})
+	findings, err := vetPackages(dirs, vetOptions{Wake: *wake, Allocs: *allocs, Phase: *phase})
 	if err != nil {
 		return 2, err
 	}
@@ -316,33 +331,25 @@ func run() (int, error) {
 		if err != nil {
 			return 2, err
 		}
-		all = append(all, gf...)
+		findings = append(findings, gf...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].File != all[j].File {
-			return all[i].File < all[j].File
-		}
-		if all[i].Line != all[j].Line {
-			return all[i].Line < all[j].Line
-		}
-		return all[i].Rule < all[j].Rule
-	})
+	lint.SortFindings(findings)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if all == nil {
-			all = []lint.Finding{}
+		if findings == nil {
+			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(all); err != nil {
+		if err := enc.Encode(findings); err != nil {
 			return 2, err
 		}
 	} else {
-		for _, f := range all {
+		for _, f := range findings {
 			fmt.Println(f)
 		}
 	}
 	hard, warned, waived := 0, 0, 0
-	for _, f := range all {
+	for _, f := range findings {
 		switch {
 		case f.Waived:
 			waived++

@@ -6,7 +6,6 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
-	"sort"
 	"testing"
 
 	"aurochs/internal/lint"
@@ -35,13 +34,16 @@ func TestAnalyzersFor(t *testing.T) {
 		// (blueprint, dram) never do.
 		{"internal/sim", vetOptions{Wake: true}, 5, "determinism", "wakeprop"},
 		{"internal/ring", vetOptions{Allocs: true}, 5, "determinism", "hotalloc"},
+		{"internal/sim", vetOptions{Phase: true}, 5, "determinism", "phaseconf"},
 		{"internal/core", vetOptions{Wake: true, Allocs: true}, 6, "determinism", "hotalloc"},
-		{"internal/blueprint", vetOptions{Wake: true, Allocs: true}, 4, "determinism", "orderdep"},
+		{"internal/core", vetOptions{Wake: true, Allocs: true, Phase: true}, 7, "determinism", "phaseconf"},
+		{"internal/blueprint", vetOptions{Wake: true, Allocs: true, Phase: true}, 4, "determinism", "orderdep"},
 		{"internal/dram", vetOptions{Wake: true, Allocs: true}, 4, "determinism", "orderdep"},
 		// Explicitly named fixture packages run the optional provers so the
 		// CI negative gates exercise the real analyzer path.
 		{"internal/analysis/testdata/src/wakebad", vetOptions{Wake: true}, 5, "determinism", "wakeprop"},
 		{"internal/analysis/testdata/src/allocbad", vetOptions{Allocs: true}, 5, "determinism", "hotalloc"},
+		{"internal/analysis/testdata/src/phasebad", vetOptions{Phase: true}, 5, "determinism", "phaseconf"},
 	}
 	for _, tc := range cases {
 		as := analyzersFor(tc.rel, tc.opt)
@@ -96,8 +98,9 @@ func TestJSONGolden(t *testing.T) {
 		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "orderbad"),
 		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "wakebad"),
 		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "allocbad"),
+		filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "phasebad"),
 	}
-	src, err := vetPackages(fixtures, vetOptions{Wake: true, Allocs: true})
+	src, err := vetPackages(fixtures, vetOptions{Wake: true, Allocs: true, Phase: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,15 +109,7 @@ func TestJSONGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	all := append(src, graph...)
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].File != all[j].File {
-			return all[i].File < all[j].File
-		}
-		if all[i].Line != all[j].Line {
-			return all[i].Line < all[j].Line
-		}
-		return all[i].Rule < all[j].Rule
-	})
+	lint.SortFindings(all)
 	for _, f := range all {
 		if f.Analyzer == "" {
 			t.Errorf("finding without analyzer attribution: %+v", f)

@@ -28,7 +28,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 
 	"aurochs/internal/lint"
@@ -132,7 +131,8 @@ func (p *Pass) Waived(pos token.Pos, marker string) bool {
 }
 
 // Run applies every analyzer to every package and returns the merged
-// findings sorted by (file, line, rule). Analyzers needing types are
+// findings in the stable (file, line, analyzer, rule) order of
+// lint.SortFindings. Analyzers needing types are
 // reported as engine errors on packages that failed to type-check rather
 // than silently skipped — a package the checker cannot follow is a finding
 // in itself, not a free pass.
@@ -165,14 +165,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]lint.Finding, error) {
 			}
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].File != all[j].File {
-			return all[i].File < all[j].File
-		}
-		if all[i].Line != all[j].Line {
-			return all[i].Line < all[j].Line
-		}
-		return all[i].Rule < all[j].Rule
-	})
+	lint.SortFindings(all)
 	return all, nil
 }

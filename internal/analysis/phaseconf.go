@@ -1,0 +1,780 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PhaseconfWaiver suppresses the phaseconf rule on the access (or the whole
+// function declaration) it annotates, asserting a reviewed ownership
+// argument the walk cannot see — e.g. a pointer parameter that is provably
+// private to the calling worker (the per-worker outbox, a thief's own steal
+// buffer). Same plumbing as lint:wakeprop-ok: the marker covers its comment
+// group plus the next line, and a declaration-doc placement waives the whole
+// body.
+const PhaseconfWaiver = "lint:phaseconf-ok"
+
+// Phase markers. A function's doc comment classifies it as a phase root for
+// the call-graph walk; a struct field's doc or line comment classifies the
+// field as confined to the serial phases.
+const (
+	// PhaseParallelMarker declares a function a parallel-phase root: it runs
+	// on a worker goroutine during the tick phase, concurrently with other
+	// workers. Tick methods on component-shaped types, Push/Pop-family ops on
+	// link/queue-shaped types, and callees of go statements are parallel
+	// roots implicitly; the marker exists for entry points those shape rules
+	// cannot see.
+	PhaseParallelMarker = "phase:parallel"
+	// PhaseCommitMarker on a function declares a serial-commit root (the
+	// end-of-cycle link commit, which runs after the barrier in both
+	// kernels). On a struct field it declares the field commit/coordinator-
+	// confined: a write from the parallel phase is a phaseconf error.
+	PhaseCommitMarker = "phase:commit"
+	// PhaseCoordinatorMarker declares a coordinator-only root: it runs on
+	// the coordinating goroutine strictly between the cycle barriers
+	// (distribute, set rotation, outbox merge), so plain access to
+	// worker-shared words is barrier-ordered and legal there.
+	PhaseCoordinatorMarker = "phase:coordinator"
+)
+
+// Phase bits assigned by the call-graph walk. A function can carry several
+// (a helper called from both a worker and the coordinator); the parallel
+// disciplines apply whenever the parallel bit is present. Functions reached
+// from no root are unphased — constructors and harness code that run before
+// the first cycle, outside the concurrency window.
+const (
+	phaseParallel = 1 << iota
+	phaseCommit
+	phaseCoordinator
+)
+
+// phaseWorkerMethods are the component-interface methods the parallel kernel
+// invokes on worker goroutines during the tick phase (internal/sim's
+// runShard): the tick itself plus the observation surface consulted while
+// the shard is claimed. Each is a parallel root on any component-shaped
+// type. (tickpurity separately keeps the observers write-free; listing them
+// here closes the loop if an impure observer slips through on a waiver.)
+var phaseWorkerMethods = map[string]bool{
+	"Tick": true, "Idle": true, "Done": true, "WakeHint": true,
+}
+
+// Phaseconf is the barrier-phase confinement prover for the work-stealing
+// kernel (internal/sim/steal.go, parallel.go). It classifies every function
+// in the package into scheduler phases by a memoized call-graph walk from
+// three kinds of root —
+//
+//   - parallel tick phase: callees of go statements, worker-surface methods
+//     (Tick/Idle/Done/WakeHint) on component-shaped types, Push/Pop-family
+//     ops on link/queue-shaped types, and "phase:parallel" markers;
+//   - serial commit phase: "phase:commit" markers (the end-of-cycle link
+//     commit, after the barrier);
+//   - coordinator-only: "phase:coordinator" markers (between-barrier serial
+//     work: shard distribution, wake-set rotation, outbox merge);
+//
+// — and then proves three disciplines over every function carrying the
+// parallel bit:
+//
+//  1. Confinement (phase-confine): a parallel-phase write must target state
+//     the claiming worker owns — receiver-reachable state (shard ownership
+//     of the receiver is the planner's contract, enforced by sharedstate),
+//     locals the function made itself, channel sends, or mutex-guarded
+//     regions. Writes through pointer parameters or to package-level
+//     variables have no visible owner and are cross-shard race errors.
+//  2. Atomic consistency (phase-atomic): a field that is accessed through
+//     sync/atomic anywhere in the package must be accessed atomically from
+//     every parallel-phase function — a plain read or write of it there is
+//     a data race by definition. Plain access from commit, coordinator, or
+//     unphased code is legal: those run serially, ordered against the
+//     workers by the cycle barrier. (sync/atomic typed wrappers need no
+//     tracking — the type system already forbids mixed plain access.)
+//  3. Phase purity (phase-commit): fields marked "phase:commit" (link
+//     commit bookkeeping, scheduler census counters) must not be written
+//     from the parallel phase, and sim.Stats.SetMeta — the string-meta
+//     channel, guarded but deliberately outside the commutative-counter
+//     bit-identity argument — must not be called there.
+//
+// Cross-package callees are not walked: the parallel phase enters another
+// engine package only through the component and link interfaces, whose
+// implementations are roots of this same analyzer in their defining package
+// (run aurochs-vet -phase over the whole engine scope, as CI does).
+// Reviewed exceptions carry a "lint:phaseconf-ok" marker at the site or on
+// the enclosing declaration.
+var Phaseconf = &Analyzer{
+	Name:       "phaseconf",
+	Doc:        "parallel tick-phase code must confine writes to worker-owned state and keep atomic/commit disciplines",
+	NeedsTypes: true,
+	Run:        runPhaseconf,
+}
+
+func runPhaseconf(pass *Pass) error {
+	pw := newPhaseWalker(pass)
+	pw.findRoots()
+	pw.propagate()
+	pw.collectAtomicFields()
+	pw.collectCommitFields()
+	for obj, ph := range pw.phases {
+		if ph&phaseParallel == 0 {
+			continue
+		}
+		if fd := pw.decls[obj]; fd != nil {
+			pw.checkParallelFn(fd, pw.via[obj])
+		}
+	}
+	for _, lit := range pw.goLits {
+		pw.checkParallelBody(lit.fd, lit.lit.Body, lit.lit.Type, "go statement in "+lit.fd.Name.Name)
+	}
+	return nil
+}
+
+// goLit is a function literal launched by a go statement: its body is
+// parallel-phase code with no named declaration to hang a phase on.
+type goLit struct {
+	fd  *ast.FuncDecl
+	lit *ast.FuncLit
+}
+
+// phaseWalker memoizes the phase classification across one package.
+type phaseWalker struct {
+	pass  *Pass
+	decls map[types.Object]*ast.FuncDecl
+	// phases accumulates the phase bits reaching each declaration; via names
+	// the first parallel root that reached it, for diagnostics.
+	phases map[types.Object]int
+	via    map[types.Object]string
+	goLits []goLit
+	// atomicFields are field objects addressed into sync/atomic calls
+	// somewhere in the package; commitFields carry a phase:commit marker.
+	atomicFields map[types.Object]bool
+	commitFields map[types.Object]bool
+}
+
+func newPhaseWalker(pass *Pass) *phaseWalker {
+	pw := &phaseWalker{
+		pass:         pass,
+		decls:        make(map[types.Object]*ast.FuncDecl),
+		phases:       make(map[types.Object]int),
+		via:          make(map[types.Object]string),
+		atomicFields: make(map[types.Object]bool),
+		commitFields: make(map[types.Object]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					pw.decls[obj] = fd
+				}
+			}
+		}
+	}
+	return pw
+}
+
+// docHas reports whether fd's doc comment carries marker.
+func docHas(fd *ast.FuncDecl, marker string) bool {
+	return fd.Doc != nil && strings.Contains(fd.Doc.Text(), marker)
+}
+
+// findRoots seeds the walk: marker-declared roots, the implicit parallel
+// shapes, and go-statement callees anywhere in the package.
+func (pw *phaseWalker) findRoots() {
+	seed := func(obj types.Object, ph int, why string) {
+		if obj == nil {
+			return
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			obj = fn.Origin()
+		}
+		pw.phases[obj] |= ph
+		if ph == phaseParallel && pw.via[obj] == "" {
+			pw.via[obj] = why
+		}
+	}
+	for obj, fd := range pw.decls {
+		switch {
+		case docHas(fd, PhaseParallelMarker):
+			seed(obj, phaseParallel, "phase:parallel "+fd.Name.Name)
+		case docHas(fd, PhaseCommitMarker):
+			seed(obj, phaseCommit, "")
+		case docHas(fd, PhaseCoordinatorMarker):
+			seed(obj, phaseCoordinator, "")
+		}
+		if fd.Recv != nil {
+			named := receiverNamed(pw.pass, fd)
+			if named != nil {
+				if phaseWorkerMethods[fd.Name.Name] && isComponentType(named) {
+					seed(obj, phaseParallel, named.Obj().Name()+"."+fd.Name.Name)
+				}
+				if hotOpNames[fd.Name.Name] && hasPushPop(named) {
+					seed(obj, phaseParallel, named.Obj().Name()+"."+fd.Name.Name)
+				}
+			}
+		}
+		// Anything this function launches as a goroutine runs concurrently
+		// with whoever spawned it: a parallel root regardless of the
+		// spawner's own phase.
+		fdecl := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := gs.Call.Fun.(type) {
+			case *ast.Ident:
+				seed(pw.pass.TypesInfo.Uses[fun], phaseParallel, "go "+fun.Name)
+			case *ast.SelectorExpr:
+				if sel, ok := pw.pass.TypesInfo.Selections[fun]; ok {
+					seed(sel.Obj(), phaseParallel, "go "+fun.Sel.Name)
+				} else if obj := pw.pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+					seed(obj, phaseParallel, "go "+fun.Sel.Name)
+				}
+			case *ast.FuncLit:
+				pw.goLits = append(pw.goLits, goLit{fd: fdecl, lit: fun})
+			}
+			return true
+		})
+	}
+}
+
+// propagate pushes each root's phase bits through same-package callees until
+// a fixpoint: a callee executes in every phase its callers do. Interface and
+// function-value calls are skipped — their targets are phase roots in their
+// own right where they are defined (the component contract) or covered by
+// the datapath-closure ordering argument.
+func (pw *phaseWalker) propagate() {
+	type work struct {
+		obj types.Object
+		ph  int
+		via string
+	}
+	var queue []work
+	for obj, ph := range pw.phases {
+		queue = append(queue, work{obj, ph, pw.via[obj]})
+	}
+	done := make(map[types.Object]int) // bits already propagated *from* obj
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		todo := w.ph &^ done[w.obj]
+		if todo == 0 {
+			continue
+		}
+		done[w.obj] |= todo
+		fd := pw.decls[w.obj]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pw.calleeObj(call)
+			if callee == nil || pw.decls[callee] == nil {
+				return true
+			}
+			added := todo &^ pw.phases[callee]
+			pw.phases[callee] |= todo
+			if todo&phaseParallel != 0 && pw.via[callee] == "" {
+				pw.via[callee] = w.via
+			}
+			if added != 0 {
+				queue = append(queue, work{callee, pw.phases[callee], pw.via[callee]})
+			}
+			return true
+		})
+	}
+}
+
+// calleeObj resolves a call to a same-package function or method object, or
+// nil for builtins, conversions, interface dispatch, and function values.
+func (pw *phaseWalker) calleeObj(call *ast.CallExpr) types.Object {
+	info := pw.pass.TypesInfo
+	norm := func(obj types.Object) types.Object {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() != pw.pass.Pkg {
+			return nil
+		}
+		return fn.Origin()
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			return norm(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if _, isIface := types.Unalias(sel.Recv()).Underlying().(*types.Interface); isIface {
+				return nil
+			}
+			return norm(sel.Obj())
+		}
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			return norm(obj)
+		}
+	}
+	return nil
+}
+
+// collectAtomicFields records every struct field whose address feeds a
+// sync/atomic call anywhere in the package, including through the one-hop
+// local-pointer idiom (word := &sc.awake[i]; atomic.LoadUint64(word)).
+func (pw *phaseWalker) collectAtomicFields() {
+	for _, f := range pw.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ptrTo := pw.fieldPointerLocals(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !pw.isAtomicCall(call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if fld := pw.addressedField(arg); fld != nil {
+						pw.atomicFields[fld] = true
+					} else if id, ok := arg.(*ast.Ident); ok {
+						if fld := ptrTo[pw.pass.TypesInfo.Uses[id]]; fld != nil {
+							pw.atomicFields[fld] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldPointerLocals maps local variables assigned &<field chain> to the
+// field object they point at — the carrier of the take-address-then-atomic
+// idiom and of the corresponding plain-deref blind spot the checker closes.
+func (pw *phaseWalker) fieldPointerLocals(body ast.Node) map[types.Object]types.Object {
+	out := make(map[types.Object]types.Object)
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pw.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pw.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if fld := pw.addressedField(rhs); fld != nil {
+			out[obj] = fld
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			record(as.Lhs[i], as.Rhs[i])
+		}
+		return true
+	})
+	return out
+}
+
+// addressedField returns the field object when e is &<chain> whose base
+// selection names a struct field (possibly through index/paren layers), or
+// nil.
+func (pw *phaseWalker) addressedField(e ast.Expr) types.Object {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	return pw.chainField(un.X)
+}
+
+// chainField walks an expression chain inward to its outermost field
+// selection and returns that field's object (e.g. sc.awake[i>>6] → awake).
+func (pw *phaseWalker) chainField(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pw.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func (pw *phaseWalker) isAtomicCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pw.pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// collectCommitFields records struct fields whose doc or line comment
+// carries the phase:commit marker.
+func (pw *phaseWalker) collectCommitFields() {
+	for _, f := range pw.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					marked := (field.Doc != nil && strings.Contains(field.Doc.Text(), PhaseCommitMarker)) ||
+						(field.Comment != nil && strings.Contains(field.Comment.Text(), PhaseCommitMarker))
+					if !marked {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pw.pass.TypesInfo.Defs[name]; obj != nil {
+							pw.commitFields[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkParallelFn applies the three parallel-phase disciplines to one named
+// declaration.
+func (pw *phaseWalker) checkParallelFn(fd *ast.FuncDecl, via string) {
+	if docHas(fd, PhaseconfWaiver) {
+		return
+	}
+	pw.checkParallelBody(fd, fd.Body, fd.Type, via)
+}
+
+// rootClass classifies the owner of a write target's base.
+type rootClass int
+
+const (
+	rootOwned rootClass = iota // receiver-reachable or function-made
+	rootParam                  // reached through a parameter: owner unprovable
+	rootGlobal                 // package-level variable: shared by definition
+)
+
+// checkParallelBody runs the disciplines over one parallel-phase body (a
+// declaration or a go-launched literal). ftyp supplies the parameter list;
+// for literals, the enclosing declaration's parameters count as parameters
+// too (a captured pointer argument is exactly as unowned as a passed one).
+func (pw *phaseWalker) checkParallelBody(fd *ast.FuncDecl, body *ast.BlockStmt, ftyp *ast.FuncType, via string) {
+	info := pw.pass.TypesInfo
+
+	params := make(map[types.Object]bool)
+	addParams := func(ft *ast.FuncType) {
+		if ft == nil || ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	addParams(ftyp)
+	if ftyp != fd.Type {
+		addParams(fd.Type)
+	}
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvObj = info.Defs[fd.Recv.List[0].Names[0]]
+	}
+
+	// Source-order local rootedness: a local first assigned from a
+	// param-rooted (or global-rooted) chain inherits that root; everything
+	// else a function binds — results of calls, fresh composites, copies of
+	// values — is its own.
+	localRoot := make(map[types.Object]rootClass)
+	ptrTo := pw.fieldPointerLocals(body)
+
+	var classify func(e ast.Expr) rootClass
+	classify = func(e ast.Expr) rootClass {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				if id, ok := x.X.(*ast.Ident); ok {
+					if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+						return rootGlobal
+					}
+				}
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return rootOwned
+				}
+				e = x.X
+			case *ast.Ident:
+				obj := info.Uses[x]
+				if obj == nil {
+					obj = info.Defs[x]
+				}
+				switch {
+				case obj == nil:
+					return rootOwned
+				case obj == recvObj:
+					return rootOwned
+				case params[obj]:
+					return rootParam
+				default:
+					if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						return rootGlobal
+					}
+					if rc, ok := localRoot[obj]; ok {
+						return rc
+					}
+					return rootOwned
+				}
+			default:
+				return rootOwned
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || params[obj] || obj == recvObj {
+				continue
+			}
+			// Aliases propagate ownership only through reference-shaped
+			// values; copying a struct or scalar out of a parameter makes an
+			// owned value.
+			if v, ok := obj.(*types.Var); ok {
+				switch types.Unalias(v.Type()).Underlying().(type) {
+				case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+					if rc := classify(as.Rhs[i]); rc != rootOwned {
+						localRoot[obj] = rc
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Mutex heuristic: a Lock/RLock call on a sync mutex sanctions writes
+	// positioned after it in the same body — coarse, but lock-protected
+	// regions in tick code are rare and reviewed.
+	lockPos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok {
+			if named, ok := types.Unalias(s.Recv()).(*types.Named); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" {
+				if !lockPos.IsValid() || call.Pos() < lockPos {
+					lockPos = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	guarded := func(pos token.Pos) bool { return lockPos.IsValid() && pos > lockPos }
+
+	fname := fd.Name.Name
+	report := func(pos token.Pos, format string, args ...any) {
+		if guarded(pos) || pw.pass.Waived(pos, PhaseconfWaiver) {
+			return
+		}
+		args = append(args, fname, via, PhaseconfWaiver)
+		pw.pass.Reportf(pos, format+" in %s (parallel phase via %s); confine it to the claiming worker's state or justify it with a %s marker", args...)
+	}
+
+	// checkWrite applies confinement and phase purity to one write target.
+	checkWrite := func(target ast.Expr, pos token.Pos) {
+		if fld := pw.chainField(target); fld != nil && pw.commitFields[fld] {
+			report(pos,
+				"write to commit-phase field %s from the parallel tick phase", fld.Name())
+			return
+		}
+		if id, ok := ast.Unparen(target).(*ast.StarExpr); ok {
+			if base, ok := ast.Unparen(id.X).(*ast.Ident); ok {
+				if fld := ptrTo[info.Uses[base]]; fld != nil && pw.atomicFields[fld] {
+					report(pos,
+						"plain write through pointer to atomic field %s", fld.Name())
+					return
+				}
+			}
+		}
+		switch classify(target) {
+		case rootParam:
+			report(pos,
+				"write through parameter %s: ownership not provable from this function", types.ExprString(baseIdentExpr(target)))
+		case rootGlobal:
+			report(pos,
+				"write to package-level state %s: shared across every shard", types.ExprString(baseIdentExpr(target)))
+		}
+	}
+
+	atomicSanctioned := pw.atomicCallRanges(body)
+	inAtomic := func(pos token.Pos) bool {
+		for _, r := range atomicSanctioned {
+			if r[0] <= pos && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkWrite(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(x.X, x.Pos())
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" && len(x.Args) == 2 {
+					checkWrite(x.Args[0], x.Pos())
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "SetMeta" {
+				if s, ok := info.Selections[sel]; ok && isStatsType(s.Recv()) {
+					report(x.Pos(),
+						"Stats.SetMeta from the parallel tick phase: string meta is commit/coordinator-only telemetry")
+				}
+			}
+		case *ast.SelectorExpr:
+			// Atomic-consistency: any touch of an atomic field outside a
+			// sync/atomic argument — read or write — races with the workers'
+			// atomic traffic.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && pw.atomicFields[v] && !inAtomic(x.Pos()) && !pw.underAddressForAtomic(x) {
+					report(x.Pos(),
+						"plain access to field %s, which is accessed via sync/atomic elsewhere", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// atomicCallRanges collects the source ranges of sync/atomic calls: field
+// touches inside them are the sanctioned atomic accesses.
+func (pw *phaseWalker) atomicCallRanges(body ast.Node) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pw.isAtomicCall(call) {
+			out = append(out, [2]token.Pos{call.Pos(), call.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// underAddressForAtomic reports whether sel sits under a unary & — the
+// take-address half of the pointer-then-atomic idiom. The address itself
+// accesses nothing; the dereferences through the resulting pointer are
+// checked separately (atomic calls are sanctioned, plain stores flagged).
+func (pw *phaseWalker) underAddressForAtomic(sel *ast.SelectorExpr) bool {
+	f := pw.pass.FileOf(sel.Pos())
+	if f == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		un, ok := n.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		if un.Pos() <= sel.Pos() && sel.End() <= un.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// baseIdentExpr returns the base identifier of a chain for diagnostics, or
+// the expression itself when no identifier base exists.
+func baseIdentExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return x
+		}
+	}
+}
+
+// isStatsType reports whether t is (a pointer to) sim.Stats.
+func isStatsType(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sim") && obj.Name() == "Stats"
+}

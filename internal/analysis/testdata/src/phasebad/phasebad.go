@@ -1,0 +1,58 @@
+// Package phasebad is an analysis fixture: parallel tick-phase code (a
+// component Tick, its helpers, and a spawned goroutine) breaking each of the
+// three phaseconf disciplines — cross-shard confinement, atomic
+// consistency, and commit-phase purity. Every violation here is counted by
+// TestPhaseBadFixture; update both together. This package is also a CI
+// negative fixture — the workflow runs aurochs-vet -phase on it and
+// requires a failing exit.
+package phasebad
+
+import (
+	"sync/atomic"
+
+	"aurochs/internal/sim"
+)
+
+// tally is package-level state: every shard's worker would write it.
+var tally int
+
+// Node is a component, so Tick and the helpers it calls run on a worker
+// goroutine during the parallel tick phase.
+type Node struct {
+	in    *sim.Link
+	stats *sim.Stats
+	hits  int64
+	done  bool
+	// commitSeq advances only at the end-of-cycle commit. phase:commit
+	commitSeq int64
+}
+
+func (n *Node) Name() string { return "phasebad" }
+func (n *Node) Done() bool   { return n.done }
+
+// Tick runs concurrently with every other shard's worker.
+func (n *Node) Tick(cycle int64) {
+	tally++                   // FINDING: package-level write from the parallel phase
+	n.hits++                  // FINDING: plain access to a field Rate reads via sync/atomic
+	n.commitSeq = cycle       // FINDING: write to a phase:commit field
+	n.stats.SetMeta("k", "v") // FINDING: string meta is commit/coordinator-only
+	n.bump(&n.done)
+}
+
+// bump is reached from Tick, so it inherits the parallel phase; the write
+// lands through a pointer parameter whose owner this function cannot prove.
+func (n *Node) bump(p *bool) {
+	*p = true // FINDING: write through a parameter
+}
+
+// Rate reads hits atomically — which makes Tick's plain n.hits++ a mixed
+// plain/atomic access.
+func (n *Node) Rate() int64 { return atomic.LoadInt64(&n.hits) }
+
+// collectInto spawns a goroutine that appends through a captured pointer
+// parameter: the literal's body is parallel-phase code by definition.
+func collectInto(res *[]int) {
+	go func() {
+		*res = append(*res, 1) // FINDING: write through the enclosing parameter
+	}()
+}

@@ -1,0 +1,81 @@
+// Package phaseclean is an analysis fixture: every phaseconf discharge rule
+// in one place — receiver-confined writes, function-owned locals, channel
+// sends, mutex guards, the take-address-then-atomic idiom, barrier-ordered
+// plain access from coordinator/commit/unphased code, and a reviewed
+// parameter-write waiver. TestPhaseCleanFixture requires zero findings.
+package phaseclean
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aurochs/internal/sim"
+)
+
+// journal collects run telemetry behind a lock.
+var (
+	journalMu sync.Mutex
+	journal   []string
+)
+
+// Worker is a component: Tick and its callees are parallel-phase code.
+type Worker struct {
+	out    *sim.Link
+	stats  *sim.Stats
+	events chan int
+	local  int64
+	flags  []uint64
+	// applied counts committed batches. phase:commit
+	applied int64
+}
+
+func (w *Worker) Name() string { return "phaseclean" }
+func (w *Worker) Done() bool   { return false }
+
+// Tick exercises the confinement discharges: receiver state, owned locals,
+// a channel send, an atomic bitmap op via the pointer idiom, and a
+// lock-guarded global append.
+func (w *Worker) Tick(cycle int64) {
+	w.local++ // receiver-reachable: shard ownership is the planner's contract
+	buf := make([]int64, 0, 4)
+	buf = append(buf, cycle) // function-owned local
+	word := &w.flags[0]
+	atomic.OrUint64(word, 1) // take-address-then-atomic: sanctioned
+	select {
+	case w.events <- int(cycle): // channel send: synchronized by definition
+	default:
+	}
+	w.fill(buf)
+	journalMu.Lock()
+	journal = append(journal, "tick") // mutex-guarded: serialized across workers
+	journalMu.Unlock()
+}
+
+// fill scribbles into the scratch buffer Tick handed it. The buffer is this
+// worker's own per-tick scratch, never shared.
+func (w *Worker) fill(buf []int64) {
+	for i := range buf {
+		buf[i] = w.local // lint:phaseconf-ok per-tick scratch owned by the calling worker
+	}
+}
+
+// commitBatch is the serial end-of-cycle commit: plain access to the atomic
+// bitmap and the commit-only census is barrier-ordered here. phase:commit
+func (w *Worker) commitBatch() {
+	w.flags[0] = 0 // plain access legal in the commit phase
+	w.applied++    // phase:commit field written from the commit phase
+}
+
+// redistribute runs on the coordinator between barriers. phase:coordinator
+func (w *Worker) redistribute() {
+	w.flags[0] |= 2 // plain access legal between barriers
+}
+
+// NewWorker is unphased setup code: string meta is fine before the first
+// cycle, as is plain initialization of the atomic bitmap.
+func NewWorker(stats *sim.Stats) *Worker {
+	w := &Worker{stats: stats, events: make(chan int, 8), flags: make([]uint64, 1)}
+	stats.SetMeta("kernel", "fixture")
+	w.flags[0] = 0
+	return w
+}

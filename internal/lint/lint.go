@@ -176,13 +176,24 @@ func AnalyzeASTFile(fset *token.FileSet, f *ast.File, path string, rules Rules) 
 	return out
 }
 
-func sortFindings(fs []Finding) {
-	sort.Slice(fs, func(i, j int) bool {
+func sortFindings(fs []Finding) { SortFindings(fs) }
+
+// SortFindings orders findings stably by (file, line, analyzer, rule) — the
+// one ordering every emitter (the analysis driver, aurochs-vet's JSON stream,
+// the golden-file test) must share. Stability matters: several analyzers can
+// report distinct messages at the same (file, line, analyzer, rule) key, and
+// an unstable sort would let their relative order vary run to run, breaking
+// golden comparisons across map-iteration and scheduling differences.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].File != fs[j].File {
 			return fs[i].File < fs[j].File
 		}
 		if fs[i].Line != fs[j].Line {
 			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Analyzer != fs[j].Analyzer {
+			return fs[i].Analyzer < fs[j].Analyzer
 		}
 		return fs[i].Rule < fs[j].Rule
 	})

@@ -70,8 +70,8 @@ type Link struct {
 	// drain/in-flight state as of the last commit so the runner maintains
 	// its O(1) termination and fast-forward counters incrementally.
 	id         int
-	wasDrained bool
-	wasFly     bool
+	wasDrained bool // phase:commit — cached drain state, updated only by commitLinks
+	wasFly     bool // phase:commit — cached in-flight state, updated only by commitLinks
 }
 
 type slotF struct {

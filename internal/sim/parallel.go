@@ -153,6 +153,7 @@ func (p *workerPool) runShard(shard []int, cycle int64, ob *workerOutbox) {
 		if !p.noSkip && idler != nil && idler.Idle(cycle) {
 			if !sc.poll.get(i) {
 				if hint := sc.hinters[i].WakeHint(cycle); hint != WakeNever {
+					// lint:phaseconf-ok ob aliases p.out[w], private to this worker until the barrier; the coordinator merges outboxes only after all workers signal done
 					ob.sleeps = append(ob.sleeps, timerEnt{comp: int32(i), at: hint})
 				}
 			}
@@ -163,10 +164,10 @@ func (p *workerPool) runShard(shard []int, cycle int64, ob *workerOutbox) {
 		if d := s.comps[i].Done(); d != (atomic.LoadUint64(dw)&mask != 0) {
 			if d {
 				atomic.OrUint64(dw, mask)
-				ob.doneDel--
+				ob.doneDel-- // lint:phaseconf-ok per-worker outbox delta, summed by the coordinator after the barrier
 			} else {
 				atomic.AndUint64(dw, ^mask)
-				ob.doneDel++
+				ob.doneDel++ // lint:phaseconf-ok per-worker outbox delta, summed by the coordinator after the barrier
 			}
 		}
 		for _, pi := range sc.partners[i] {
@@ -194,7 +195,8 @@ func (p *workerPool) stop() {
 // shards, broadcast, barrier, timer/census merge, serial link commit.
 // Progress detection is identical to the serial kernel's — commit's
 // collected per-cycle activity flags. hot:path — this is the parallel
-// kernel's per-cycle loop.
+// kernel's per-cycle loop. phase:coordinator — runs strictly between the
+// worker barriers, so its plain reads of the wake bitmaps are ordered.
 func (sc *scheduler) stepParallel(cycle int64, p *workerPool) bool {
 	if p.queue.distribute(sc.awake) > 0 {
 		for _, ch := range p.start {

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Fuzzing the shard planner. The bytes steer a synthetic topology —
+// component count, link wiring (including multi-producer/multi-consumer
+// links), shared-state keys (both identity keys and *Link keys), and
+// port-less opaque components — and the harness checks the planner's
+// structural contract on whatever graph falls out: no panic, a partition
+// (every component in exactly one shard), coherent (stage, lane)
+// numbering, stages that respect link direction, and bit-identical plans
+// on re-planning.
+
+// fzPort is a fuzz component with arbitrary port lists and shared keys. It
+// never runs (the fuzz target only plans), so Tick is empty.
+type fzPort struct {
+	name string
+	ins  []*Link
+	outs []*Link
+	keys []any
+}
+
+func (c *fzPort) Name() string         { return c.name }
+func (c *fzPort) Done() bool           { return true }
+func (c *fzPort) Tick(int64)           {}
+func (c *fzPort) InputLinks() []*Link  { return c.ins }
+func (c *fzPort) OutputLinks() []*Link { return c.outs }
+func (c *fzPort) SharedState() []any   { return c.keys }
+
+// fzOpaque has neither ports nor a SharedState declaration, so the planner
+// must conservatively co-locate every instance.
+type fzOpaque struct{ name string }
+
+func (c *fzOpaque) Name() string { return c.name }
+func (c *fzOpaque) Done() bool   { return true }
+func (c *fzOpaque) Tick(int64)   {}
+
+// buildFuzzSystem decodes data into a System plus the producer→consumer
+// component pairs of every link (for the direction check) and the indices
+// of the opaque components.
+func buildFuzzSystem(data []byte) (s *System, edges [][2]int, opaque []int) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	s = NewSystem()
+	nPort := 1 + int(next())%20
+	nLink := int(next()) % 24
+	nKey := int(next()) % 4
+	nOpq := int(next()) % 3
+
+	ports := make([]*fzPort, nPort)
+	for i := range ports {
+		ports[i] = &fzPort{name: "p"}
+		s.Add(ports[i])
+	}
+	links := make([]*Link, nLink)
+	for i := range links {
+		b := next()
+		links[i] = s.NewLink("l", 1+int(b&3), 1+int(b>>2&3))
+	}
+	for _, l := range links {
+		b := next()
+		p := int(b) % nPort
+		c := int(next()) % nPort
+		ports[p].outs = append(ports[p].outs, l)
+		ports[c].ins = append(ports[c].ins, l)
+		prods, conss := []int{p}, []int{c}
+		if b&0x80 != 0 { // second producer: same-side endpoints must co-shard
+			p2 := int(next()) % nPort
+			ports[p2].outs = append(ports[p2].outs, l)
+			prods = append(prods, p2)
+		}
+		if b&0x40 != 0 { // second consumer
+			c2 := int(next()) % nPort
+			ports[c2].ins = append(ports[c2].ins, l)
+			conss = append(conss, c2)
+		}
+		for _, pp := range prods {
+			for _, cc := range conss {
+				edges = append(edges, [2]int{pp, cc})
+			}
+		}
+	}
+	keyPool := make([]*int, nKey)
+	for i := range keyPool {
+		keyPool[i] = new(int)
+	}
+	for _, c := range ports {
+		kb := next()
+		if kb&1 != 0 && nKey > 0 {
+			c.keys = append(c.keys, keyPool[int(kb>>1)%nKey])
+		}
+		if kb&2 != 0 && nLink > 0 {
+			c.keys = append(c.keys, links[int(kb>>2)%nLink])
+		}
+	}
+	for i := 0; i < nOpq; i++ {
+		opaque = append(opaque, len(s.comps))
+		s.Add(&fzOpaque{name: "o"})
+	}
+	return s, edges, opaque
+}
+
+func FuzzPlanShards(f *testing.F) {
+	// Seeds mirror the committed corpus in testdata/fuzz/FuzzPlanShards:
+	// a bare chain, a recirculating cycle, fan-in/fan-out with shared keys,
+	// and opaque components alongside a multi-endpoint link.
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 0, 0, 0, 0, 1, 0, 1, 2, 0, 2, 3})
+	f.Add([]byte{2, 3, 0, 0, 5, 0, 1, 9, 1, 2, 2, 2, 0})
+	f.Add([]byte{7, 4, 3, 2, 0, 0x80, 0, 1, 2, 0x40, 2, 3, 4, 0, 4, 5, 0, 6, 1, 3, 5, 7, 1, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, edges, opaque := buildFuzzSystem(data)
+		n := len(s.comps)
+		plan := s.PlanShards()
+
+		if len(plan.Stage) != len(plan.Shards) || len(plan.Lane) != len(plan.Shards) {
+			t.Fatalf("ragged plan: %d shards, %d stages, %d lanes",
+				len(plan.Shards), len(plan.Stage), len(plan.Lane))
+		}
+		if len(plan.CompStage) != n {
+			t.Fatalf("CompStage covers %d of %d components", len(plan.CompStage), n)
+		}
+
+		// Partition: every component in exactly one shard, members sorted.
+		shardOf := make([]int, n)
+		for i := range shardOf {
+			shardOf[i] = -1
+		}
+		largest := 0
+		for si, sh := range plan.Shards {
+			if len(sh) == 0 {
+				t.Fatalf("shard %d is empty", si)
+			}
+			if len(sh) > largest {
+				largest = len(sh)
+			}
+			for k, i := range sh {
+				if i < 0 || i >= n {
+					t.Fatalf("shard %d contains out-of-range component %d", si, i)
+				}
+				if shardOf[i] >= 0 {
+					t.Fatalf("component %d in shards %d and %d", i, shardOf[i], si)
+				}
+				shardOf[i] = si
+				if k > 0 && sh[k-1] >= i {
+					t.Fatalf("shard %d members not strictly ascending: %v", si, sh)
+				}
+			}
+		}
+		for i, si := range shardOf {
+			if si < 0 {
+				t.Fatalf("component %d in no shard", i)
+			}
+			if plan.CompStage[i] != plan.Stage[si] {
+				t.Fatalf("CompStage[%d]=%d but its shard %d has stage %d",
+					i, plan.CompStage[i], si, plan.Stage[si])
+			}
+		}
+		if plan.Largest != largest {
+			t.Fatalf("Largest=%d, biggest shard has %d", plan.Largest, largest)
+		}
+
+		// (stage, lane) numbering: stages nondecreasing across shards, lanes
+		// consecutive from 0 within each stage, shape metrics consistent.
+		stages, maxLanes := 0, 0
+		for si := range plan.Shards {
+			if si == 0 || plan.Stage[si] != plan.Stage[si-1] {
+				stages++
+				if plan.Lane[si] != 0 {
+					t.Fatalf("shard %d opens stage %d at lane %d", si, plan.Stage[si], plan.Lane[si])
+				}
+			} else if plan.Lane[si] != plan.Lane[si-1]+1 {
+				t.Fatalf("shard %d lane %d after lane %d", si, plan.Lane[si], plan.Lane[si-1])
+			}
+			if si > 0 && plan.Stage[si] < plan.Stage[si-1] {
+				t.Fatalf("stage order regresses at shard %d: %d after %d", si, plan.Stage[si], plan.Stage[si-1])
+			}
+			if plan.Lane[si]+1 > maxLanes {
+				maxLanes = plan.Lane[si] + 1
+			}
+		}
+		if plan.Stages != stages || plan.MaxLanes != maxLanes {
+			t.Fatalf("shape metrics: Stages=%d/%d MaxLanes=%d/%d", plan.Stages, stages, plan.MaxLanes, maxLanes)
+		}
+
+		// Direction: a link edge never points to an earlier stage, and an
+		// equal-stage edge between distinct shards is legal only inside a
+		// recirculating loop — the consumer's shard must reach the producer's
+		// back through the shard-level link graph.
+		adj := map[int][]int{}
+		for _, e := range edges {
+			a, b := shardOf[e[0]], shardOf[e[1]]
+			if a != b {
+				adj[a] = append(adj[a], b)
+			}
+		}
+		reaches := func(from, to int) bool {
+			seen := map[int]bool{from: true}
+			work := []int{from}
+			for len(work) > 0 {
+				v := work[len(work)-1]
+				work = work[:len(work)-1]
+				if v == to {
+					return true
+				}
+				for _, w := range adj[v] {
+					if !seen[w] {
+						seen[w] = true
+						work = append(work, w)
+					}
+				}
+			}
+			return false
+		}
+		for _, e := range edges {
+			ps, cs := plan.CompStage[e[0]], plan.CompStage[e[1]]
+			if ps > cs {
+				t.Fatalf("link %d->%d runs from stage %d back to stage %d", e[0], e[1], ps, cs)
+			}
+			if ps == cs && shardOf[e[0]] != shardOf[e[1]] && !reaches(shardOf[e[1]], shardOf[e[0]]) {
+				t.Fatalf("equal-stage link %d->%d crosses shards outside a cycle", e[0], e[1])
+			}
+		}
+
+		// Opaque components are conservatively one atom.
+		for _, i := range opaque[min(1, len(opaque)):] {
+			if shardOf[i] != shardOf[opaque[0]] {
+				t.Fatalf("opaque components split across shards %d and %d", shardOf[opaque[0]], shardOf[i])
+			}
+		}
+
+		// Determinism: planning is a pure function of the topology.
+		if again := s.PlanShards(); !reflect.DeepEqual(plan, again) {
+			t.Fatalf("re-planning the same system produced a different plan")
+		}
+	})
+}

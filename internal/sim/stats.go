@@ -32,7 +32,7 @@ type Stats struct {
 	// kernel choice and differs between serial and parallel runs by design.
 	// Snapshot and String never include it; read it with Meta/MetaLookup.
 	metaMu sync.Mutex
-	meta   map[string]string
+	meta   map[string]string // phase:commit — host telemetry, written only outside the tick phase
 }
 
 // Counter is a handle to one named statistic. Obtain with Stats.Counter at

@@ -86,6 +86,7 @@ func (d *wsDeque) stealHalf(buf []int32) []int32 {
 			take = int64(len(buf))
 		}
 		if d.head.CompareAndSwap(h, h+take) {
+			// lint:phaseconf-ok buf is the thief's own preallocated steal buffer (stealBufs[w]); only the claimed range of the victim's items is read, never written
 			return buf[:copy(buf[:take], d.items[h:h+take])]
 		}
 	}
@@ -138,7 +139,7 @@ func newShardQueue(plan *ShardPlan, workers int) *shardQueue {
 }
 
 // distribute enqueues every shard with at least one awake member,
-// round-robin across the deques in (stage, lane) order. Coordinator only:
+// round-robin across the deques in (stage, lane) order. phase:coordinator —
 // runs between the cycle barriers, so plain reads of the wake bitmap are
 // ordered. Returns the number of shards enqueued. hot:path — runs once per
 // parallel cycle.

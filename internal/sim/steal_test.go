@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// Edge cases of the work-stealing deque that the partition and bulk-race
+// tests in shard_test.go do not isolate: the size-1 boundary of stealHalf's
+// ceil division, the two-way race for the very last item, and the
+// termination sweep a dry worker performs over all-empty deques.
+
+// TestWSDequeStealHalfSizeOne: with one item left, ceil(1/2) = 1 — the
+// thief takes the whole deque rather than rounding down to an empty steal
+// (which would make a one-item victim invisible to thieves and strand the
+// item until the owner returns).
+func TestWSDequeStealHalfSizeOne(t *testing.T) {
+	d := &wsDeque{items: make([]int32, 4)}
+	d.reset()
+	d.push(7)
+	buf := make([]int32, 4)
+	got := d.stealHalf(buf)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("stealHalf of size-1 deque = %v; want [7]", got)
+	}
+	if _, ok := d.claimOne(); ok {
+		t.Fatal("item still claimable after a full steal")
+	}
+}
+
+// TestWSDequeLastItemRace: an owner claiming and a thief stealing contend
+// for the single remaining item; exactly one of them must get it, every
+// time. This is the CAS path where h+1 and h+take land on the same head
+// word. Run under -race it also checks the item read happens-after the
+// claim.
+func TestWSDequeLastItemRace(t *testing.T) {
+	const rounds = 2000
+	d := &wsDeque{items: make([]int32, 1)}
+	buf := make([]int32, 1)
+	for r := 0; r < rounds; r++ {
+		d.reset()
+		d.push(int32(r))
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(2)
+		wins := make([]int, 2)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if v, ok := d.claimOne(); ok {
+				if v != int32(r) {
+					t.Errorf("round %d: claimOne got %d", r, v)
+				}
+				wins[0] = 1
+			}
+		}()
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if got := d.stealHalf(buf); len(got) > 0 {
+				if len(got) != 1 || got[0] != int32(r) {
+					t.Errorf("round %d: stealHalf got %v", r, got)
+				}
+				wins[1] = 1
+			}
+		}()
+		start.Done()
+		done.Wait()
+		if wins[0]+wins[1] != 1 {
+			t.Fatalf("round %d: last item delivered %d times", r, wins[0]+wins[1])
+		}
+	}
+}
+
+// TestWSDequeTerminationSweep: a worker that runs dry scans every deque in
+// ring order; when all are empty the sweep must visit each exactly once,
+// observe emptiness from both claim and steal, and mutate nothing — the
+// repeated sweep a parked worker performs before the barrier must be
+// idempotent.
+func TestWSDequeTerminationSweep(t *testing.T) {
+	const n = 8
+	deques := make([]wsDeque, n)
+	for i := range deques {
+		deques[i].items = make([]int32, 4)
+		deques[i].reset()
+	}
+	buf := make([]int32, 4)
+	for sweep := 0; sweep < 3; sweep++ {
+		for i := range deques {
+			if _, ok := deques[i].claimOne(); ok {
+				t.Fatalf("sweep %d: empty deque %d yielded a claim", sweep, i)
+			}
+			if got := deques[i].stealHalf(buf); len(got) != 0 {
+				t.Fatalf("sweep %d: empty deque %d yielded a steal %v", sweep, i, got)
+			}
+			if h := deques[i].head.Load(); h != 0 || deques[i].tail != 0 {
+				t.Fatalf("sweep %d: deque %d mutated by empty probes (head=%d tail=%d)", sweep, i, h, deques[i].tail)
+			}
+		}
+	}
+}

@@ -244,9 +244,9 @@ type scheduler struct {
 	// Done can flip only in a Tick (the Idle contract), link drain state
 	// only at a commit.
 	doneBits  bitset
-	notDone   int
-	undrained int
-	flyLinks  int // links holding in-flight flits (commit work pending)
+	notDone   int // phase:commit — census delta applied only after the barrier
+	undrained int // phase:commit — maintained by commitLinks alone
+	flyLinks  int // phase:commit — links holding in-flight flits (commit work pending)
 
 	// noSkip mirrors RunOptions.NoIdleSkip: never consult Idle, tick every
 	// awake component. Ticking re-arms, so after the all-set first cycle
@@ -411,7 +411,8 @@ func (sc *scheduler) allDone() bool { return sc.notDone == 0 && sc.undrained == 
 
 // beginCycle rotates the wake sets: this cycle's set is last cycle's
 // accumulated wakes, the poll shim, and expiring timers. hot:path — runs
-// once per simulated cycle.
+// once per simulated cycle. phase:coordinator — no worker is running while
+// the sets rotate.
 func (sc *scheduler) beginCycle(cycle int64) {
 	sc.awake, sc.next = sc.next, sc.awake
 	sc.next.clearAll()
@@ -466,7 +467,8 @@ func (sc *scheduler) sleep(i int, cycle int64) {
 // set in ascending index order (accepting same-cycle insertions ahead of
 // the cursor), then commit every link with pending work. It reports
 // link-traffic progress, exactly like the polling kernel's step. hot:path —
-// this is the serial kernel's per-cycle loop.
+// this is the serial kernel's per-cycle loop. phase:coordinator — the serial
+// kernel has no workers; its plain bitmap ops never race.
 func (sc *scheduler) stepSerial(cycle int64) bool {
 	s := sc.sys
 	aw := sc.awake
@@ -496,9 +498,9 @@ func (sc *scheduler) stepSerial(cycle int64) bool {
 }
 
 // commitLinks runs the end-of-cycle commit over every link with pending
-// work and applies the wake consequences. Serial in both kernels (the
-// parallel kernel barriers first), so plain state suffices. hot:path —
-// runs once per simulated cycle.
+// work and applies the wake consequences. phase:commit — serial in both
+// kernels (the parallel kernel barriers first), so plain state suffices.
+// hot:path — runs once per simulated cycle.
 func (sc *scheduler) commitLinks(cycle int64) bool {
 	moved := false
 	for id, l := range sc.sys.links {
