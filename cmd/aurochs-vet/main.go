@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/aurochs-vet [-json] [-all] [-graphs] [-schemas] [-wake] [-allocs] [-phase] [packages]
+//	go run ./cmd/aurochs-vet [-json] [-all] [-graphs] [-schemas] [-flow] [-fixture name] [-wake] [-allocs] [-phase] [packages]
 //
 // Packages default to ./... — directories are classified by path:
 //
@@ -28,18 +28,30 @@
 // both ends, and explicitly waived order-dependent effects are reported
 // with "waived": true — visible in the JSON stream, but not a failure.
 //
+// -flow runs the token-flow abstract interpreter (internal/analysis/flow)
+// over every blueprint's link graph: each cycle must prove deadlock
+// freedom and drain completeness, and the graph gets a static occupancy
+// bound. Failed obligations are error findings under the "flow" analyzer,
+// each carrying a flow-* rule and — in the blueprint report — a replayable
+// wedge witness (see DESIGN.md §14). -fixture <name> restricts the graph
+// analyzers to one entry of the blueprint *fixture* registry (skipping
+// package vetting entirely): CI points it at the deliberately wedging
+// "flowbad" fixture to prove the -flow gate still rejects, and at
+// "flowclean" to prove it still accepts.
+//
 // -wake adds the missed-wake prover (wakeprop), -allocs the hot-path
 // allocation prover (hotalloc), and -phase the barrier-phase confinement
 // prover (phaseconf) over the engine packages (internal/sim, fabric, spad,
 // ring, core) — see DESIGN.md §11 and §13. Reviewed sites carry
 // lint:wakeprop-ok / lint:hotalloc-ok / lint:phaseconf-ok markers and
 // surface as waived. -all enables every analyzer family at once
-// (-graphs -schemas -wake -allocs -phase) — the CI gate, so a new analyzer
-// can never be silently left out of the pipeline.
+// (-graphs -schemas -flow -wake -allocs -phase) — the CI gate, so a new
+// analyzer can never be silently left out of the pipeline.
 //
 // Exit status is 1 when error-severity findings exist, 2 on usage or I/O
-// errors; warnings and waived findings are reported (and counted on
-// stderr) without failing the run. The dynamic half of the same contracts
+// errors; warnings and waived findings are reported without failing the
+// run. The stderr census line counts findings per enabled analyzer family,
+// zeros included, so a family that silently stopped reporting is visible. The dynamic half of the same contracts
 // is fabric.Graph.Check, which validates graph topology at Run time,
 // sim.VerifyIdleContract/VerifyWakeContract, which audit Idle answers and
 // wake coverage in the conformance tests, and the AllocsPerRun gates that
@@ -58,6 +70,7 @@ import (
 	"strings"
 
 	"aurochs/internal/analysis"
+	"aurochs/internal/analysis/flow"
 	"aurochs/internal/blueprint"
 	"aurochs/internal/fabric"
 	"aurochs/internal/lint"
@@ -249,85 +262,179 @@ func vetPackages(dirs []string, opt vetOptions) ([]lint.Finding, error) {
 	return all, nil
 }
 
-// vetGraphs builds every registered blueprint and runs the flow-control,
-// schema, and reorder provers. Check diagnostics and unproven obligations
-// become findings; waived order-dependent effects are reported with
-// Waived=true for reviewability but do not fail the run. A blueprint that
-// fails to build is an engine error (exit 2), because the registry itself
-// is then broken. requireSchemas additionally demands every link be
-// schema-typed at both ends (the -schemas gate).
-func vetGraphs(requireSchemas bool) ([]lint.Finding, error) {
+// graphOptions selects what the graph-registry vetting proves and over
+// which registry.
+type graphOptions struct {
+	// Schemas demands every link be schema-typed at both ends (-schemas).
+	Schemas bool
+	// Flow runs the token-flow abstract interpreter: deadlock freedom,
+	// loop drain, and a static occupancy bound per blueprint (-flow).
+	Flow bool
+	// Fixture restricts vetting to one named fixture from the blueprint
+	// fixture registry instead of the shipped blueprints — the CI
+	// negative/positive gates on the flow prover itself.
+	Fixture string
+}
+
+// graphAnalyzer attributes a graph diagnostic to its analyzer family:
+// flow-* rules come from the token-flow prover, everything else from the
+// structural/credit prover.
+func graphAnalyzer(code fabric.DiagCode) string {
+	if strings.HasPrefix(string(code), "flow-") {
+		return "flow"
+	}
+	return "graphs"
+}
+
+// vetGraphs builds every registered blueprint (or the one named fixture)
+// and runs the flow-control, schema, reorder, and — under opt.Flow —
+// token-flow provers. Check diagnostics and unproven obligations become
+// findings; waived effects (audited CAS ordering, declared-lossy streams)
+// are reported with Waived=true for reviewability but do not fail the run.
+// A blueprint that fails to build is an engine error (exit 2), because the
+// registry itself is then broken.
+func vetGraphs(opt graphOptions) ([]lint.Finding, error) {
 	var all []lint.Finding
-	graphFinding := func(name string, d fabric.Diag, severity string, waived bool) lint.Finding {
+	// file is "graph:<blueprint>" for registry entries and
+	// "fixture:<name>" in -fixture mode.
+	graphFinding := func(file string, d fabric.Diag, severity string, waived bool) lint.Finding {
 		return lint.Finding{
-			File:     "graph:" + name,
+			File:     file,
 			Rule:     string(d.Code),
 			Msg:      d.Msg,
-			Analyzer: "graphs",
+			Analyzer: graphAnalyzer(d.Code),
 			Severity: severity,
 			Waived:   waived,
 		}
 	}
-	for _, bp := range blueprint.All() {
-		g, err := bp.Build()
-		if err != nil {
-			return nil, fmt.Errorf("blueprint %s: %w", bp.Name, err)
+	type target struct {
+		name  string
+		build func() (*fabric.Graph, error)
+	}
+	var targets []target
+	if opt.Fixture != "" {
+		fx := blueprint.FixtureByName(opt.Fixture)
+		if fx == nil {
+			return nil, fmt.Errorf("unknown fixture %q", opt.Fixture)
 		}
-		rep, err := g.ProveWith(fabric.ProveOptions{RequireSchemas: requireSchemas})
+		targets = []target{{"fixture:" + fx.Name, fx.Build}}
+	} else {
+		for _, bp := range blueprint.All() {
+			targets = append(targets, target{"graph:" + bp.Name, bp.Build})
+		}
+	}
+	for _, tg := range targets {
+		g, err := tg.build()
+		if err != nil {
+			return nil, fmt.Errorf("blueprint %s: %w", tg.name, err)
+		}
+		rep, err := g.ProveWith(fabric.ProveOptions{RequireSchemas: opt.Schemas, RequireDeadlockFree: opt.Flow})
 		if err != nil {
 			var ce *fabric.CheckError
 			if !errors.As(err, &ce) {
-				return nil, fmt.Errorf("blueprint %s: %w", bp.Name, err)
+				return nil, fmt.Errorf("blueprint %s: %w", tg.name, err)
 			}
 			for _, d := range ce.Diags {
-				all = append(all, graphFinding(bp.Name, d, lint.SevError, false))
+				all = append(all, graphFinding(tg.name, d, lint.SevError, false))
 			}
 			continue
 		}
 		for _, d := range rep.Warnings {
 			// Performance hazards (line-rate, credit starvation) let the
-			// graph run correctly, just slowly: warning severity. Schema
-			// obligations under -schemas are contract failures and stay
-			// errors.
+			// graph run correctly, just slowly, and an opaque node on a
+			// cycle is an abstention, not a proof of failure: warning
+			// severity. Schema obligations under -schemas and failed flow
+			// obligations — each a provable runtime failure, most carrying
+			// a replayable witness — are contract failures and stay errors.
 			sev := lint.SevError
-			if d.Code == fabric.DiagLineRate || d.Code == fabric.DiagCreditStarved {
+			if d.Code == fabric.DiagLineRate || d.Code == fabric.DiagCreditStarved ||
+				d.Code == fabric.DiagCode(flow.RuleOpaqueCycle) {
 				sev = lint.SevWarning
 			}
-			all = append(all, graphFinding(bp.Name, d, sev, false))
+			all = append(all, graphFinding(tg.name, d, sev, false))
 		}
 		for _, d := range rep.Waived {
-			all = append(all, graphFinding(bp.Name, d, lint.SevWarning, true))
+			all = append(all, graphFinding(tg.name, d, lint.SevWarning, true))
 		}
 	}
 	return all, nil
+}
+
+// enabledFamilies lists the analyzer families a flag combination turns on,
+// in census order. Every enabled family appears in the stderr census even
+// at zero findings, so a silently dead analyzer is visible.
+func enabledFamilies(opt vetOptions, gopt graphOptions, graphsOn, packagesOn bool) []string {
+	var fams []string
+	if packagesOn {
+		fams = append(fams, "determinism", "sharedstate", "tickpurity", "orderdep")
+		if opt.Wake {
+			fams = append(fams, "wakeprop")
+		}
+		if opt.Allocs {
+			fams = append(fams, "hotalloc")
+		}
+		if opt.Phase {
+			fams = append(fams, "phaseconf")
+		}
+	}
+	if graphsOn {
+		fams = append(fams, "graphs")
+		if gopt.Flow {
+			fams = append(fams, "flow")
+		}
+	}
+	return fams
+}
+
+// censusLine renders the per-family finding counts for stderr: one entry
+// per enabled analyzer family, zeros included.
+func censusLine(families []string, findings []lint.Finding) string {
+	counts := make(map[string]int, len(families))
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	parts := make([]string, len(families))
+	for i, fam := range families {
+		parts[i] = fmt.Sprintf("%s %d", fam, counts[fam])
+	}
+	return strings.Join(parts, ", ")
 }
 
 func run() (int, error) {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	graphs := flag.Bool("graphs", false, "also prove flow control on every registered graph blueprint")
 	schemas := flag.Bool("schemas", false, "with -graphs, require every blueprint link to be schema-typed at both ends")
+	flowFlag := flag.Bool("flow", false, "with -graphs, prove deadlock freedom and bounded occupancy with the token-flow prover")
+	fixture := flag.String("fixture", "", "vet only the named fixture from the blueprint fixture registry (graph analyzers only)")
 	wake := flag.Bool("wake", false, "run the missed-wake prover (wakeprop) over the engine packages")
 	allocs := flag.Bool("allocs", false, "run the static allocation prover (hotalloc) over the engine packages")
 	phase := flag.Bool("phase", false, "run the barrier-phase confinement prover (phaseconf) over the engine packages")
-	all := flag.Bool("all", false, "enable every analyzer family (-graphs -schemas -wake -allocs -phase)")
+	all := flag.Bool("all", false, "enable every analyzer family (-graphs -schemas -flow -wake -allocs -phase)")
 	flag.Parse()
 	if *all {
-		*graphs, *schemas, *wake, *allocs, *phase = true, true, true, true, true
+		*graphs, *schemas, *flowFlag, *wake, *allocs, *phase = true, true, true, true, true, true
 	}
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	dirs, err := expand(args)
-	if err != nil {
-		return 2, err
+	opt := vetOptions{Wake: *wake, Allocs: *allocs, Phase: *phase}
+	gopt := graphOptions{Schemas: *schemas, Flow: *flowFlag, Fixture: *fixture}
+	graphsOn := *graphs || *schemas || *flowFlag || *fixture != ""
+	packagesOn := *fixture == "" // -fixture is a graph-only mode
+	var findings []lint.Finding
+	if packagesOn {
+		dirs, err := expand(args)
+		if err != nil {
+			return 2, err
+		}
+		findings, err = vetPackages(dirs, opt)
+		if err != nil {
+			return 2, err
+		}
 	}
-	findings, err := vetPackages(dirs, vetOptions{Wake: *wake, Allocs: *allocs, Phase: *phase})
-	if err != nil {
-		return 2, err
-	}
-	if *graphs || *schemas {
-		gf, err := vetGraphs(*schemas)
+	if graphsOn {
+		gf, err := vetGraphs(gopt)
 		if err != nil {
 			return 2, err
 		}
@@ -359,8 +466,9 @@ func run() (int, error) {
 			warned++
 		}
 	}
-	if !*jsonOut && hard+warned+waived > 0 {
-		fmt.Fprintf(os.Stderr, "aurochs-vet: %d errors (%d warnings, %d waived)\n", hard, warned, waived)
+	if !*jsonOut {
+		fmt.Fprintf(os.Stderr, "aurochs-vet: %d errors (%d warnings, %d waived) — %s\n",
+			hard, warned, waived, censusLine(enabledFamilies(opt, gopt, graphsOn, packagesOn), findings))
 	}
 	if hard > 0 {
 		return 1, nil

@@ -61,28 +61,99 @@ func TestAnalyzersFor(t *testing.T) {
 }
 
 // TestVetGraphsClean runs the -graphs path end to end: every registered
-// blueprint must come through the prover with zero hard findings in both
-// modes. The explicitly waived CAS/publish effects surface as Waived
-// findings — reported for review, never a failure.
+// blueprint must come through the prover with zero hard findings in every
+// mode, including the full -schemas -flow gate. The explicitly waived
+// CAS/publish effects surface as Waived findings — reported for review,
+// never a failure.
 func TestVetGraphsClean(t *testing.T) {
-	for _, strict := range []bool{false, true} {
-		fs, err := vetGraphs(strict)
+	for _, opt := range []graphOptions{
+		{},
+		{Schemas: true},
+		{Schemas: true, Flow: true},
+	} {
+		fs, err := vetGraphs(opt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sawWaived := false
 		for _, f := range fs {
 			if !f.Waived {
-				t.Errorf("strict=%v: hard finding on a clean registry: %v", strict, f)
+				t.Errorf("%+v: hard finding on a clean registry: %v", opt, f)
 			}
-			if f.Analyzer != "graphs" {
+			if f.Analyzer != "graphs" && f.Analyzer != "flow" {
 				t.Errorf("graph finding missing analyzer attribution: %+v", f)
 			}
 			sawWaived = true
 		}
 		if !sawWaived {
-			t.Errorf("strict=%v: expected the registry's waived order-dependent effects to be reported", strict)
+			t.Errorf("%+v: expected the registry's waived order-dependent effects to be reported", opt)
 		}
+	}
+}
+
+// TestVetGraphsFixtures pins the -fixture mode: the wedging fixture must
+// produce hard error findings attributed to the flow analyzer, and the
+// clean fixture none at all.
+func TestVetGraphsFixtures(t *testing.T) {
+	fs, err := vetGraphs(graphOptions{Flow: true, Fixture: "flowbad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := 0
+	for _, f := range fs {
+		if !f.IsError() {
+			continue
+		}
+		hard++
+		if f.Analyzer != "flow" {
+			t.Errorf("flowbad finding not attributed to the flow analyzer: %+v", f)
+		}
+		if f.File != "fixture:flowbad" {
+			t.Errorf("flowbad finding file = %q, want fixture:flowbad", f.File)
+		}
+	}
+	if hard == 0 {
+		t.Error("the flowbad fixture produced no hard findings under -flow")
+	}
+
+	fs, err = vetGraphs(graphOptions{Flow: true, Fixture: "flowclean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.IsError() {
+			t.Errorf("hard finding on the flowclean fixture: %+v", f)
+		}
+	}
+
+	if _, err := vetGraphs(graphOptions{Flow: true, Fixture: "nope"}); err == nil {
+		t.Error("unknown fixture name accepted")
+	}
+}
+
+// TestCensusLine pins the stderr census: every enabled family appears with
+// its count, zeros included.
+func TestCensusLine(t *testing.T) {
+	fams := enabledFamilies(vetOptions{Wake: true}, graphOptions{Flow: true}, true, true)
+	want := []string{"determinism", "sharedstate", "tickpurity", "orderdep", "wakeprop", "graphs", "flow"}
+	if len(fams) != len(want) {
+		t.Fatalf("enabledFamilies = %v, want %v", fams, want)
+	}
+	for i := range fams {
+		if fams[i] != want[i] {
+			t.Fatalf("enabledFamilies = %v, want %v", fams, want)
+		}
+	}
+	got := censusLine(fams, []lint.Finding{
+		{Analyzer: "flow"}, {Analyzer: "flow"}, {Analyzer: "orderdep"},
+	})
+	const wantLine = "determinism 0, sharedstate 0, tickpurity 0, orderdep 1, wakeprop 0, graphs 0, flow 2"
+	if got != wantLine {
+		t.Fatalf("censusLine = %q, want %q", got, wantLine)
+	}
+	// Graph-only mode (-fixture): package families drop out entirely.
+	if got := censusLine(enabledFamilies(vetOptions{}, graphOptions{Flow: true}, true, false), nil); got != "graphs 0, flow 0" {
+		t.Fatalf("graph-only censusLine = %q", got)
 	}
 }
 
@@ -104,11 +175,16 @@ func TestJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	graph, err := vetGraphs(true)
+	graph, err := vetGraphs(graphOptions{Schemas: true, Flow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowbad, err := vetGraphs(graphOptions{Flow: true, Fixture: "flowbad"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	all := append(src, graph...)
+	all = append(all, flowbad...)
 	lint.SortFindings(all)
 	for _, f := range all {
 		if f.Analyzer == "" {

@@ -2,10 +2,13 @@
 // Two live streams — ride requests and driver position reports — each
 // maintain a hash table keyed by geohash cell. Every micro-batch, each
 // stream inserts its new records into its own table and probes the *other*
-// stream's table, pairing requests with co-located drivers. This works at
-// line rate because Aurochs' lock-free CAS chains keep buckets consistent
-// for concurrent readers and writers, and the dual-ported scratchpads
-// schedule read and write streams independently (paper §IV-A).
+// stream's table, pairing requests with co-located drivers. All four
+// pipelines of a window — two inserts, two cross-probes — run concurrently
+// in ONE fabric graph: Aurochs' lock-free CAS chains keep buckets
+// consistent for concurrent readers and writers, and the dual-ported
+// scratchpads schedule read and write streams independently (paper §IV-A).
+// The window's loop topology is registered in internal/blueprint and
+// proven deadlock-free by the token-flow prover (aurochs-vet -flow).
 package main
 
 import (
@@ -28,11 +31,7 @@ func main() {
 	hbm := aurochs.NewHBM()
 
 	total := batches * batchSize
-	reqTable, _, err := core.BuildHashTable(core.DefaultHashTableParams(total), nil, hbm)
-	if err != nil {
-		log.Fatal(err)
-	}
-	drvTable, _, err := core.BuildHashTable(core.DefaultHashTableParams(total), nil, hbm)
+	join, err := core.NewSymmetricJoin(core.DefaultHashTableParams(total), hbm)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,33 +46,19 @@ func main() {
 			drvs[i] = record.Make(rng.Uint32()%cells, uint32(100000+b*batchSize+i))
 		}
 
-		// Ingest both sides (streaming insert through the build pipeline).
-		insRes1, err := core.InsertHashTable(drvTable, drvs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		insRes2, err := core.InsertHashTable(reqTable, reqs)
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		// Cross-probe: new requests against all drivers seen so far, new
-		// drivers against all requests seen so far.
-		m1, p1, err := core.ProbeHashTable(drvTable, reqs, core.ProbeOptions{FirstMatchOnly: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		m2, p2, err := core.ProbeHashTable(reqTable, drvs, core.ProbeOptions{FirstMatchOnly: true})
+		// One graph run per window: ingest both sides and cross-probe —
+		// new requests against all drivers seen so far, new drivers
+		// against all requests seen so far.
+		m1, m2, res, err := join.Window(reqs, drvs, core.ProbeOptions{FirstMatchOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		cyc := insRes1.Cycles + insRes2.Cycles + p1.Cycles + p2.Cycles
-		totalCycles += cyc
+		totalCycles += res.Cycles
 		totalMatches += len(m1) + len(m2)
 		fmt.Printf("batch %d: %4d req→drv + %4d drv→req matches | %7d cycles (%.1f µs batch latency)\n",
-			b, len(m1), len(m2), cyc, float64(cyc)/1e3)
+			b, len(m1), len(m2), res.Cycles, float64(res.Cycles)/1e3)
 	}
-	fmt.Printf("\n%d batches, %d matches, %.2f ms simulated — symmetric stream join, no locks\n",
+	fmt.Printf("\n%d batches, %d matches, %.2f ms simulated — symmetric stream join, one graph per window, no locks\n",
 		batches, totalMatches, float64(totalCycles)/1e6)
 }

@@ -97,6 +97,21 @@ func All() []Blueprint {
 			},
 		},
 		{
+			Name: "streamjoin",
+			Doc:  "symmetric stream-join window (paper §IV-A): both sides' inserts and cross-probes concurrently in one graph",
+			Build: func() (*fabric.Graph, error) {
+				g := fabric.NewGraph()
+				g.AttachHBM(dram.New(dram.DefaultConfig()))
+				j, err := core.NewSymmetricJoin(core.DefaultHashTableParams(64), g.HBM)
+				if err != nil {
+					return nil, err
+				}
+				_, err = j.WindowInto(g, "win", core.InRecs(sampleRecs(16)),
+					core.InRecs(sampleRecs(16)), core.ProbeOptions{})
+				return g, err
+			},
+		},
+		{
 			Name: "partition",
 			Doc:  "radix partition pipeline (paper fig. 6): fused FAA block allocation with a retry loop",
 			Build: func() (*fabric.Graph, error) {

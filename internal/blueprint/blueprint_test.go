@@ -1,9 +1,16 @@
 package blueprint
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"aurochs/internal/analysis/flow"
 	"aurochs/internal/fabric"
+	"aurochs/internal/record"
 )
 
 // TestAllBlueprintsProveClean is the acceptance gate for the static
@@ -31,7 +38,7 @@ func TestAllBlueprintsProveClean(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			rep, err := g.ProveWith(fabric.ProveOptions{RequireSchemas: true})
+			rep, err := g.ProveWith(fabric.ProveOptions{RequireSchemas: true, RequireDeadlockFree: true})
 			if err != nil {
 				t.Fatalf("prove: %v", err)
 			}
@@ -40,6 +47,12 @@ func TestAllBlueprintsProveClean(t *testing.T) {
 			}
 			if len(rep.Proofs) == 0 {
 				t.Fatal("no proofs emitted")
+			}
+			if rep.Flow == nil || !rep.Flow.DeadlockFree() || len(rep.Flow.Warnings) != 0 {
+				t.Fatalf("flow prover did not fully prove the topology:\n%v", rep.Flow)
+			}
+			if rep.Flow.Occupancy.Total <= 0 {
+				t.Fatalf("no occupancy bound: %+v", rep.Flow.Occupancy)
 			}
 			for _, w := range rep.Waived {
 				t.Logf("waived: %s", w.Msg)
@@ -119,5 +132,105 @@ func TestBlueprintStagePlans(t *testing.T) {
 				bp.Name, comps, len(plan.Shards), plan.Stages, plan.MaxLanes,
 				plan.Largest, plan.LargestShare()*100)
 		})
+	}
+}
+
+// TestFixturesExerciseTheFlowProver is the fixture registry's contract:
+// a wedging fixture must be rejected by the token-flow prover AND its
+// witness must reproduce the predicted failure on the real simulator; a
+// clean fixture must prove deadlock-free and then actually drain at the
+// occupancy bound's record count.
+func TestFixturesExerciseTheFlowProver(t *testing.T) {
+	fxs := Fixtures()
+	if len(fxs) == 0 {
+		t.Fatal("empty fixture registry")
+	}
+	for _, fx := range fxs {
+		fx := fx
+		t.Run(fx.Name, func(t *testing.T) {
+			g, err := fx.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep := g.ProveFlow()
+			if !fx.Wedges {
+				if !rep.DeadlockFree() || len(rep.Warnings) != 0 {
+					t.Fatalf("clean fixture rejected:\n%s", rep)
+				}
+				n := rep.Occupancy.Total + 2*record.NumLanes
+				g2, err := fx.BuildN(n)
+				if err != nil {
+					t.Fatalf("build(%d): %v", n, err)
+				}
+				if _, err := g2.Run(int64(400 * n)); err != nil {
+					t.Fatalf("clean fixture wedged with %d records: %v", n, err)
+				}
+				return
+			}
+			ws := rep.Witnesses()
+			if len(ws) == 0 {
+				t.Fatalf("wedging fixture produced no witness:\n%s", rep)
+			}
+			w := ws[0]
+			n := w.Inject
+			if n < 8 {
+				n = 8
+			}
+			g2, err := fx.BuildN(n)
+			if err != nil {
+				t.Fatalf("build(%d): %v", n, err)
+			}
+			if err := fabric.ReplayWitness(g2, w); err != nil {
+				t.Fatalf("witness did not reproduce: %v", err)
+			}
+		})
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestOccupancyGolden pins every registered blueprint's static occupancy
+// bound — the token-flow prover's per-link, per-cycle, and node-resident
+// in-flight limits. A diff here means a topology change moved a shipped
+// kernel's memory ceiling; review it, then regenerate with:
+// go test ./internal/blueprint -run TestOccupancyGolden -update
+func TestOccupancyGolden(t *testing.T) {
+	type entry struct {
+		Name      string         `json:"name"`
+		Occupancy flow.Occupancy `json:"occupancy"`
+	}
+	var out []entry
+	for _, bp := range All() {
+		g, err := bp.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", bp.Name, err)
+		}
+		rep, err := g.ProveWith(fabric.ProveOptions{RequireDeadlockFree: true})
+		if err != nil {
+			t.Fatalf("%s: prove: %v", bp.Name, err)
+		}
+		out = append(out, entry{Name: bp.Name, Occupancy: rep.Flow.Occupancy})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "occupancy.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("occupancy bounds drifted from golden file %s\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
 	}
 }

@@ -245,25 +245,36 @@ func BuildHashTable(p HashTableParams, input []record.Rec, hbm *dram.HBM) (*Hash
 	return ht, res, nil
 }
 
+// NewHashTable allocates an empty table: bucket heads in one scratchpad
+// (initialized to Nil), nodes line-interleaved in another so one node's
+// words stay in one bank, and the overflow region in hbm. No pipeline is
+// wired — callers stream records in through buildPipeline (via
+// BuildHashTableInto or InsertHashTable) against the returned memories.
+// hbm carries the overflow buffer and must be the same instance every
+// pipeline graph attaches, or slot reads and writes would diverge.
+func NewHashTable(p HashTableParams, hbm *dram.HBM) (*HashTable, error) {
+	if p.Buckets == 0 || p.Buckets&(p.Buckets-1) != 0 {
+		return nil, fmt.Errorf("core: buckets must be a power of two, got %d", p.Buckets)
+	}
+	heads := spad.NewMem(16, int(p.Buckets+15)/16, 0)
+	heads.Fill(Nil)
+	nodeBankWords := (int(p.SpadNodes)*int(p.nodeWords()) + 63) / 64 * 4
+	nodes := spad.NewMem(16, nodeBankWords, 2)
+	return &HashTable{Params: p, Heads: heads, Nodes: nodes, HBM: hbm}, nil
+}
+
 // BuildHashTableInto wires one build pipeline into an existing graph under
 // the given name prefix, so callers can instantiate several pipelines that
 // share a graph and its HBM (stream-level parallelism, fig. 12). The
 // returned sink counts completed insertions; the caller runs the graph.
 func BuildHashTableInto(g *fabric.Graph, pf string, p HashTableParams, input StreamIn) (*HashTable, *fabric.Sink, error) {
-	if p.Buckets == 0 || p.Buckets&(p.Buckets-1) != 0 {
-		return nil, nil, fmt.Errorf("core: buckets must be a power of two, got %d", p.Buckets)
+	ht, err := NewHashTable(p, g.HBM)
+	if err != nil {
+		return nil, nil, err
 	}
 	if uint32(input.N) > p.MaxNodes {
 		return nil, nil, fmt.Errorf("core: %d inputs exceed MaxNodes=%d", input.N, p.MaxNodes)
 	}
-	hbm := g.HBM
-
-	heads := spad.NewMem(16, int(p.Buckets+15)/16, 0)
-	heads.Fill(Nil)
-	// Line-interleave so one node's words stay in one bank.
-	nodeBankWords := (int(p.SpadNodes)*int(p.nodeWords()) + 63) / 64 * 4
-	nodes := spad.NewMem(16, nodeBankWords, 2)
-	ht := &HashTable{Params: p, Heads: heads, Nodes: nodes, HBM: hbm}
 	return ht, buildPipeline(g, pf, ht, input), nil
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"aurochs/internal/record"
+)
+
+// joinTriples canonicalizes [key, tag, val] match records for comparison.
+func joinTriples(recs []record.Rec) [][3]uint32 {
+	out := make([][3]uint32, len(recs))
+	for i, r := range recs {
+		out[i] = [3]uint32{r.Get(0), r.Get(1), r.Get(2)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < 3; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestSymmetricJoinWindows drives two windows of the one-graph symmetric
+// join and checks the streaming contract: every probe against keys the
+// other side inserted in a STRICTLY EARLIER window matches exactly what
+// the functional LookupAll reference reports. (Same-window matches are
+// best-effort by design; the second window's key sets are chosen disjoint
+// from its own inserts so its expected matches are fully deterministic.)
+func TestSymmetricJoinWindows(t *testing.T) {
+	j, err := NewSymmetricJoin(DefaultHashTableParams(64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Window 1 seeds both tables: requests keyed 0..7, drivers 4..11.
+	r1 := make([]record.Rec, 8)
+	d1 := make([]record.Rec, 8)
+	for i := range r1 {
+		r1[i] = record.Make(uint32(i), uint32(100+i))
+		d1[i] = record.Make(uint32(4+i), uint32(900+i))
+	}
+	if _, _, _, err := j.Window(r1, d1, ProbeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Req.Inserted != 8 || j.Drv.Inserted != 8 {
+		t.Fatalf("after window 1: inserted %d/%d, want 8/8", j.Req.Inserted, j.Drv.Inserted)
+	}
+
+	// Window 2 probes window 1's keys while inserting disjoint key ranges
+	// (requests 20.., drivers 30..), so the expected matches are exactly
+	// the prior window's table contents.
+	r2 := make([]record.Rec, 6)
+	d2 := make([]record.Rec, 6)
+	for i := range r2 {
+		r2[i] = record.Make(uint32(4+i), uint32(200+i)) // hits d1 keys 4..9
+		d2[i] = record.Make(uint32(30+i), uint32(950+i))
+	}
+	// Reference expectation from the functional lookup path, computed
+	// before the window mutates the tables.
+	var wantReq [][3]uint32
+	for _, r := range r2 {
+		for _, v := range j.Drv.LookupAll(r.Get(0)) {
+			wantReq = append(wantReq, [3]uint32{r.Get(0), r.Get(1), v})
+		}
+	}
+	if len(wantReq) != 6 {
+		t.Fatalf("reference expects %d request matches, want 6", len(wantReq))
+	}
+	sort.Slice(wantReq, func(i, k int) bool {
+		for c := 0; c < 3; c++ {
+			if wantReq[i][c] != wantReq[k][c] {
+				return wantReq[i][c] < wantReq[k][c]
+			}
+		}
+		return false
+	})
+
+	reqM, drvM, _, err := j.Window(r2, d2, ProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := joinTriples(reqM)
+	if len(got) != len(wantReq) {
+		t.Fatalf("request matches = %v, want %v", got, wantReq)
+	}
+	for i := range got {
+		if got[i] != wantReq[i] {
+			t.Fatalf("request match %d = %v, want %v", i, got[i], wantReq[i])
+		}
+	}
+	// Driver keys 30..35 never appeared on the request side: no matches.
+	if len(drvM) != 0 {
+		t.Fatalf("driver matches = %v, want none", joinTriples(drvM))
+	}
+	if j.Req.Inserted != 14 || j.Drv.Inserted != 14 {
+		t.Fatalf("after window 2: inserted %d/%d, want 14/14", j.Req.Inserted, j.Drv.Inserted)
+	}
+}
+
+// TestSymmetricJoinOverflowDisjoint pins the overflow placement: the two
+// tables' DRAM overflow regions must not alias.
+func TestSymmetricJoinOverflowDisjoint(t *testing.T) {
+	p := DefaultHashTableParams(64)
+	p.SpadNodes = 4 // force overflow
+	j, err := NewSymmetricJoin(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqEnd := j.Req.Params.OverflowBase + (p.MaxNodes-p.SpadNodes)*p.nodeWords()
+	if j.Drv.Params.OverflowBase < reqEnd {
+		t.Fatalf("driver overflow base %#x overlaps request overflow [%#x, %#x)",
+			j.Drv.Params.OverflowBase, j.Req.Params.OverflowBase, reqEnd)
+	}
+}

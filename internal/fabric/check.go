@@ -337,77 +337,27 @@ func (g *Graph) checkLoopEntries(comps []sim.Component, ends map[*sim.Link]*link
 	return diags
 }
 
-// tarjanSCC returns the strongly connected components of adj, iteratively
-// (no recursion: graph size is caller-controlled).
+// tarjanSCC returns the strongly connected components of adj, grouped and
+// ordered by sim.StronglyConnected's emission numbering (a reverse
+// topological order of the condensation), with members ascending. The
+// shard planner, this checker, and the token-flow prover all condense
+// through the same iterative Tarjan in internal/sim.
 func tarjanSCC(adj [][]int) [][]int {
-	n := len(adj)
-	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var (
-		stack  []int
-		sccs   [][]int
-		next   int
-		frames []struct{ v, ei int }
-	)
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
+	a32 := make([][]int32, len(adj))
+	for i, row := range adj {
+		if len(row) == 0 {
 			continue
 		}
-		frames = append(frames[:0], struct{ v, ei int }{root, 0})
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			v := f.v
-			if f.ei == 0 {
-				index[v] = next
-				low[v] = next
-				next++
-				stack = append(stack, v)
-				onStack[v] = true
-			}
-			advanced := false
-			for f.ei < len(adj[v]) {
-				w := adj[v][f.ei]
-				f.ei++
-				if index[w] == unvisited {
-					frames = append(frames, struct{ v, ei int }{w, 0})
-					advanced = true
-					break
-				}
-				if onStack[w] && index[w] < low[v] {
-					low[v] = index[w]
-				}
-			}
-			if advanced {
-				continue
-			}
-			// v is finished; pop its frame and propagate lowlink.
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := frames[len(frames)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				var scc []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					scc = append(scc, w)
-					if w == v {
-						break
-					}
-				}
-				sort.Ints(scc)
-				sccs = append(sccs, scc)
-			}
+		r := make([]int32, len(row))
+		for j, w := range row {
+			r[j] = int32(w)
 		}
+		a32[i] = r
+	}
+	of, count := sim.StronglyConnected(a32)
+	sccs := make([][]int, count)
+	for i, c := range of {
+		sccs[c] = append(sccs[c], i) // ascending i keeps members sorted
 	}
 	return sccs
 }

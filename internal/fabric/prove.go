@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"aurochs/internal/analysis/flow"
 	"aurochs/internal/sim"
 )
 
@@ -59,11 +60,15 @@ type ProofReport struct {
 	// unchecked.
 	Warnings []Diag `json:"warnings,omitempty"`
 	// Waived lists the order-dependent effects accepted on the strength of
-	// an explicit waiver (spad.Spec.OrderWaiver or a ReorderDecl.Waiver).
+	// an explicit waiver (spad.Spec.OrderWaiver or a ReorderDecl.Waiver),
+	// plus declared-lossy streams on cycles waived via Spec.LossyWaiver.
 	// They are not failures — the waiver is the author's audited
 	// justification — but they are surfaced in every report so the audit
 	// trail stays visible.
 	Waived []Diag `json:"waived,omitempty"`
+	// Flow is the token-flow prover's full report (occupancy bounds and
+	// witnesses included), present under ProveOptions.RequireDeadlockFree.
+	Flow *flow.Report `json:"flow,omitempty"`
 }
 
 // Clean reports whether every obligation was proven. Waived effects do not
@@ -92,6 +97,14 @@ type ProveOptions struct {
 	// warnings instead of being silently skipped. This is the -schemas
 	// gate of aurochs-vet; shipped blueprints must pass it.
 	RequireSchemas bool
+	// RequireDeadlockFree runs the token-flow abstract interpreter
+	// (internal/analysis/flow) over the link graph: every cycle must prove
+	// deadlock freedom and drain completeness, and the graph gets a static
+	// occupancy bound. Failed obligations surface as warnings carrying the
+	// flow-* rule as their code; the full report — including replayable
+	// wedge witnesses — lands in ProofReport.Flow. This is the -flow gate
+	// of aurochs-vet; shipped blueprints must pass it.
+	RequireDeadlockFree bool
 }
 
 // Prove statically verifies the graph's flow-control provisioning. It
@@ -180,6 +193,23 @@ func (g *Graph) ProveWith(opt ProveOptions) (*ProofReport, error) {
 
 	g.proveSchemas(report, comps, ends, opt)
 	g.proveReorder(report, comps)
+
+	if opt.RequireDeadlockFree {
+		fr := g.ProveFlow()
+		report.Flow = fr
+		for _, p := range fr.Proofs {
+			report.Proofs = append(report.Proofs, Proof{Subject: p.Subject, Property: p.Property})
+		}
+		for _, f := range fr.Findings {
+			report.Warnings = append(report.Warnings, Diag{DiagCode(f.Rule), f.Msg})
+		}
+		for _, f := range fr.Warnings {
+			report.Warnings = append(report.Warnings, Diag{DiagCode(f.Rule), f.Msg})
+		}
+		for _, f := range fr.Waived {
+			report.Waived = append(report.Waived, Diag{DiagCode(f.Rule), f.Msg})
+		}
+	}
 
 	sort.Slice(report.Proofs, func(i, j int) bool {
 		if report.Proofs[i].Subject != report.Proofs[j].Subject {

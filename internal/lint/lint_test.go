@@ -99,3 +99,38 @@ func TestAnalyzeFileBadSource(t *testing.T) {
 		t.Error("want parse error for missing file")
 	}
 }
+
+// TestSortFindingsAcrossAnalyzers pins the shared ordering contract on the
+// mixed streams aurochs-vet emits: graph-level findings (line 0, synthetic
+// "graph:"/"fixture:" files) from the graphs and flow analyzers interleave
+// with source findings, and the (file, line, analyzer, rule) key must put
+// a file's flow-* findings in a stable, rule-sorted block. Stability
+// matters: distinct messages sharing a key keep their insertion order.
+func TestSortFindingsAcrossAnalyzers(t *testing.T) {
+	fs := []Finding{
+		{File: "internal/sim/sim.go", Line: 10, Analyzer: "determinism", Rule: "wallclock"},
+		{File: "graph:streamjoin", Line: 0, Analyzer: "graphs", Rule: "order-dependent"},
+		{File: "fixture:flowbad", Line: 0, Analyzer: "flow", Rule: "flow-no-exit", Msg: "second"},
+		{File: "fixture:flowbad", Line: 0, Analyzer: "flow", Rule: "flow-entry-miswired"},
+		{File: "fixture:flowbad", Line: 0, Analyzer: "flow", Rule: "flow-no-exit", Msg: "first"},
+		{File: "graph:streamjoin", Line: 0, Analyzer: "flow", Rule: "flow-uncounted-exit"},
+	}
+	SortFindings(fs)
+	want := []struct {
+		file, analyzer, rule, msg string
+	}{
+		{"fixture:flowbad", "flow", "flow-entry-miswired", ""},
+		{"fixture:flowbad", "flow", "flow-no-exit", "second"},
+		{"fixture:flowbad", "flow", "flow-no-exit", "first"},
+		{"graph:streamjoin", "flow", "flow-uncounted-exit", ""},
+		{"graph:streamjoin", "graphs", "order-dependent", ""},
+		{"internal/sim/sim.go", "determinism", "wallclock", ""},
+	}
+	for i, w := range want {
+		f := fs[i]
+		if f.File != w.file || f.Analyzer != w.analyzer || f.Rule != w.rule || f.Msg != w.msg {
+			t.Fatalf("fs[%d] = %s/%s/%s/%q, want %s/%s/%s/%q",
+				i, f.File, f.Analyzer, f.Rule, f.Msg, w.file, w.analyzer, w.rule, w.msg)
+		}
+	}
+}

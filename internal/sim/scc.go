@@ -1,0 +1,17 @@
+package sim
+
+// StronglyConnected exposes the shard planner's iterative Tarjan SCC
+// (condense, shard.go) as a reusable primitive: the fabric's structural
+// checker and the token-flow prover (internal/analysis/flow) condense the
+// same link graphs the planner stages, and sharing one implementation
+// means one determinism contract — roots are tried in ascending index
+// order, edges in list order, and components are numbered in Tarjan
+// emission order, which is a reverse topological order of the
+// condensation (every edge of the condensed DAG points from a
+// higher-numbered component to a lower-numbered one).
+//
+// The return is the component index per node and the component count.
+func StronglyConnected(adj [][]int32) ([]int32, int) {
+	r := condense(adj)
+	return r.of, r.count
+}

@@ -176,6 +176,17 @@ type Spec struct {
 	// lint:orderdep-ok comment). Waived streams surface in
 	// ProofReport.Waived rather than failing the reorder-safety proof.
 	OrderWaiver string
+	// Lossy declares that Apply may return keep == false, dropping the
+	// thread. The token-flow prover must know: a drop inside a cyclic
+	// pipeline is an exit the loop control never counts, so the loop can
+	// never prove itself drained. Streams that keep every thread (the
+	// overwhelming default) leave this false; the declaration is the
+	// author's, mirroring DisjointAddrs.
+	Lossy bool
+	// LossyWaiver justifies Lossy on a cyclic path (e.g. "drops are
+	// re-driven by the retry filter"); non-empty turns the prover's
+	// finding into a waived, auditable fact.
+	LossyWaiver string
 }
 
 // EffectiveClass is the stream's reorder class after applying per-stream

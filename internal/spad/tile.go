@@ -201,6 +201,20 @@ func (t *Tile) OutputSchemas() []*record.Schema {
 // not configured for Capstan's in-order dequeue.
 func (t *Tile) Reordering() sim.ReorderDecl { return t.spec.Decl(!t.cfg.InOrder) }
 
+// ResidentBound bounds the thread records simultaneously buffered inside
+// the tile, for the token-flow prover's occupancy accounting: the issue
+// queues (Lanes × IssueDepth slots) plus the response-side window, which
+// Tick's admission gate holds under 4×Lanes ready-or-pending responses.
+func (t *Tile) ResidentBound() int {
+	return t.cfg.Lanes*t.cfg.IssueDepth + 4*t.cfg.Lanes
+}
+
+// LossyDecl exposes the stream's declared drop behaviour (Spec.Lossy and
+// its waiver) to the token-flow prover.
+func (t *Tile) LossyDecl() (lossy bool, waiver string) {
+	return t.spec.Lossy, t.spec.LossyWaiver
+}
+
 // Done implements sim.Component.
 func (t *Tile) Done() bool { return t.eosSent }
 
