@@ -32,8 +32,9 @@ func main() {
 	jsonOut := flag.String("json", "", "run the serial-vs-parallel kernel benchmark and write the report to this path")
 	quick := flag.Bool("quick", false, "shrink -json benchmark datasets (CI-sized)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the -json benchmark's parallel runs (0 = auto mode up to GOMAXPROCS)")
+	rows := flag.String("rows", "", "with -json: run the rows-vs-throughput scaling sweep at these comma-separated row counts (k/m suffixes ok, e.g. 32k,128k,1m) instead of the kernel comparison")
 	compare := flag.String("compare", "", "after -json, gate the fresh report against this baseline report (fails on >10% serial cycles/sec regression)")
-	gate := flag.String("gate", "", "after -json, require experiments to beat serial: comma-separated name:minSpeedup pairs (e.g. fig11a-hashjoin-p16:1.2); skipped on single-core hosts")
+	gate := flag.String("gate", "", "after -json: without -rows, require experiments to beat serial (name:minSpeedup pairs, skipped on single-core hosts); with -rows, require absolute serial floors (name@rows:minCyclesPerSec pairs, single-core safe)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	flag.Parse()
@@ -64,6 +65,21 @@ func main() {
 	}
 
 	if *jsonOut != "" {
+		if *rows != "" {
+			counts, err := bench.ParseRows(*rows)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := bench.Sweep(*jsonOut, counts, *quick); err != nil {
+				log.Fatal(err)
+			}
+			if *gate != "" {
+				if err := bench.GateSerialFloor(*jsonOut, *gate); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return
+		}
 		if err := bench.Perf(*jsonOut, *quick, *parallel); err != nil {
 			log.Fatal(err)
 		}

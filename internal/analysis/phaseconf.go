@@ -477,9 +477,9 @@ func (pw *phaseWalker) checkParallelFn(fd *ast.FuncDecl, via string) {
 type rootClass int
 
 const (
-	rootOwned rootClass = iota // receiver-reachable or function-made
-	rootParam                  // reached through a parameter: owner unprovable
-	rootGlobal                 // package-level variable: shared by definition
+	rootOwned  rootClass = iota // receiver-reachable or function-made
+	rootParam                   // reached through a parameter: owner unprovable
+	rootGlobal                  // package-level variable: shared by definition
 )
 
 // checkParallelBody runs the disciplines over one parallel-phase body (a

@@ -1,0 +1,65 @@
+// Package batchbad is an analysis fixture: the batch tick path reaching
+// every allocation class the extended hotalloc surface must catch — a
+// staging buffer made per batch, spill growth on both a scalar and a block
+// op of a queue-shaped type, a formatted label, and an interface boxing.
+// Each violation is counted by TestBatchBadFixture; update both together.
+// This package is also a CI negative fixture — the workflow runs
+// aurochs-vet -allocs on it and requires a failing exit.
+package batchbad
+
+import (
+	"fmt"
+
+	"aurochs/internal/sim"
+)
+
+// Spill is Push+Pop-shaped, so its scalar and block ops are implicit
+// hot-path roots.
+type Spill struct {
+	buf []sim.Flit
+}
+
+func (s *Spill) Push(f sim.Flit) {
+	s.buf = append(s.buf, f) // FINDING: append growth on a scalar op
+}
+
+func (s *Spill) Pop() sim.Flit {
+	f := s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	return f
+}
+
+// PushBlock grows the spill on the block path.
+func (s *Spill) PushBlock(fs []sim.Flit) int {
+	s.buf = append(s.buf, fs...) // FINDING: append growth on a block op
+	return len(fs)
+}
+
+// Batcher allocates per batch in its TickBatch.
+type Batcher struct {
+	in    *sim.Link
+	out   *sim.Link
+	label string
+	eos   bool
+}
+
+func (b *Batcher) Name() string { return "batchbad" }
+
+func (b *Batcher) Done() bool { return b.eos }
+
+func (b *Batcher) Tick(cycle int64) {
+	if !b.in.Empty() && b.out.CanPush() {
+		b.out.Push(cycle, b.in.Pop())
+	}
+}
+
+// TickBatch is a hot-path root: its staging and telemetry allocations must
+// all be caught.
+func (b *Batcher) TickBatch(cycle int64, n int) int {
+	dst := make([]sim.Flit, n) // FINDING: per-batch staging buffer
+	got := b.in.PopBlock(dst)
+	b.label = fmt.Sprintf("batch@%d", cycle) // FINDING: fmt formats into the heap
+	v := any(got)                            // FINDING: interface boxing
+	_ = v
+	return b.out.PushBlock(cycle, dst[:got])
+}

@@ -17,8 +17,8 @@ func PlainScatter() spad.Spec {
 	return spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(1) },
 	}
 }
 
@@ -27,8 +27,8 @@ func PlainScatter() spad.Spec {
 func RawModify() spad.Spec {
 	return spad.Spec{
 		Op:   spad.OpModify,
-		Addr: func(r record.Rec) uint32 { return r.Get(0) },
-		Modify: func(cur uint32, r record.Rec) uint32 {
+		Addr: func(r *record.Rec) uint32 { return r.Get(0) },
+		Modify: func(cur uint32, r *record.Rec) uint32 {
 			return cur*31 + r.Get(1) // order-sensitive fold
 		},
 	}
@@ -39,8 +39,8 @@ func RawModify() spad.Spec {
 func BareCAS() spad.Spec {
 	return spad.Spec{
 		Op:   spad.OpCAS,
-		Addr: func(r record.Rec) uint32 { return r.Get(0) },
-		Data: func(r record.Rec, i int) uint32 { return r.Get(1 + i) },
+		Addr: func(r *record.Rec) uint32 { return r.Get(0) },
+		Data: func(r *record.Rec, i int) uint32 { return r.Get(1 + i) },
 	}
 }
 
@@ -49,8 +49,8 @@ func BareCAS() spad.Spec {
 func EmptyWaiver() spad.Spec {
 	return spad.Spec{
 		Op:          spad.OpXCHG,
-		Addr:        func(r record.Rec) uint32 { return r.Get(0) },
-		Data:        func(r record.Rec, _ int) uint32 { return r.Get(1) },
+		Addr:        func(r *record.Rec) uint32 { return r.Get(0) },
+		Data:        func(r *record.Rec, _ int) uint32 { return r.Get(1) },
 		OrderWaiver: "",
 	}
 }

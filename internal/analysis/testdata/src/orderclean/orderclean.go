@@ -13,7 +13,7 @@ func Gather() spad.Spec {
 	return spad.Spec{
 		Op:    spad.OpRead,
 		Width: 2,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
 	}
 }
 
@@ -21,8 +21,8 @@ func Gather() spad.Spec {
 func Histogram() spad.Spec {
 	return spad.Spec{
 		Op:   spad.OpFAA,
-		Addr: func(r record.Rec) uint32 { return r.Get(0) },
-		Data: func(record.Rec, int) uint32 { return 1 },
+		Addr: func(r *record.Rec) uint32 { return r.Get(0) },
+		Data: func(*record.Rec, int) uint32 { return 1 },
 	}
 }
 
@@ -31,8 +31,8 @@ func DisjointScatter() spad.Spec {
 	return spad.Spec{
 		Op:            spad.OpWrite,
 		Width:         1,
-		Addr:          func(r record.Rec) uint32 { return r.Get(0) },
-		Data:          func(r record.Rec, _ int) uint32 { return r.Get(1) },
+		Addr:          func(r *record.Rec) uint32 { return r.Get(0) },
+		Data:          func(r *record.Rec, _ int) uint32 { return r.Get(1) },
 		DisjointAddrs: true,
 	}
 }
@@ -42,7 +42,7 @@ func DisjointScatter() spad.Spec {
 func DeclaredModify() spad.Spec {
 	return spad.Spec{
 		Op:       spad.OpModify,
-		Addr:     func(r record.Rec) uint32 { return r.Get(0) },
+		Addr:     func(r *record.Rec) uint32 { return r.Get(0) },
 		Combiner: spad.CombineMax,
 	}
 }
@@ -52,8 +52,8 @@ func DeclaredModify() spad.Spec {
 func WaivedCAS() spad.Spec {
 	return spad.Spec{
 		Op:          spad.OpCAS,
-		Addr:        func(r record.Rec) uint32 { return r.Get(0) },
-		Data:        func(r record.Rec, i int) uint32 { return r.Get(1 + i) },
+		Addr:        func(r *record.Rec) uint32 { return r.Get(0) },
+		Data:        func(r *record.Rec, i int) uint32 { return r.Get(1 + i) },
 		OrderWaiver: "fixture: retry loop converges under every interleaving",
 	}
 }
@@ -65,7 +65,7 @@ func CommentWaived() spad.Spec {
 	return spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr:  func(record.Rec) uint32 { return 7 },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(0) },
+		Addr:  func(*record.Rec) uint32 { return 7 },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(0) },
 	}
 }

@@ -30,7 +30,7 @@ func RangeQuery(hbm *dram.HBM, table core.SortedRun, lo, hi uint32) (int, core.R
 	g.AttachHBM(hbm)
 	in, hit := g.Link("gsc.in"), g.Link("gsc.hit")
 	fabric.NewDRAMScan(g, "gsc.scan", []fabric.Extent{table.Extent()}, table.RecWords, in)
-	g.Add(fabric.NewFilter("gsc.pred", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("gsc.pred", func(r *record.Rec) int {
 		if k := r.Get(0); k >= lo && k <= hi {
 			return 0
 		}
@@ -74,7 +74,7 @@ func SpatialJoin(hbm *dram.HBM, table []record.Rec, probes []record.Rec) (int, c
 	in, hit := g.Link("gsp.in"), g.Link("gsp.hit")
 	fabric.NewDRAMScan(g, "gsp.scan", []fabric.Extent{sorted.Extent()}, 3, in)
 	hits := 0
-	g.Add(fabric.NewMap("gsp.cmp", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap("gsp.cmp", func(r *record.Rec) {
 		x, y := r.Get(0), r.Get(1)
 		n := 0
 		for _, p := range probes {
@@ -83,7 +83,6 @@ func SpatialJoin(hbm *dram.HBM, table []record.Rec, probes []record.Rec) (int, c
 			}
 		}
 		hits += n
-		return r
 	}, in, hit))
 	snk := fabric.NewSink("gsp.sink", hit)
 	g.Add(snk)
@@ -138,12 +137,11 @@ func SortedAggregate(hbm *dram.HBM, rows []record.Rec) (int, core.Result, error)
 	fabric.NewDRAMScan(g, "gag.scan", []fabric.Extent{sorted.Extent()}, 2, in)
 	groups := 0
 	last := uint32(0xFFFFFFFF)
-	g.Add(fabric.NewMap("gag.acc", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap("gag.acc", func(r *record.Rec) {
 		if r.Get(0) != last {
 			groups++
 			last = r.Get(0)
 		}
-		return r
 	}, in, out))
 	snk := fabric.NewSink("gag.sink", out)
 	g.Add(snk)

@@ -28,8 +28,8 @@ func multiCoreReport() PerfReport {
 		Experiments: []PerfExperiment{
 			{
 				Name: "fig11a-hashjoin-p16", Rows: 1 << 15,
-				Serial:   PerfRun{WorkersRequested: 1, WorkersResolved: 1, CyclesPerSec: 30000, WallSeconds: 1.0},
-				Parallel: PerfRun{WorkersRequested: -4, WorkersResolved: 4, CyclesPerSec: 60000, WallSeconds: 0.5},
+				Serial:    PerfRun{WorkersRequested: 1, WorkersResolved: 1, CyclesPerSec: 30000, WallSeconds: 1.0},
+				Parallel:  PerfRun{WorkersRequested: -4, WorkersResolved: 4, CyclesPerSec: 60000, WallSeconds: 0.5},
 				Identical: true, Speedup: 2.0,
 			},
 		},

@@ -51,13 +51,12 @@ func All() []Blueprint {
 				ctl := fabric.NewLoopCtl()
 				g.Add(fabric.NewSource("src", sampleRecs(8), ext).Typed(s))
 				g.Add(fabric.NewLoopMerge("entry", recirc, ext, body, ctl).Typed(s, s, s))
-				g.Add(fabric.NewMap("dec", func(r record.Rec) record.Rec {
+				g.Add(fabric.NewMap("dec", func(r *record.Rec) {
 					if c := r.Get(1); c > 0 {
-						return r.Set(1, c-1)
+						r.Put(1, c-1)
 					}
-					return r
 				}, body, dec).Cyclic().Typed(s, s))
-				g.Add(fabric.NewFilter("exit?", func(r record.Rec) int {
+				g.Add(fabric.NewFilter("exit?", func(r *record.Rec) int {
 					if r.Get(1) == 0 {
 						return 0
 					}

@@ -50,11 +50,10 @@ func flowbad(n int) (*fabric.Graph, error) {
 	ctl := fabric.NewLoopCtl()
 	g.Add(fabric.NewSource("src", countRecs(n, 1), ext).Typed(s))
 	g.Add(fabric.NewLoopMerge("entry", recirc, ext, body, ctl).Typed(s, s, s))
-	g.Add(fabric.NewMap("spin", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap("spin", func(r *record.Rec) {
 		if c := r.Get(1); c > 0 {
-			return r.Set(1, c-1)
+			r.Put(1, c-1)
 		}
-		return r
 	}, body, recirc).Cyclic().Typed(s, s))
 	return g, nil
 }
@@ -65,11 +64,10 @@ func flowbad(n int) (*fabric.Graph, error) {
 func flowclean(n int) (*fabric.Graph, error) {
 	g := fabric.NewGraph()
 	s := record.NewSchema("id", "count")
-	dec := func(r record.Rec) record.Rec {
+	dec := func(r *record.Rec) {
 		if c := r.Get(1); c > 0 {
-			return r.Set(1, c-1)
+			r.Put(1, c-1)
 		}
-		return r
 	}
 	ext, aBody, aDec, handoff, aRec := g.Link("ext"), g.Link("a.body"),
 		g.Link("a.dec"), g.Link("handoff"), g.Link("a.recirc")
@@ -78,7 +76,7 @@ func flowclean(n int) (*fabric.Graph, error) {
 	g.Add(fabric.NewSource("src", countRecs(n, 2), ext).Typed(s))
 	g.Add(fabric.NewLoopMerge("a.entry", aRec, ext, aBody, actl).Typed(s, s, s))
 	g.Add(fabric.NewMap("a.dec", dec, aBody, aDec).Cyclic().Typed(s, s))
-	g.Add(fabric.NewFilter("a.exit?", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("a.exit?", func(r *record.Rec) int {
 		if r.Get(1) <= 1 {
 			return 0
 		}
@@ -89,7 +87,7 @@ func flowclean(n int) (*fabric.Graph, error) {
 	}, actl).Typed(s))
 	g.Add(fabric.NewLoopMerge("b.entry", bRec, handoff, bBody, bctl).Typed(s, s, s))
 	g.Add(fabric.NewMap("b.dec", dec, bBody, bDec).Cyclic().Typed(s, s))
-	g.Add(fabric.NewFilter("b.exit?", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("b.exit?", func(r *record.Rec) int {
 		if r.Get(1) == 0 {
 			return 0
 		}

@@ -99,16 +99,17 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	headIn := g.Link("agg.headIn")
 	ext := g.Link("agg.ext")
 	g.Add(fabric.NewSource("agg.in", threads, src).Typed(aggS))
-	g.Add(fabric.NewMap("agg.hash", func(r record.Rec) record.Rec {
-		return r.Set(agPtr, Hash32(r.Get(agKey))&(p.Buckets-1))
+	g.Add(fabric.NewMap("agg.hash", func(r *record.Rec) {
+		r.Put(agPtr, Hash32(r.Get(agKey))&(p.Buckets-1))
 	}, src, headIn).Typed(aggS, aggS))
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.head"), heads, spad.Spec{
 		Op:    spad.OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(agPtr) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			r = r.Set(agPtr, resp[0])
-			return r.Set(agHeadSeen, resp[0]), true
+		Addr:  func(r *record.Rec) uint32 { return r.Get(agPtr) },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			r.Put(agPtr, resp[0])
+			r.Put(agHeadSeen, resp[0])
+			return true
 		},
 		In:  aggS,
 		Out: aggS,
@@ -123,7 +124,7 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	// Route: chain end → insert path; otherwise fetch the node.
 	fetchIn := g.Link("agg.fetchIn")
 	insertIn := g.Link("agg.insertIn")
-	g.Add(fabric.NewFilter("agg.end?", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("agg.end?", func(r *record.Rec) int {
 		if r.Get(agPtr) == Nil {
 			return 1
 		}
@@ -138,17 +139,18 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.nodeR"), nodes, spad.Spec{
 		Op:    spad.OpRead,
 		Width: nodeWords,
-		Addr:  func(r record.Rec) uint32 { return r.Get(agPtr) * nodeWords },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			r = r.Set(agNKey, resp[0])
-			return r.Set(agNNext, resp[2]), true
+		Addr:  func(r *record.Rec) uint32 { return r.Get(agPtr) * nodeWords },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			r.Put(agNKey, resp[0])
+			r.Put(agNNext, resp[2])
+			return true
 		},
 		In:  aggS,
 		Out: aggS,
 	}, fetchIn, fetched, g.Stats()))
 	faaIn := g.Link("agg.faaIn")
 	walkOn := g.Link("agg.walkOn")
-	g.Add(fabric.NewFilter("agg.match?", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("agg.match?", func(r *record.Rec) int {
 		if r.Get(agNKey) == r.Get(agKey) {
 			return 0 // found the group: bump its counter
 		}
@@ -158,26 +160,26 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 		{Link: walkOn, NoEOS: true},
 	}, nil).Cyclic().Typed(aggS))
 	stepped := g.Link("agg.stepped")
-	g.Add(fabric.NewMap("agg.step", func(r record.Rec) record.Rec {
-		return r.Set(agPtr, r.Get(agNNext))
+	g.Add(fabric.NewMap("agg.step", func(r *record.Rec) {
+		r.Put(agPtr, r.Get(agNNext))
 	}, walkOn, stepped).Cyclic().Typed(aggS, aggS))
 
 	// Count bump: FAA on the node's count word, then exit.
 	done := g.Link("agg.done")
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.count"), nodes, spad.Spec{
 		Op:   spad.OpFAA,
-		Addr: func(r record.Rec) uint32 { return r.Get(agPtr)*nodeWords + 1 },
-		Data: func(record.Rec, int) uint32 { return 1 },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r, true
+		Addr: func(r *record.Rec) uint32 { return r.Get(agPtr)*nodeWords + 1 },
+		Data: func(*record.Rec, int) uint32 { return 1 },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			return true
 		},
 		In:  aggS,
 		Out: aggS,
 	}, faaIn, done, g.Stats()))
 	exitFilter := g.Link("agg.exitIn")
-	g.Add(fabric.NewMap("agg.id", func(r record.Rec) record.Rec { return r }, done, exitFilter).Cyclic().Typed(aggS, aggS))
+	g.Add(fabric.NewMap("agg.id", func(*record.Rec) {}, done, exitFilter).Cyclic().Typed(aggS, aggS))
 	sinkIn := g.Link("agg.sinkIn")
-	g.Add(fabric.NewFilter("agg.exit", func(record.Rec) int { return 0 }, exitFilter,
+	g.Add(fabric.NewFilter("agg.exit", func(*record.Rec) int { return 0 }, exitFilter,
 		[]fabric.Output{{Link: sinkIn, Exit: true}}, ctl).Cyclic().Typed(aggS))
 	snk := fabric.NewSink("agg.sink", sinkIn).Typed(aggS)
 	g.Add(snk)
@@ -187,22 +189,21 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	// hold our key).
 	slotCtr := uint32(0)
 	stamped := g.Link("agg.stamped")
-	g.Add(fabric.NewMap("agg.stamp", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap("agg.stamp", func(r *record.Rec) {
 		if r.Get(agSlot) == Nil {
 			if slotCtr >= p.SpadNodes {
 				panic("core: aggregation table exceeds on-chip nodes (size groups, not rows)")
 			}
-			r = r.Set(agSlot, slotCtr)
+			r.Put(agSlot, slotCtr)
 			slotCtr++
 		}
-		return r
 	}, insertIn, stamped).Cyclic().Typed(aggS, aggS))
 	wrote := g.Link("agg.wrote")
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.nodeW"), nodes, spad.Spec{
 		Op:    spad.OpWrite,
 		Width: nodeWords,
-		Addr:  func(r record.Rec) uint32 { return r.Get(agSlot) * nodeWords },
-		Data: func(r record.Rec, i int) uint32 {
+		Addr:  func(r *record.Rec) uint32 { return r.Get(agSlot) * nodeWords },
+		Data: func(r *record.Rec, i int) uint32 {
 			switch i {
 			case 0:
 				return r.Get(agKey)
@@ -221,15 +222,16 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	casOut := g.Link("agg.casOut")
 	g.Add(spad.NewTile(p.Tuning.spadConfig("agg.cas"), heads, spad.Spec{
 		Op:   spad.OpCAS,
-		Addr: func(r record.Rec) uint32 { return Hash32(r.Get(agKey)) & (p.Buckets - 1) },
-		Data: func(r record.Rec, i int) uint32 {
+		Addr: func(r *record.Rec) uint32 { return Hash32(r.Get(agKey)) & (p.Buckets - 1) },
+		Data: func(r *record.Rec, i int) uint32 {
 			if i == 0 {
 				return r.Get(agHeadSeen)
 			}
 			return r.Get(agSlot)
 		},
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Set(agObs, resp[0]), true
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			r.Put(agObs, resp[0])
+			return true
 		},
 		In:          aggS,
 		Out:         aggS,
@@ -239,7 +241,7 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	// CAS failure: re-walk from the observed head.
 	casWin := g.Link("agg.casWin")
 	casLose := g.Link("agg.casLose")
-	g.Add(fabric.NewFilter("agg.casRoute", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("agg.casRoute", func(r *record.Rec) int {
 		if r.Get(agObs) == r.Get(agHeadSeen) {
 			return 0
 		}
@@ -251,14 +253,14 @@ func HashAggregate(p HashTableParams, keys []uint32, hbm *dram.HBM) (*AggResult,
 	// Winner: point at its own node and recirculate through the walk —
 	// it will match its own key immediately and FAA count 0 → 1.
 	winStep := g.Link("agg.winStep")
-	g.Add(fabric.NewMap("agg.winPtr", func(r record.Rec) record.Rec {
-		return r.Set(agPtr, r.Get(agSlot))
+	g.Add(fabric.NewMap("agg.winPtr", func(r *record.Rec) {
+		r.Put(agPtr, r.Get(agSlot))
 	}, casWin, winStep).Cyclic().Typed(aggS, aggS))
 	// Loser: restart the walk at the observed head.
 	loseStep := g.Link("agg.losePtr")
-	g.Add(fabric.NewMap("agg.losePtr", func(r record.Rec) record.Rec {
-		r = r.Set(agPtr, r.Get(agObs))
-		return r.Set(agHeadSeen, r.Get(agObs))
+	g.Add(fabric.NewMap("agg.losePtr", func(r *record.Rec) {
+		r.Put(agPtr, r.Get(agObs))
+		r.Put(agHeadSeen, r.Get(agObs))
 	}, casLose, loseStep).Cyclic().Typed(aggS, aggS))
 
 	// Rejoin the three recirculating paths.

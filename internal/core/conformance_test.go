@@ -156,8 +156,8 @@ func TestKernelWakeConformance(t *testing.T) {
 		snk := wireTreeWalk(g, "rtw", threads, rtree.NodeWords,
 			func(r record.Rec) uint32 { return tr.NodeAddr(r.Get(rtPtr)) },
 			expandRTreeNode, rtMark,
-			func(r record.Rec) record.Rec {
-				return record.Make(r.Get(rtResID), r.Get(rtTag))
+			func(r *record.Rec) {
+				*r = record.Make(r.Get(rtResID), r.Get(rtTag))
 			}, 16)
 		if err := g.Check(); err != nil {
 			t.Fatal(err)

@@ -86,20 +86,21 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	headIn := g.Link(pf + ".headIn")
 	headOut := g.Link(pf + ".headOut")
 	probes.attach(g, pf+".in", src, inS)
-	g.Add(fabric.NewMap(pf+".hash", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap(pf+".hash", func(r *record.Rec) {
 		// Extend to the thread schema: ptr=bucket for the head read.
-		r = r.Append(p.hashKey(r) & (p.Buckets - 1))
+		*r = r.Append(p.bucket(p.hashKey(*r)))
 		for r.Len() <= f.mark {
-			r = r.Append(0)
+			*r = r.Append(0)
 		}
-		return r.Set(f.nnext, Nil)
+		r.Put(f.nnext, Nil)
 	}, src, headIn).Typed(inS, fullS))
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".head"), ht.Heads, spad.Spec{
 		Op:    spad.OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(f.ptr) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Set(f.ptr, resp[0]), true
+		Addr:  func(r *record.Rec) uint32 { return r.Get(f.ptr) },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			r.Put(f.ptr, resp[0])
+			return true
 		},
 		In:  fullS,
 		Out: fullS,
@@ -107,7 +108,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 
 	// Empty buckets terminate before the loop.
 	ext := g.Link(pf + ".ext")
-	g.Add(fabric.NewFilter(pf+".emptyBucket", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".emptyBucket", func(r *record.Rec) int {
 		if r.Get(f.ptr) == Nil {
 			return -1 // miss: kill thread
 		}
@@ -115,7 +116,19 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	}, headOut, []fabric.Output{{Link: ext}}, nil).Typed(fullS))
 
 	// --- recirculating chain walk ---
-	ctl := fabric.NewLoopCtl()
+	// Admission bound: the walk loop spans 8 links (body, toSpad, toDram,
+	// fromSpad, fromDram, fetched, forked, recirc), each LinkCapacity flits
+	// of NumLanes threads. When probe chains are long — a radix-partitioned
+	// join reuses the partition hash bits, so only 1/Parts of the buckets
+	// are populated and chains run Parts nodes deep — a thread laps the
+	// loop once per chain node, and an ungated entry fills every slot of
+	// the ring: total credit-cycle deadlock (observed at 512K rows,
+	// fig. 11a). Capping the live population at half the ring's token
+	// capacity leaves the loop permanent slack to drain while still
+	// keeping far more threads in flight than the spad tile can serve
+	// per cycle, so steady-state throughput is unaffected.
+	const loopLinks = 8
+	ctl := fabric.NewLoopCtl().Limit(loopLinks * fabric.LinkCapacity * record.NumLanes / 2)
 	body := g.Link(pf + ".body")
 	recirc := g.Link(pf + ".recirc")
 	g.Add(fabric.NewLoopMerge(pf+".entry", recirc, ext, body, ctl).Typed(fullS, fullS, fullS))
@@ -125,24 +138,24 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	toDram := g.Link(pf + ".toDram")
 	fromSpad := g.Link(pf + ".fromSpad")
 	fromDram := g.Link(pf + ".fromDram")
-	g.Add(fabric.NewFilter(pf+".addrSplit", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".addrSplit", func(r *record.Rec) int {
 		if r.Get(f.ptr) < p.SpadNodes {
 			return 0
 		}
 		return 1
 	}, body, []fabric.Output{{Link: toSpad}, {Link: toDram}}, nil).Typed(fullS))
-	applyNode := func(r record.Rec, resp []uint32) (record.Rec, bool) {
+	applyNode := func(r *record.Rec, resp []uint32) bool {
 		for i := 0; i < kw; i++ {
-			r = r.Set(f.nkey+i, resp[i])
+			r.Put(f.nkey+i, resp[i])
 		}
-		r = r.Set(f.nval, resp[kw])
-		r = r.Set(f.nnext, resp[kw+1])
-		return r, true
+		r.Put(f.nval, resp[kw])
+		r.Put(f.nnext, resp[kw+1])
+		return true
 	}
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".nodeR"), ht.Nodes, spad.Spec{
 		Op:    spad.OpRead,
 		Width: int(nw),
-		Addr:  func(r record.Rec) uint32 { return r.Get(f.ptr) * nw },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(f.ptr) * nw },
 		Apply: applyNode,
 		In:    fullS,
 		Out:   fullS,
@@ -150,7 +163,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	fabric.NewDRAMNode(g, pf+".nodeRD", spad.Spec{
 		Op:    spad.OpRead,
 		Width: int(nw),
-		Addr: func(r record.Rec) uint32 {
+		Addr: func(r *record.Rec) uint32 {
 			return p.OverflowBase + (r.Get(f.ptr)-p.SpadNodes)*nw
 		},
 		Apply: applyNode,
@@ -183,7 +196,7 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 	}, fetched, forked, ctl).Typed(fullS, fullS))
 
 	found := g.Link(pf + ".found")
-	g.Add(fabric.NewFilter(pf+".route", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".route", func(r *record.Rec) int {
 		if r.Get(f.mark) == 1 {
 			return 0
 		}
@@ -195,13 +208,13 @@ func ProbeHashTableInto(g *fabric.Graph, pf string, ht *HashTable, probes Stream
 
 	// Project matches down to [key..., tag, val].
 	out := g.Link(pf + ".out")
-	g.Add(fabric.NewMap(pf+".project", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap(pf+".project", func(r *record.Rec) {
 		var o record.Rec
 		for i := 0; i < kw; i++ {
 			o = o.Append(r.Get(i))
 		}
 		o = o.Append(r.Get(f.tag))
-		return o.Append(r.Get(f.nval))
+		*r = o.Append(r.Get(f.nval))
 	}, found, out).Typed(fullS, outS))
 	snk := fabric.NewSink(pf+".sink", out).Typed(outS)
 	g.Add(snk)

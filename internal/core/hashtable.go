@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"aurochs/internal/dram"
 	"aurochs/internal/fabric"
@@ -94,9 +95,26 @@ type HashTable struct {
 	Inserted uint32
 }
 
+// bucket maps a key hash to a bucket index using the hash's HIGH bits.
+// The composed radix join selects pipeline and partition class from the
+// LOW bits of the very same Hash32, so a low-bit mask here would leave
+// only Buckets/Parts buckets populated within one partition — chains
+// Parts nodes deep and probe cost quadratic in total table size. The
+// high bits are independent of the radix class, so chain length stays
+// at the load factor regardless of how the input was partitioned.
+func (p *HashTableParams) bucket(h uint32) uint32 {
+	return h >> p.bucketShift()
+}
+
+// bucketShift is the right-shift that keeps log2(Buckets) high bits.
+// Go defines x>>32 == 0 for uint32, so Buckets==1 maps everything to 0.
+func (p *HashTableParams) bucketShift() uint {
+	return uint(32 - bits.Len32(p.Buckets-1))
+}
+
 // bucketOf maps a key to its bucket.
 func (h *HashTable) bucketOf(key uint32) uint32 {
-	return Hash32(key) & (h.Params.Buckets - 1)
+	return h.Params.bucket(Hash32(key))
 }
 
 // nodeAddr converts a slot to (isSpad, wordAddr).
@@ -146,7 +164,7 @@ func (h *HashTable) LookupAll64(key uint64) []uint32 {
 		panic("core: LookupAll64 requires KeyWords = 2")
 	}
 	var out []uint32
-	ptr := h.Heads.Read(Hash64(key) & (h.Params.Buckets - 1))
+	ptr := h.Heads.Read(h.Params.bucket(Hash64(key)))
 	for ptr != Nil {
 		k := uint64(h.nodeWord(ptr, 0)) | uint64(h.nodeWord(ptr, 1))<<32
 		if k == key {
@@ -320,13 +338,12 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	src := g.Link(pf + ".src")
 	stamped := g.Link(pf + ".stamped")
 	input.attach(g, pf+".in", src, inS)
-	g.Add(fabric.NewMap(pf+".stamp", func(r record.Rec) record.Rec {
-		r = r.Append(p.hashKey(r) & (p.Buckets - 1)) // bucket
-		r = r.Append(ht.Inserted)                    // slot
+	g.Add(fabric.NewMap(pf+".stamp", func(r *record.Rec) {
+		*r = r.Append(p.bucket(p.hashKey(*r))) // bucket
+		*r = r.Append(ht.Inserted)             // slot
 		ht.Inserted++
-		r = r.Append(Nil) // cur
-		r = r.Append(0)   // obs
-		return r
+		*r = r.Append(Nil) // cur
+		*r = r.Append(0)   // obs
 	}, src, stamped).Typed(inS, fullS))
 
 	// --- node-body scatter: SRAM path or DRAM overflow path ---
@@ -334,7 +351,7 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	toDramW := g.Link(pf + ".toDramW")
 	wroteSpad := g.Link(pf + ".wroteSpad")
 	wroteDram := g.Link(pf + ".wroteDram")
-	g.Add(fabric.NewFilter(pf+".split", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".split", func(r *record.Rec) int {
 		if r.Get(f.slot) < p.SpadNodes {
 			return 0
 		}
@@ -343,8 +360,8 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".nodeW"), nodes, spad.Spec{
 		Op:    spad.OpWrite,
 		Width: kw + 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(f.slot) * nw },
-		Data:  func(r record.Rec, i int) uint32 { return r.Get(i) }, // keys..., val
+		Addr:  func(r *record.Rec) uint32 { return r.Get(f.slot) * nw },
+		Data:  func(r *record.Rec, i int) uint32 { return r.Get(i) }, // keys..., val
 		In:    fullS,
 		Out:   fullS,
 		// Each thread scatters the body of its own freshly-reserved slot.
@@ -353,10 +370,10 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	fabric.NewDRAMNode(g, pf+".nodeWD", spad.Spec{
 		Op:    spad.OpWrite,
 		Width: kw + 1,
-		Addr: func(r record.Rec) uint32 {
+		Addr: func(r *record.Rec) uint32 {
 			return p.OverflowBase + (r.Get(f.slot)-p.SpadNodes)*nw
 		},
-		Data: func(r record.Rec, i int) uint32 { return r.Get(i) },
+		Data: func(r *record.Rec, i int) uint32 { return r.Get(i) },
 		In:   fullS,
 		Out:  fullS,
 		// Same slot reservation, overflow half of the address space.
@@ -378,7 +395,7 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	nextDramIn := g.Link(pf + ".nextDramIn")
 	nextSpadOut := g.Link(pf + ".nextSpadOut")
 	nextDramOut := g.Link(pf + ".nextDramOut")
-	g.Add(fabric.NewFilter(pf+".nextSplit", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".nextSplit", func(r *record.Rec) int {
 		if r.Get(f.slot) < p.SpadNodes {
 			return 0
 		}
@@ -387,8 +404,8 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".nextW"), nodes, spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(f.slot)*nw + nw - 1 },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(f.cur) },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(f.slot)*nw + nw - 1 },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(f.cur) },
 		In:    fullS,
 		Out:   fullS,
 		// A thread only ever rewrites its own slot's next field; retries of
@@ -398,10 +415,10 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	fabric.NewDRAMNode(g, pf+".nextWD", spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr: func(r record.Rec) uint32 {
+		Addr: func(r *record.Rec) uint32 {
 			return p.OverflowBase + (r.Get(f.slot)-p.SpadNodes)*nw + nw - 1
 		},
-		Data:          func(r record.Rec, _ int) uint32 { return r.Get(f.cur) },
+		Data:          func(r *record.Rec, _ int) uint32 { return r.Get(f.cur) },
 		In:            fullS,
 		Out:           fullS,
 		DisjointAddrs: true, // own slot's next field, overflow half
@@ -414,15 +431,16 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 	// Atomic gather-scatter CAS on the bucket head.
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".cas"), heads, spad.Spec{
 		Op:   spad.OpCAS,
-		Addr: func(r record.Rec) uint32 { return r.Get(f.bucket) },
-		Data: func(r record.Rec, i int) uint32 {
+		Addr: func(r *record.Rec) uint32 { return r.Get(f.bucket) },
+		Data: func(r *record.Rec, i int) uint32 {
 			if i == 0 {
 				return r.Get(f.cur) // expected
 			}
 			return r.Get(f.slot) // new head
 		},
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Set(f.obs, resp[0]), true
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			r.Put(f.obs, resp[0])
+			return true
 		},
 		In:  fullS,
 		Out: fullS,
@@ -436,7 +454,7 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 
 	// Success exits (thread dies); failure refreshes cur and retries.
 	done := g.Link(pf + ".done")
-	g.Add(fabric.NewFilter(pf+".retry", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".retry", func(r *record.Rec) int {
 		if r.Get(f.obs) == r.Get(f.cur) {
 			return 0 // CAS succeeded
 		}
@@ -445,8 +463,8 @@ func buildPipeline(g *fabric.Graph, pf string, ht *HashTable, input StreamIn) *f
 		{Link: done, Exit: true},
 		{Link: recirc, NoEOS: true},
 	}, ctl).Typed(fullS))
-	g.Add(fabric.NewMap(pf+".refresh", func(r record.Rec) record.Rec {
-		return r.Set(f.cur, r.Get(f.obs))
+	g.Add(fabric.NewMap(pf+".refresh", func(r *record.Rec) {
+		r.Put(f.cur, r.Get(f.obs))
 	}, recirc, recirc2).Cyclic().Typed(fullS, fullS))
 
 	snk := fabric.NewSink(pf+".sink", done).Typed(fullS)

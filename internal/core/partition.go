@@ -220,10 +220,9 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 
 	// Hash to partition, then fused FAA on the packed {ptr|count} word.
 	hashed := g.Link(pf + ".hashed")
-	g.Add(fabric.NewMap(pf+".hash", func(r record.Rec) record.Rec {
+	g.Add(fabric.NewMap(pf+".hash", func(r *record.Rec) {
 		part := (Hash32(r.Get(0)) >> p.HashShift) & (p.Parts - 1)
-		r = r.Set(fPart, part)
-		return r
+		r.Put(fPart, part)
 	}, body, hashed).Cyclic().Typed(inS, partS))
 
 	// A saturating fetch-and-add (the RMW ALU's combiner): retry threads
@@ -245,11 +244,11 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	faaOut := g.Link(pf + ".faaOut")
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".meta"), meta, spad.Spec{
 		Op:       spad.OpModify,
-		Addr:     func(r record.Rec) uint32 { return r.Get(fPart) },
+		Addr:     func(r *record.Rec) uint32 { return r.Get(fPart) },
 		Combiner: satFAA,
 		In:       partS,
 		Out:      metaS,
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+		Apply: func(r *record.Rec, resp []uint32) bool {
 			cnt := resp[0] & partCountMask
 			if cnt > p.BlockRecs+partCountMask/2 {
 				// The retry storm incremented the packed count close to
@@ -257,9 +256,9 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 				// field never gets here.
 				panic("core: partition count field overflow")
 			}
-			r = r.Set(fCnt, cnt)
-			r = r.Set(fPtr, resp[0]>>partCountBits)
-			return r, true
+			r.Put(fCnt, cnt)
+			r.Put(fPtr, resp[0]>>partCountBits)
+			return true
 		},
 	}, hashed, faaOut, g.Stats()))
 
@@ -267,7 +266,7 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	storeIn := g.Link(pf + ".storeIn")
 	allocIn := g.Link(pf + ".allocIn")
 	retry := g.Link(pf + ".retry")
-	g.Add(fabric.NewFilter(pf+".route", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".route", func(r *record.Rec) int {
 		cnt := r.Get(fCnt)
 		switch {
 		case cnt < p.BlockRecs:
@@ -290,10 +289,10 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	fabric.NewDRAMNode(g, pf+".store", spad.Spec{
 		Op:    spad.OpWrite,
 		Width: int(p.RecWords),
-		Addr: func(r record.Rec) uint32 {
+		Addr: func(r *record.Rec) uint32 {
 			return ps.blockAddr(r.Get(fPtr)) + 1 + r.Get(fCnt)*p.RecWords
 		},
-		Data:          func(r record.Rec, i int) uint32 { return r.Get(i) },
+		Data:          func(r *record.Rec, i int) uint32 { return r.Get(i) },
 		In:            metaS,
 		Out:           metaS,
 		DisjointAddrs: true,
@@ -306,13 +305,14 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	allocFaa := g.Link(pf + ".allocFaa")
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".alloc"), allocMem, spad.Spec{
 		Op:   spad.OpFAA,
-		Addr: func(record.Rec) uint32 { return 0 },
-		Data: func(record.Rec, int) uint32 { return 1 },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+		Addr: func(*record.Rec) uint32 { return 0 },
+		Data: func(*record.Rec, int) uint32 { return 1 },
+		Apply: func(r *record.Rec, resp []uint32) bool {
 			if resp[0] >= p.MaxBlocks {
 				panic("core: partition block arena exhausted")
 			}
-			return r.Set(fNew, resp[0]), true
+			r.Put(fNew, resp[0])
+			return true
 		},
 		In:  metaS,
 		Out: fullS,
@@ -323,8 +323,8 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	fabric.NewDRAMNode(g, pf+".link", spad.Spec{
 		Op:            spad.OpWrite,
 		Width:         1,
-		Addr:          func(r record.Rec) uint32 { return ps.blockAddr(r.Get(fNew)) },
-		Data:          func(r record.Rec, _ int) uint32 { return r.Get(fPtr) },
+		Addr:          func(r *record.Rec) uint32 { return ps.blockAddr(r.Get(fNew)) },
+		Data:          func(r *record.Rec, _ int) uint32 { return r.Get(fPtr) },
 		In:            fullS,
 		Out:           fullS,
 		DisjointAddrs: true,
@@ -333,8 +333,8 @@ func PartitionInto(g *fabric.Graph, pf string, p PartitionParams, input StreamIn
 	g.Add(spad.NewTile(p.Tuning.spadConfig(pf+".publish"), meta, spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(fPart) },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(fNew) << partCountBits },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(fPart) },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(fNew) << partCountBits },
 		In:    fullS,
 		Out:   fullS,
 		// Exactly one thread per partition generation holds ticket ==

@@ -60,7 +60,7 @@ func RTreeSpatialJoin(a, b *rtree.Tree, tun Tuning) ([]SpatialJoinPair, Result, 
 		func(r record.Rec) uint32 { return b.NodeAddr(r.Get(sjPtrB)) },
 		expandJoinPair, ctl, body, walked)
 
-	g.Add(fabric.NewFilter("sj.route", func(r record.Rec) int {
+	g.Add(fabric.NewFilter("sj.route", func(r *record.Rec) int {
 		if r.Get(sjMark) == 1 {
 			return 0
 		}

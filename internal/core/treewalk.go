@@ -58,8 +58,8 @@ func BTreeSearchP(t *btree.Tree, queries []RangeQuery, tun Tuning, p int) ([]rec
 		sinks[k] = wireTreeWalk(g, fmt.Sprintf("bts%d", k), threads, btree.NodeWords,
 			func(r record.Rec) uint32 { return t.NodeAddr(r.Get(btPtr)) },
 			expandBTreeNode, btMark,
-			func(r record.Rec) record.Rec {
-				return record.Make(r.Get(btResKey), r.Get(btResVal), r.Get(btTag))
+			func(r *record.Rec) {
+				*r = record.Make(r.Get(btResKey), r.Get(btResVal), r.Get(btTag))
 			}, uint32(k))
 	}
 	res, err := runGraph(g, budgetFor(len(queries))*4)
@@ -78,7 +78,7 @@ func BTreeSearchP(t *btree.Tree, queries []RangeQuery, tun Tuning, p int) ([]rec
 // and a projection into the result sink.
 func wireTreeWalk(g *fabric.Graph, pf string, threads []record.Rec, nodeWidth int,
 	addr func(record.Rec) uint32, expand func(record.Rec, []uint32) []record.Rec,
-	markField int, project func(record.Rec) record.Rec, spillSlot uint32) *fabric.Sink {
+	markField int, project func(*record.Rec), spillSlot uint32) *fabric.Sink {
 
 	ctl := fabric.NewLoopCtl()
 	ext := g.Link(pf + ".ext")
@@ -91,7 +91,7 @@ func wireTreeWalk(g *fabric.Graph, pf string, threads []record.Rec, nodeWidth in
 	g.Add(fabric.NewSource(pf+".in", threads, ext))
 	g.Add(fabric.NewLoopMerge(pf+".entry", recircQ, ext, body, ctl))
 	fabric.NewDRAMExpand(g, pf+".fetch", nodeWidth, addr, expand, ctl, body, walked)
-	g.Add(fabric.NewFilter(pf+".route", func(r record.Rec) int {
+	g.Add(fabric.NewFilter(pf+".route", func(r *record.Rec) int {
 		if r.Get(markField) == 1 {
 			return 0
 		}
@@ -198,8 +198,8 @@ func RTreeWindowP(t *rtree.Tree, queries []WindowQuery, tun Tuning, p int) ([]re
 		sinks[k] = wireTreeWalk(g, fmt.Sprintf("rtw%d", k), threads, rtree.NodeWords,
 			func(r record.Rec) uint32 { return t.NodeAddr(r.Get(rtPtr)) },
 			expandRTreeNode, rtMark,
-			func(r record.Rec) record.Rec {
-				return record.Make(r.Get(rtResID), r.Get(rtTag))
+			func(r *record.Rec) {
+				*r = record.Make(r.Get(rtResID), r.Get(rtTag))
 			}, uint32(16+k))
 	}
 	res, err := runGraph(g, budgetFor(len(queries))*8)

@@ -17,10 +17,32 @@ import (
 type LoopCtl struct {
 	inflight int64
 	extEOS   bool
+	// limit, when non-zero, is the admission bound: the loop entry stops
+	// pulling external records once inflight+incoming would exceed it. A
+	// recirculating pipeline deadlocks when its live thread population
+	// reaches the loop's total token capacity (every link slot full, every
+	// component blocked on the next); bounding admission strictly below
+	// that capacity makes the classic ring-saturation wedge unreachable.
+	// Recirculating traffic is never gated — it must keep draining.
+	limit int64
 }
 
 // NewLoopCtl returns a fresh loop control.
 func NewLoopCtl() *LoopCtl { return &LoopCtl{} }
+
+// Limit sets the admission bound (0 = unbounded) and returns the control
+// for chaining. Kernels with long recirculation (chain walks, retry loops)
+// set it below the loop's token capacity; see CanAdmit.
+func (c *LoopCtl) Limit(n int64) *LoopCtl {
+	c.limit = n
+	return c
+}
+
+// CanAdmit reports whether n more threads may enter the loop without
+// exceeding the admission bound.
+func (c *LoopCtl) CanAdmit(n int) bool {
+	return c.limit == 0 || c.inflight+int64(n) <= c.limit
+}
 
 // Enter records a thread entering the loop from outside.
 func (c *LoopCtl) Enter() { c.inflight++ }
@@ -61,7 +83,7 @@ type Output struct {
 type Filter struct {
 	name  string
 	in    *sim.Link
-	route func(record.Rec) int
+	route func(*record.Rec) int
 	outs  []Output
 	ctl   *LoopCtl
 
@@ -76,8 +98,10 @@ type Filter struct {
 }
 
 // NewFilter builds a filter. route returns the output index for each
-// record, or -1 to kill the thread. ctl may be nil outside loops.
-func NewFilter(name string, route func(record.Rec) int, in *sim.Link, outs []Output, ctl *LoopCtl) *Filter {
+// record, or -1 to kill the thread; the record is passed by pointer to
+// avoid a copy per lane, and route may mutate it in place (the mutated
+// record is what lands on the chosen output). ctl may be nil outside loops.
+func NewFilter(name string, route func(*record.Rec) int, in *sim.Link, outs []Output, ctl *LoopCtl) *Filter {
 	if len(outs) == 0 {
 		panic("fabric: filter needs at least one output")
 	}
@@ -223,7 +247,7 @@ func (f *Filter) accept(cycle int64) {
 		return
 	}
 	tv := f.pipe.PushRefDirty()
-	tv.v = fl.Vec
+	copyVec(&tv.v, &fl.Vec)
 	tv.ready = cycle + PipelineDepth
 }
 
@@ -235,33 +259,75 @@ func (f *Filter) drainPipe(cycle int64) bool {
 	}
 	touched := f.lastAppend
 	v := &f.pipe.Front().v
+	if v.Mask == (1<<record.NumLanes)-1 {
+		// Dense vector: route every lane first, then distribute. When all
+		// lanes pick the same pushable output whose accumulator is empty,
+		// the records are copied straight into the staged output vector —
+		// exactly what this cycle's emit would do after buffering them
+		// (16 appended to an empty accumulator ⇒ a full vector released
+		// this cycle), minus one 52-byte copy per record.
+		var ois [record.NumLanes]int
+		oi0 := f.route(&v.Lane[0])
+		same := oi0 >= 0 && oi0 < len(f.outs) && f.outs[oi0].Link != nil
+		ois[0] = oi0
+		for i := 1; i < record.NumLanes; i++ {
+			ois[i] = f.route(&v.Lane[i])
+			if ois[i] != oi0 {
+				same = false
+			}
+		}
+		if same && f.acc[oi0].Len() == 0 && f.outs[oi0].Link.CanPush() {
+			out := f.outs[oi0].Link.StageVec(cycle)
+			for i := 0; i < record.NumLanes; i++ {
+				*out.PushRef() = v.Lane[i]
+			}
+			touched[oi0] = cycle
+			if f.ctl != nil && f.outs[oi0].Exit {
+				for k := 0; k < record.NumLanes; k++ {
+					f.ctl.Exit()
+				}
+			}
+			f.pipe.Drop()
+			return true
+		}
+		for i := 0; i < record.NumLanes; i++ {
+			f.sortLane(cycle, &v.Lane[i], ois[i])
+		}
+		f.pipe.Drop()
+		return true
+	}
 	for i := 0; i < record.NumLanes; i++ {
 		if !v.Valid(i) {
 			continue
 		}
 		r := &v.Lane[i]
-		oi := f.route(*r)
-		if oi < 0 {
-			// Thread kill: in a loop this is an exit.
-			if f.ctl != nil {
-				f.ctl.Exit()
-			}
-			continue
-		}
-		if oi >= len(f.outs) {
-			panic(fmt.Sprintf("%s: route returned %d with %d outputs", f.name, oi, len(f.outs)))
-		}
-		if f.outs[oi].Link == nil {
-			if f.ctl != nil && f.outs[oi].Exit {
-				f.ctl.Exit()
-			}
-			continue
-		}
-		*f.acc[oi].PushRefDirty() = *r
-		touched[oi] = cycle
+		f.sortLane(cycle, r, f.route(r))
 	}
 	f.pipe.Drop()
 	return true
+}
+
+// sortLane lands one routed record in its output accumulator, counting loop
+// exits for kills and nil-link exit outputs.
+func (f *Filter) sortLane(cycle int64, r *record.Rec, oi int) {
+	if oi < 0 {
+		// Thread kill: in a loop this is an exit.
+		if f.ctl != nil {
+			f.ctl.Exit()
+		}
+		return
+	}
+	if oi >= len(f.outs) {
+		panic(fmt.Sprintf("%s: route returned %d with %d outputs", f.name, oi, len(f.outs)))
+	}
+	if f.outs[oi].Link == nil {
+		if f.ctl != nil && f.outs[oi].Exit {
+			f.ctl.Exit()
+		}
+		return
+	}
+	*f.acc[oi].PushRefDirty() = *r
+	f.lastAppend[oi] = cycle
 }
 
 // flushAge bounds how long a partial vector may sit in a compaction buffer
@@ -446,10 +512,17 @@ func (m *Merge) Tick(cycle int64) {
 	}
 	if m.acc.Len() < record.NumLanes && !m.secEOS && !m.sec.Empty() {
 		f := m.sec.Peek()
-		m.sec.Drop()
-		if f.EOS {
+		switch {
+		case f.EOS:
+			m.sec.Drop()
 			m.secEOS = true
-		} else {
+		case m.ctl != nil && !m.ctl.CanAdmit(f.Vec.Count()):
+			// Admission bound reached: hold the external vector on its
+			// link until exits free loop slots. The recirculating path
+			// above is never gated, so the loop keeps draining and
+			// inflight monotonically falls until admission reopens.
+		default:
+			m.sec.Drop()
 			for i := 0; i < record.NumLanes; i++ {
 				if f.Vec.Mask&(1<<uint(i)) != 0 {
 					if m.ctl != nil {

@@ -104,8 +104,8 @@ func TestCheckRejectsMalformedGraphs(t *testing.T) {
 			build: func() *Graph {
 				g := NewGraph()
 				a, b := g.Link("a"), g.Link("b")
-				g.Add(NewMap("m1", func(r record.Rec) record.Rec { return r }, a, b))
-				g.Add(NewMap("m2", func(r record.Rec) record.Rec { return r }, b, a))
+				g.Add(NewMap("m1", func(r *record.Rec) {}, a, b))
+				g.Add(NewMap("m2", func(r *record.Rec) {}, b, a))
 				return g
 			},
 		},
@@ -118,7 +118,7 @@ func TestCheckRejectsMalformedGraphs(t *testing.T) {
 				g.Add(NewSource("src", oneRec, ext))
 				// NewMerge, not NewLoopMerge: no drain protocol on the cycle.
 				g.Add(NewMerge("entry", recirc, ext, body))
-				g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
+				g.Add(NewFilter("exit?", func(r *record.Rec) int { return 0 }, body, []Output{
 					{Link: exit, Exit: true},
 					{Link: recirc, NoEOS: true},
 				}, nil))
@@ -170,7 +170,7 @@ func TestCheckRejectsMalformedGraphs(t *testing.T) {
 				g := NewGraph()
 				l := g.Link("l")
 				g.Add(NewSource("src", oneRec, l))
-				g.Add(NewMap("m", func(r record.Rec) record.Rec { return r }, l, nil))
+				g.Add(NewMap("m", func(r *record.Rec) {}, l, nil))
 				return g
 			},
 		},
@@ -201,8 +201,8 @@ func TestCheckAcceptsWellFormedLoop(t *testing.T) {
 	ctl := NewLoopCtl()
 	g.Add(NewSource("src", []record.Rec{record.Make(0, 3)}, ext))
 	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
-	g.Add(NewMap("dec", func(r record.Rec) record.Rec { return r }, body, dec).Cyclic())
-	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, dec, []Output{
+	g.Add(NewMap("dec", func(r *record.Rec) {}, body, dec).Cyclic())
+	g.Add(NewFilter("exit?", func(r *record.Rec) int { return 0 }, dec, []Output{
 		{Link: exit, Exit: true},
 		{Link: recirc, NoEOS: true},
 	}, ctl))

@@ -32,7 +32,7 @@ func conformanceCases() []conformanceCase {
 			g := NewGraph()
 			in, out := g.Link("in"), g.Link("out")
 			g.Add(NewSource("src", recs(100), in))
-			g.Add(NewMap("id", func(r record.Rec) record.Rec { return r.Set(1, r.Get(1)+1) }, in, out))
+			g.Add(NewMap("id", func(r *record.Rec) { *r = r.Set(1, r.Get(1)+1) }, in, out))
 			g.Add(NewSink("snk", out))
 			return g
 		}},
@@ -52,7 +52,7 @@ func conformanceCases() []conformanceCase {
 			g.Add(NewFork("fork", func(r record.Rec) []record.Rec {
 				return []record.Rec{r, r.Set(1, r.Get(1)+100)}
 			}, in, mid, nil))
-			g.Add(NewFilter("odd?", func(r record.Rec) int {
+			g.Add(NewFilter("odd?", func(r *record.Rec) int {
 				if r.Get(0)%2 == 1 {
 					return 0
 				}

@@ -132,7 +132,7 @@ func (d *DRAMNode) submit(cycle int64) {
 		d.ready.Len()+d.outstanding < 8*record.NumLanes {
 		r := *d.backlog.Front()
 		w := d.width()
-		addr := d.spec.Addr(r)
+		addr := d.spec.Addr(&r)
 		req := dram.Request{Addr: addr, Words: w}
 		switch d.spec.Op {
 		case spad.OpWrite:
@@ -143,7 +143,7 @@ func (d *DRAMNode) submit(cycle int64) {
 			}
 			data := d.wdata[:w]
 			for i := 0; i < w; i++ {
-				data[i] = d.spec.Data(r, i)
+				data[i] = d.spec.Data(&r, i)
 			}
 			req.Write = true
 			req.Data = data
@@ -153,16 +153,16 @@ func (d *DRAMNode) submit(cycle int64) {
 			// Atomic at the memory controller: mutate functionally now
 			// (submissions are serialized), respond after the round trip.
 			old := d.h.ReadWord(addr)
-			d.h.WriteWord(addr, old+d.spec.Data(r, 0))
+			d.h.WriteWord(addr, old+d.spec.Data(&r, 0))
 			req.Write = true
-			req.Data = []uint32{old + d.spec.Data(r, 0)}
+			req.Data = []uint32{old + d.spec.Data(&r, 0)}
 			rr := r
 			prev := old
 			req.Done = d.completer(rr, []uint32{prev})
 		case spad.OpCAS:
 			cur := d.h.ReadWord(addr)
-			if cur == d.spec.Data(r, 0) {
-				d.h.WriteWord(addr, d.spec.Data(r, 1))
+			if cur == d.spec.Data(&r, 0) {
+				d.h.WriteWord(addr, d.spec.Data(&r, 1))
 			}
 			req.Write = true
 			req.Data = []uint32{d.h.ReadWord(addr)}
@@ -204,12 +204,12 @@ func (d *DRAMNode) completer(r record.Rec, resp []uint32) func([]uint32) {
 // sleeping node.
 func (d *DRAMNode) complete(r record.Rec, resp []uint32) {
 	d.outstanding-- // lint:wakeprop-ok fires inside the HBM partner's tick; partner-tick wake re-checks Idle
-	out, keep := r, true
+	keep := true
 	if d.spec.Apply != nil {
-		out, keep = d.spec.Apply(r, resp)
+		keep = d.spec.Apply(&r, resp)
 	}
 	if keep {
-		*d.ready.PushRefDirty() = out // lint:wakeprop-ok fires inside the HBM partner's tick; partner-tick wake re-checks Idle
+		*d.ready.PushRefDirty() = r // lint:wakeprop-ok fires inside the HBM partner's tick; partner-tick wake re-checks Idle
 	} else {
 		d.dropCnt.Add(1)
 	}

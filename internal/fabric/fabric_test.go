@@ -31,8 +31,8 @@ func TestSourceMapSink(t *testing.T) {
 	a := g.Link("a")
 	b := g.Link("b")
 	g.Add(NewSource("src", seqRecs(100), a))
-	g.Add(NewMap("double", func(r record.Rec) record.Rec {
-		return r.Set(0, r.Get(0)*2)
+	g.Add(NewMap("double", func(r *record.Rec) {
+		r.Put(0, r.Get(0)*2)
 	}, a, b))
 	snk := NewSink("snk", b)
 	g.Add(snk)
@@ -59,10 +59,9 @@ func TestMapStatefulCounter(t *testing.T) {
 	a, b := g.Link("a"), g.Link("b")
 	g.Add(NewSource("src", seqRecs(50), a))
 	ctr := uint32(0)
-	g.Add(NewMap("stamp", func(r record.Rec) record.Rec {
-		r = r.Append(ctr)
+	g.Add(NewMap("stamp", func(r *record.Rec) {
+		*r = r.Append(ctr)
 		ctr++
-		return r
 	}, a, b))
 	snk := NewSink("snk", b)
 	g.Add(snk)
@@ -80,7 +79,7 @@ func TestFilterSplitsAndCompacts(t *testing.T) {
 	g := NewGraph()
 	in, even, odd := g.Link("in"), g.Link("even"), g.Link("odd")
 	g.Add(NewSource("src", seqRecs(99), in))
-	g.Add(NewFilter("parity", func(r record.Rec) int {
+	g.Add(NewFilter("parity", func(r *record.Rec) int {
 		return int(r.Get(0) % 2)
 	}, in, []Output{{Link: even}, {Link: odd}}, nil))
 	se, so := NewSink("se", even), NewSink("so", odd)
@@ -102,7 +101,7 @@ func TestFilterDrop(t *testing.T) {
 	g := NewGraph()
 	in, keep := g.Link("in"), g.Link("keep")
 	g.Add(NewSource("src", seqRecs(64), in))
-	g.Add(NewFilter("drop-high", func(r record.Rec) int {
+	g.Add(NewFilter("drop-high", func(r *record.Rec) int {
 		if r.Get(0) < 16 {
 			return 0
 		}
@@ -172,13 +171,12 @@ func TestCyclicCountdownLoop(t *testing.T) {
 	ctl := NewLoopCtl()
 	g.Add(NewSource("src", recs, ext))
 	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
-	g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+	g.Add(NewMap("dec", func(r *record.Rec) {
 		if c := r.Get(1); c > 0 {
-			return r.Set(1, c-1)
+			r.Put(1, c-1)
 		}
-		return r
 	}, body, dec))
-	g.Add(NewFilter("exit?", func(r record.Rec) int {
+	g.Add(NewFilter("exit?", func(r *record.Rec) int {
 		if r.Get(1) == 0 {
 			return 0 // exit
 		}
@@ -227,7 +225,7 @@ func TestLoopWithForkInside(t *testing.T) {
 		c := r.Set(1, d-1)
 		return []record.Rec{c, c}
 	}, body, forked, ctl))
-	g.Add(NewFilter("leaf?", func(r record.Rec) int {
+	g.Add(NewFilter("leaf?", func(r *record.Rec) int {
 		if r.Get(1) == 0 {
 			return 0
 		}
@@ -283,15 +281,15 @@ func TestLoopWithSpadInside(t *testing.T) {
 	tile := spad.NewTile(spad.DefaultConfig("nodes"), mem, spad.Spec{
 		Op:    spad.OpRead,
 		Width: 2,
-		Addr:  func(r record.Rec) uint32 { return 2 * r.Get(1) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			r = r.Set(2, resp[0]) // value
-			r = r.Set(1, resp[1]) // next
-			return r, true
+		Addr:  func(r *record.Rec) uint32 { return 2 * r.Get(1) },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			r.Put(2, resp[0]) // value
+			r.Put(1, resp[1]) // next
+			return true
 		},
 	}, body, fetched, g.Stats())
 	g.Add(tile)
-	g.Add(NewFilter("end?", func(r record.Rec) int {
+	g.Add(NewFilter("end?", func(r *record.Rec) int {
 		if r.Get(1) == nil32 {
 			return 0
 		}
@@ -329,16 +327,17 @@ func TestDRAMNodeGatherScatter(t *testing.T) {
 	NewDRAMNode(g, "gather", spad.Spec{
 		Op:    spad.OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Append(resp[0]), true
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			*r = r.Append(resp[0])
+			return true
 		},
 	}, in, mid)
 	NewDRAMNode(g, "scatter", spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return 2000 + r.Get(0) },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) + 1 },
+		Addr:  func(r *record.Rec) uint32 { return 2000 + r.Get(0) },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(1) + 1 },
 		// Each record writes its own key-indexed slot; no two threads collide.
 		DisjointAddrs: true,
 	}, mid, out)

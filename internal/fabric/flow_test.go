@@ -21,14 +21,13 @@ func flowRecs(n int, count uint32) []record.Rec {
 	return out
 }
 
-func decCount(r record.Rec) record.Rec {
+func decCount(r *record.Rec) {
 	if c := r.Get(1); c > 0 {
-		return r.Set(1, c-1)
+		r.Put(1, c-1)
 	}
-	return r
 }
 
-func exitWhenZero(r record.Rec) int {
+func exitWhenZero(r *record.Rec) int {
 	if r.Get(1) == 0 {
 		return 0
 	}
@@ -136,7 +135,7 @@ func chainedCleanLoops(n int) *Graph {
 	g.Add(NewSource("src", flowRecs(n, 2), ext))
 	g.Add(NewLoopMerge("a.entry", aRec, ext, aBody, actl))
 	g.Add(NewMap("a.dec", decCount, aBody, aDec).Cyclic())
-	g.Add(NewFilter("a.exit?", func(r record.Rec) int {
+	g.Add(NewFilter("a.exit?", func(r *record.Rec) int {
 		if r.Get(1) <= 1 {
 			return 0
 		}

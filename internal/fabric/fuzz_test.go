@@ -88,7 +88,7 @@ func FuzzGraphCheck(f *testing.F) {
 		nMaps := int(next()) % 5
 		for i := 0; i < nMaps; i++ {
 			g.Add(NewMap("m"+string(rune('0'+i)),
-				func(r record.Rec) record.Rec { return r }, pick(), pick()).
+				func(r *record.Rec) {}, pick(), pick()).
 				Typed(schema(), schema()))
 		}
 		if next()%4 != 0 { // usually, but not always, give the graph a sink

@@ -27,13 +27,12 @@ func TestPropertyCountdownLoops(t *testing.T) {
 		ctl := NewLoopCtl()
 		g.Add(NewSource("src", recs, ext))
 		g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
-		g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+		g.Add(NewMap("dec", func(r *record.Rec) {
 			if c := r.Get(1); c > 0 {
-				return r.Set(1, c-1)
+				r.Put(1, c-1)
 			}
-			return r
 		}, body, dec))
-		g.Add(NewFilter("exit?", func(r record.Rec) int {
+		g.Add(NewFilter("exit?", func(r *record.Rec) int {
 			if r.Get(1) == 0 {
 				return 0
 			}
@@ -74,7 +73,7 @@ func TestMiswiredLoopIsCaughtAsDeadlock(t *testing.T) {
 	g.Add(NewSource("src", []record.Rec{record.Make(0, 0)}, ext))
 	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
 	// BUG under test: ctl is nil here, so exits are never counted.
-	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
+	g.Add(NewFilter("exit?", func(r *record.Rec) int { return 0 }, body, []Output{
 		{Link: exit, Exit: true},
 		{Link: recirc, NoEOS: true},
 	}, nil))
@@ -96,7 +95,7 @@ func TestHalfWiredLoopIsCaughtStatically(t *testing.T) {
 	ctl := NewLoopCtl()
 	g.Add(NewSource("src", []record.Rec{record.Make(0, 0)}, ext))
 	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
-	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
+	g.Add(NewFilter("exit?", func(r *record.Rec) int { return 0 }, body, []Output{
 		{Link: exit, Exit: true},
 	}, nil))
 	snk := NewSink("snk", exit)
@@ -135,13 +134,12 @@ func TestLoopBackpressureUnderTinyLinks(t *testing.T) {
 	}
 	g.Add(NewSource("src", recs, ext))
 	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
-	g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+	g.Add(NewMap("dec", func(r *record.Rec) {
 		if c := r.Get(1); c > 0 {
-			return r.Set(1, c-1)
+			r.Put(1, c-1)
 		}
-		return r
 	}, body, dec))
-	g.Add(NewFilter("exit?", func(r record.Rec) int {
+	g.Add(NewFilter("exit?", func(r *record.Rec) int {
 		if r.Get(1) == 0 {
 			return 0
 		}

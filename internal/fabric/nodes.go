@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"math/bits"
+
 	"aurochs/internal/record"
 	"aurochs/internal/ring"
 	"aurochs/internal/sim"
@@ -43,7 +45,9 @@ func (s *Source) Tick(cycle int64) {
 		return
 	}
 	if s.pos < len(s.vecs) {
-		s.out.Push(cycle, sim.Flit{Vec: s.vecs[s.pos]})
+		// StageVec writes the vector straight into the ring slot — one copy
+		// instead of composing a Flit on the stack and copying it again.
+		*s.out.StageVec(cycle) = s.vecs[s.pos]
 		s.pos++
 		return
 	}
@@ -93,6 +97,30 @@ func (s *Sink) Tick(cycle int64) {
 	}
 }
 
+// TickBatch implements sim.BatchTicker: the sink drains every visible flit
+// in Tick already, so the batch form only changes the bookkeeping — whole
+// contiguous spans are read through PeekBlock and released with one
+// DropBlock counter update instead of a Peek/Drop pair per flit.
+func (s *Sink) TickBatch(cycle int64, n int) int {
+	total := 0
+	for !s.in.Empty() {
+		blk := s.in.PeekBlock()
+		for i := range blk {
+			if blk[i].EOS {
+				// Consume up to and including the EOS, then stop exactly as
+				// the scalar loop does — nothing after EOS is touched.
+				s.in.DropBlock(i + 1)
+				s.eos = true
+				return total + i + 1
+			}
+			s.recs = blk[i].Vec.AppendRecords(s.recs)
+		}
+		s.in.DropBlock(len(blk))
+		total += len(blk)
+	}
+	return total
+}
+
 // Records returns everything collected so far.
 func (s *Sink) Records() []record.Rec { return s.recs }
 
@@ -101,6 +129,8 @@ func (s *Sink) Count() int { return len(s.recs) }
 
 // Map is a compute tile statically configured with a per-record function:
 // one vector per cycle through a PipelineDepth-stage datapath. The function
+// mutates the record in place — it is handed a pointer into the tile's own
+// pipeline buffer, so no per-record copy crosses the call. The function
 // may hold state (e.g. the ingress counter that stamps hash-table node
 // slots) because one node models one physical pipeline through which
 // records pass in a definite order.
@@ -108,7 +138,7 @@ type Map struct {
 	name string
 	in   *sim.Link
 	out  *sim.Link
-	fn   func(record.Rec) record.Rec
+	fn   func(*record.Rec)
 
 	pipe     ring.Queue[timedVec]
 	eosIn    bool
@@ -123,8 +153,8 @@ type timedVec struct {
 	ready int64
 }
 
-// NewMap builds a map tile applying fn to every record.
-func NewMap(name string, fn func(record.Rec) record.Rec, in, out *sim.Link) *Map {
+// NewMap builds a map tile applying fn, in place, to every record.
+func NewMap(name string, fn func(*record.Rec), in, out *sim.Link) *Map {
 	return &Map{name: name, fn: fn, in: in, out: out}
 }
 
@@ -202,7 +232,9 @@ func (m *Map) Tick(cycle int64) {
 			slot.v.Reset()
 			for i := 0; i < record.NumLanes; i++ {
 				if f.Vec.Valid(i) {
-					slot.v.Push(m.fn(f.Vec.Lane[i]))
+					r := slot.v.PushRef()
+					*r = f.Vec.Lane[i]
+					m.fn(r)
 				}
 			}
 		}
@@ -211,5 +243,23 @@ func (m *Map) Tick(cycle int64) {
 	if m.eosIn && !m.eos && m.pipe.Len() == 0 && m.out.CanPush() {
 		m.out.PushEOS(cycle)
 		m.eos = true
+	}
+}
+
+// copyVec copies only the valid lanes of src into dst, leaving invalid
+// lanes dirty — no reader consults a lane outside the mask, and on the
+// sparse streams filters re-pack, lane-wise copying moves a fraction of the
+// full 16-lane vector.
+func copyVec(dst, src *record.Vector) {
+	m := src.Mask
+	dst.Mask = m // lint:phaseconf-ok dst is the caller's staged flit on a link the ticking component produces into (Link.StageVec), owned by the claiming worker until commit
+	if m == (1<<record.NumLanes)-1 {
+		dst.Lane = src.Lane // lint:phaseconf-ok dst is the caller's staged flit on a link the ticking component produces into, owned by the claiming worker until commit
+		return
+	}
+	for m != 0 {
+		i := bits.TrailingZeros16(m)
+		m &= m - 1
+		dst.Lane[i] = src.Lane[i] // lint:phaseconf-ok dst is the caller's staged flit on a link the ticking component produces into, owned by the claiming worker until commit
 	}
 }

@@ -23,11 +23,11 @@ func parallelCases() []graphCase {
 			g := NewGraph()
 			in, even, odd, dbl, out := g.Link("in"), g.Link("even"), g.Link("odd"), g.Link("dbl"), g.Link("out")
 			g.Add(NewSource("src", seqRecs(400), in))
-			g.Add(NewFilter("parity", func(r record.Rec) int {
+			g.Add(NewFilter("parity", func(r *record.Rec) int {
 				return int(r.Get(0) % 2)
 			}, in, []Output{{Link: even}, {Link: odd}}, nil))
-			g.Add(NewMap("double", func(r record.Rec) record.Rec {
-				return r.Set(0, r.Get(0)*2)
+			g.Add(NewMap("double", func(r *record.Rec) {
+				*r = r.Set(0, r.Get(0)*2)
 			}, even, dbl))
 			g.Add(NewMerge("join", dbl, odd, out))
 			snk := NewSink("snk", out)
@@ -45,13 +45,12 @@ func parallelCases() []graphCase {
 			ctl := NewLoopCtl()
 			g.Add(NewSource("src", recs, ext))
 			g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
-			g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+			g.Add(NewMap("dec", func(r *record.Rec) {
 				if c := r.Get(1); c > 0 {
-					return r.Set(1, c-1)
+					r.Put(1, c-1)
 				}
-				return r
 			}, body, dec))
-			g.Add(NewFilter("exit?", func(r record.Rec) int {
+			g.Add(NewFilter("exit?", func(r *record.Rec) int {
 				if r.Get(1) == 0 {
 					return 0
 				}
@@ -91,14 +90,14 @@ func parallelCases() []graphCase {
 			g.Add(spad.NewTile(spad.DefaultConfig("nodes"), mem, spad.Spec{
 				Op:    spad.OpRead,
 				Width: 2,
-				Addr:  func(r record.Rec) uint32 { return 2 * r.Get(1) },
-				Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-					r = r.Set(2, resp[0])
-					r = r.Set(1, resp[1])
-					return r, true
+				Addr:  func(r *record.Rec) uint32 { return 2 * r.Get(1) },
+				Apply: func(r *record.Rec, resp []uint32) bool {
+					r.Put(2, resp[0])
+					r.Put(1, resp[1])
+					return true
 				},
 			}, body, fetched, g.Stats()))
-			g.Add(NewFilter("end?", func(r record.Rec) int {
+			g.Add(NewFilter("end?", func(r *record.Rec) int {
 				if r.Get(1) == nil32 {
 					return 0
 				}
@@ -123,16 +122,17 @@ func parallelCases() []graphCase {
 			NewDRAMNode(g, "gather", spad.Spec{
 				Op:    spad.OpRead,
 				Width: 1,
-				Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-				Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-					return r.Append(resp[0]), true
+				Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+				Apply: func(r *record.Rec, resp []uint32) bool {
+					*r = r.Append(resp[0])
+					return true
 				},
 			}, in, mid)
 			NewDRAMNode(g, "scatter", spad.Spec{
 				Op:    spad.OpWrite,
 				Width: 1,
-				Addr:  func(r record.Rec) uint32 { return 2000 + r.Get(0) },
-				Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) + 1 },
+				Addr:  func(r *record.Rec) uint32 { return 2000 + r.Get(0) },
+				Data:  func(r *record.Rec, _ int) uint32 { return r.Get(1) + 1 },
 				// Each record writes its own key-indexed slot; no collisions.
 				DisjointAddrs: true,
 			}, mid, out)
@@ -235,9 +235,10 @@ func TestSlowDRAMNotMisreportedAsDeadlock(t *testing.T) {
 	NewDRAMNode(g, "gather", spad.Spec{
 		Op:    spad.OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return (r.Get(0) % 4) * (1 << 14) }, // hammer row misses
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Append(resp[0]), true
+		Addr:  func(r *record.Rec) uint32 { return (r.Get(0) % 4) * (1 << 14) }, // hammer row misses
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			*r = r.Append(resp[0])
+			return true
 		},
 	}, in, out)
 	snk := NewSink("snk", out)

@@ -22,13 +22,12 @@ func countdownLoop(g *Graph, mkLink func(string) *sim.Link, swap bool) *Sink {
 	} else {
 		g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
 	}
-	g.Add(NewMap("dec", func(r record.Rec) record.Rec {
+	g.Add(NewMap("dec", func(r *record.Rec) {
 		if c := r.Get(1); c > 0 {
-			return r.Set(1, c-1)
+			r.Put(1, c-1)
 		}
-		return r
 	}, body, dec).Cyclic())
-	g.Add(NewFilter("exit?", func(r record.Rec) int {
+	g.Add(NewFilter("exit?", func(r *record.Rec) int {
 		if r.Get(1) == 0 {
 			return 0
 		}
@@ -114,7 +113,7 @@ func TestProveAcyclicPipeline(t *testing.T) {
 	g := NewGraph()
 	in, out := g.Link("in"), g.Link("out")
 	g.Add(NewSource("src", []record.Rec{record.Make(0, 0)}, in))
-	g.Add(NewMap("id", func(r record.Rec) record.Rec { return r }, in, out))
+	g.Add(NewMap("id", func(r *record.Rec) {}, in, out))
 	g.Add(NewSink("snk", out))
 	report, err := g.Prove()
 	if err != nil {
@@ -167,7 +166,7 @@ func TestCheckRejectsAcyclicLoopMerge(t *testing.T) {
 	g.Add(NewLoopMerge("entry", recirc, ext, body, ctl))
 	// The filter routes everything out: recirc has no producer, the loop
 	// never closes.
-	g.Add(NewFilter("exit?", func(r record.Rec) int { return 0 }, body, []Output{
+	g.Add(NewFilter("exit?", func(r *record.Rec) int { return 0 }, body, []Output{
 		{Link: exit, Exit: true},
 	}, ctl))
 	g.Add(NewSink("snk", exit))

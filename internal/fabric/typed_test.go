@@ -197,8 +197,8 @@ func plainWrite() spad.Spec {
 	return spad.Spec{
 		Op:    spad.OpWrite,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(0) },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(0) },
 	}
 }
 
@@ -248,8 +248,8 @@ func TestCheckOrderDependent(t *testing.T) {
 func TestProveReorderFacts(t *testing.T) {
 	faa := spad.Spec{
 		Op:   spad.OpFAA,
-		Addr: func(r record.Rec) uint32 { return 0 },
-		Data: func(record.Rec, int) uint32 { return 1 },
+		Addr: func(r *record.Rec) uint32 { return 0 },
+		Data: func(*record.Rec, int) uint32 { return 1 },
 	}
 	rep, err := orderGraph(faa).Prove()
 	if err != nil {
@@ -272,8 +272,8 @@ func TestTileReorderContract(t *testing.T) {
 	mem := spad.NewMem(16, 16, 1)
 	spec := spad.Spec{
 		Op:   spad.OpFAA,
-		Addr: func(r record.Rec) uint32 { return 0 },
-		Data: func(record.Rec, int) uint32 { return 1 },
+		Addr: func(r *record.Rec) uint32 { return 0 },
+		Data: func(*record.Rec, int) uint32 { return 1 },
 	}
 	cfg := spad.DefaultConfig("t")
 	tile := spad.NewTile(cfg, mem, spec, nil, nil, sim.NewStats())

@@ -53,9 +53,20 @@ type Model struct {
 	TreeNodeBytes  float64
 	// JoinComposed is the end-to-end hash join fitted at the *composed*
 	// level (both partition passes + per-partition build/probe rounds,
-	// including inter-phase drain overheads the kernel terms miss).
+	// including inter-phase drain overheads the kernel terms miss). It is
+	// the small-table regime: per-pipeline streams are short, so fill and
+	// drain dominate and the marginal cost per record is high.
 	JoinComposed      Term
 	JoinComposedBytes float64
+	// JoinComposedLarge is the same composed join fitted in the
+	// steady-state regime (≥512K-row sides): streams are deep enough to
+	// keep every pipeline stage occupied, so the marginal cost per record
+	// falls toward the vector-lane bound while the fitted intercept
+	// absorbs the extra partition rounds large tables need. The composed
+	// cost curve is concave, so the model takes the LOWER envelope of the
+	// two chords (see HashJoinCycles) — each chord is exact at the sizes
+	// it was fitted from and an upper bound elsewhere.
+	JoinComposedLarge Term
 }
 
 // Default returns a model with constants hand-calibrated against the cycle
@@ -78,9 +89,17 @@ func Default() Model {
 		SortPassBytes:  16,
 		TreeFetch:      1.1,
 		TreeNodeBytes:  160,
-		// Fit from composed joins of 16k and 64k total records at P=1.
-		JoinComposed:      Term{Fixed: 13400, PerRec: 0.87},
-		JoinComposedBytes: 25,
+		// Re-fitted from the BENCH_5 rows sweep (P=16, both sides equal):
+		// 32K/128K-row sides for the small-table chord, 512K/1M-row sides
+		// for the steady-state chord. Normalized to P=1 (the sweep slope
+		// times 16). The measured DRAM traffic is 17.0 bytes per total
+		// record, flat from 32K to 1M rows. TestComposedModelLargeScale
+		// re-runs the 32K- and 1M-row sims and holds the envelope to them;
+		// a kernel change that shifts composed cycles must re-fit these
+		// constants, not widen that tolerance.
+		JoinComposed:      Term{Fixed: 2194, PerRec: 1.62},
+		JoinComposedBytes: 17,
+		JoinComposedLarge: Term{Fixed: 48840, PerRec: 0.226},
 	}
 }
 
@@ -107,10 +126,18 @@ func sortPasses(n int64) float64 {
 }
 
 // HashJoinCycles models the full partitioned hash join of fig. 11a using
-// the composed-level fit (the per-kernel terms underestimate inter-phase
-// overheads; see KernelSumCycles for the decomposition).
+// the composed-level fits (the per-kernel terms underestimate inter-phase
+// overheads; see KernelSumCycles for the decomposition). The pipeline cost
+// is the lower envelope of the two regime chords — the composed cost curve
+// is concave in n because short streams pay fill/drain per round while
+// deep streams amortize it — rooflined against DRAM bandwidth.
 func (m Model) HashJoinCycles(nBuild, nProbe int64, p int) float64 {
-	return m.kernel(m.JoinComposed, m.JoinComposedBytes, nBuild+nProbe, p)
+	n := nBuild + nProbe
+	small := m.JoinComposed.Fixed + m.JoinComposed.PerRec*float64(n)/float64(p)
+	large := m.JoinComposedLarge.Fixed + m.JoinComposedLarge.PerRec*float64(n)/float64(p)
+	pipe := math.Min(small, large)
+	mem := m.JoinComposedBytes * float64(n) / m.Peak
+	return math.Max(pipe, mem)
 }
 
 // KernelSumCycles is the per-kernel decomposition of the join (fig. 12's

@@ -67,6 +67,31 @@ func TestDefaultModelInSimBallpark(t *testing.T) {
 	t.Logf("model %.0f vs sim %.0f (ratio %.2f)", model, sim, ratio)
 }
 
+// TestComposedModelLargeScale validates the two-chord envelope against live
+// composed-join simulations at both ends of the fitted range — the 32K-row
+// fill/drain regime and the 1M-row steady-state regime (the scale fig. 11a
+// projects from). The shipped constants were fitted from the BENCH_5 sweep
+// at these sizes; tolerance covers data-dependent jitter (key distribution,
+// overflow placement), not drift. If a kernel change moves composed cycles
+// beyond it, re-fit Default()'s JoinComposed terms from a fresh sweep
+// rather than widening the band.
+func TestComposedModelLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-row cycle simulation in -short mode")
+	}
+	m := Default()
+	for _, rows := range []int{32768, 1048576} {
+		sim := float64(simJoinCycles(t, rows, 16))
+		pred := m.HashJoinCycles(int64(rows), int64(rows), 16)
+		err := math.Abs(pred-sim) / sim
+		t.Logf("rows=%d sim=%.0f model=%.0f (%.1f%% error)", rows, sim, pred, err*100)
+		if err > 0.15 {
+			t.Errorf("rows=%d: model %.0f vs sim %.0f cycles (%.0f%% error, tolerance 15%%)",
+				rows, pred, sim, err*100)
+		}
+	}
+}
+
 func TestCrossoverHashBeatsSortAtScale(t *testing.T) {
 	m := Default()
 	// Small tables: sort-merge may win (dense access); huge tables: the

@@ -140,6 +140,17 @@ func (q *Queue[T]) DropN(n int) {
 	}
 }
 
+// BackingID identifies the current backing array (its first slot's
+// address), or nil before the first push. It exists for white-box
+// allocation probes that assert a queue stops reallocating at steady
+// state; it is not useful for reading queue contents.
+func (q *Queue[T]) BackingID() *T {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	return &q.buf[0]
+}
+
 // Reset empties the queue, keeping the backing storage.
 func (q *Queue[T]) Reset() {
 	var zero T

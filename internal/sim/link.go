@@ -26,14 +26,19 @@ type Flit struct {
 //     previous cycle: pops performed earlier in the same cycle cannot make
 //     it flip from false to true, so tick order stays unobservable.
 //
-// Storage is a single fixed ring of capacity slots. Because every launched
-// flit holds a credit whether it is still in flight or already buffered,
-// visible + in-flight occupancy can never exceed capacity — so one ring
-// holds both segments (visible entries first, in-flight entries behind
-// them) and commit "moves" an arrival by advancing a boundary counter
-// instead of copying the ~840-byte flit between slices. Steady-state
-// Push/Pop touch no allocator at all; StageVec and Peek/Drop additionally
-// avoid the flit copy by handing out pointers into the ring.
+// Storage is a fixed ring of capacity slots held as two parallel arrays:
+// buf carries the flits, ready the cycle at which each staged flit may
+// become visible. Because every launched flit holds a credit whether it is
+// still in flight or already buffered, visible + in-flight occupancy can
+// never exceed capacity — so one ring holds both segments (visible entries
+// first, in-flight entries behind them) and commit "moves" an arrival by
+// advancing a boundary counter instead of copying the ~840-byte flit
+// between slices. The split layout is what makes the block operations
+// (PeekBlock/PopBlock/PushBlock) and commit's arrival scan cache-friendly:
+// maturity stamps live in a dense int64 array the promote loop walks
+// without striding over flit payloads, and a block of flits is a
+// contiguous span (at most two, around the wrap) handed to the caller in
+// one step with counters updated once per block rather than once per flit.
 type Link struct {
 	name    string
 	cap     int
@@ -46,11 +51,12 @@ type Link struct {
 	// tail always equals (head+nVis+nFly) mod capacity: Drop moves a slot
 	// from the visible run to free space by head++/nVis--, leaving the sum
 	// unchanged, so the producer never needs the consumer's counters.
-	ring []slotF
-	head int // consumer-owned: ring index of the oldest visible flit
-	nVis int // consumer-decremented, commit-incremented: visible flits
-	nFly int // producer-owned: flits pushed but not yet arrived
-	tail int // producer-owned: ring index of the next free slot
+	buf   []Flit
+	ready []int64 // parallel to buf: first cycle the staged flit may become visible
+	head  int     // consumer-owned: ring index of the oldest visible flit
+	nVis  int     // consumer-decremented, commit-incremented: visible flits
+	nFly  int     // producer-owned: flits pushed but not yet arrived
+	tail  int     // producer-owned: ring index of the next free slot
 
 	credits int // producer-side: pushes permitted before the next commit
 
@@ -72,11 +78,20 @@ type Link struct {
 	id         int
 	wasDrained bool // phase:commit — cached drain state, updated only by commitLinks
 	wasFly     bool // phase:commit — cached in-flight state, updated only by commitLinks
+
+	// sched, when non-nil, receives a markLink on every mutation so the
+	// serial kernel commits only dirty links instead of sweeping the census.
+	// RunWith wires it for serial runs only: parallel workers mutating links
+	// concurrently would race on the shared dirty list, so the parallel
+	// kernel leaves it nil and commits by sweep.
+	sched *scheduler
 }
 
-type slotF struct {
-	f     Flit
-	ready int64 // first cycle the flit may become visible
+// touch reports a mutation to the serial kernel's dirty-link tracker.
+func (l *Link) touch() {
+	if s := l.sched; s != nil {
+		s.markLink(l)
+	}
 }
 
 func newLink(name string, capacity, latency int) *Link {
@@ -89,7 +104,8 @@ func newLink(name string, capacity, latency int) *Link {
 		credits = 0
 	}
 	return &Link{name: name, cap: capacity, latency: latency,
-		credits: credits, ring: make([]slotF, credits), id: -1, wasDrained: true}
+		credits: credits, buf: make([]Flit, credits), ready: make([]int64, credits),
+		id: -1, wasDrained: true}
 }
 
 // Name returns the link's identifier.
@@ -107,41 +123,37 @@ func (l *Link) CanPush() bool {
 	return l.credits > 0
 }
 
-// slot returns the i-th occupied slot counting from head (0 = oldest
-// visible; nVis = first in-flight).
-func (l *Link) slot(i int) *slotF {
-	p := l.head + i
-	if p >= len(l.ring) {
-		p -= len(l.ring)
-	}
-	return &l.ring[p]
-}
+// Credits returns the number of pushes the producer may still perform this
+// cycle — the block-transport counterpart of CanPush, letting a batched
+// producer size one PushBlock instead of polling CanPush per flit.
+func (l *Link) Credits() int { return l.credits }
 
 // stage claims the next free ring slot for a push at cycle, consuming one
 // credit and stamping the arrival time. Occupancy (nVis+nFly) can never
 // reach capacity while a credit remains, so the claimed slot is free.
-func (l *Link) stage(cycle int64) *slotF {
+func (l *Link) stage(cycle int64) *Flit {
 	if l.credits <= 0 {
 		panic("sim: push to full link " + l.name)
 	}
+	l.touch()
 	l.credits--
-	s := &l.ring[l.tail]
+	i := l.tail
 	l.tail++
-	if l.tail >= len(l.ring) {
+	if l.tail >= len(l.buf) {
 		l.tail = 0
 	}
-	s.ready = cycle + int64(l.latency)
+	l.ready[i] = cycle + int64(l.latency)
 	l.nFly++
 	l.pushes++
 	l.pushedNow = true
-	return s
+	return &l.buf[i]
 }
 
 // Push stages a flit for delivery after the link latency, consuming one
 // credit. The caller must check CanPush first; pushing without a credit is
 // a modelling bug and panics.
 func (l *Link) Push(cycle int64, f Flit) {
-	l.stage(cycle).f = f
+	*l.stage(cycle) = f
 }
 
 // StageVec is the zero-copy form of Push for data flits: it consumes a
@@ -150,21 +162,67 @@ func (l *Link) Push(cycle int64, f Flit) {
 // vector through Push. The pointer is valid only until the producer's tick
 // returns. The caller must check CanPush first.
 func (l *Link) StageVec(cycle int64) *record.Vector {
-	s := l.stage(cycle)
-	s.f.EOS = false
-	s.f.Vec.Reset()
-	return &s.f.Vec
+	f := l.stage(cycle)
+	f.EOS = false
+	f.Vec.Reset()
+	return &f.Vec
 }
 
 // PushEOS stages an end-of-stream pulse without copying a flit.
 func (l *Link) PushEOS(cycle int64) {
-	s := l.stage(cycle)
-	s.f.EOS = true
-	s.f.Vec.Reset()
+	f := l.stage(cycle)
+	f.EOS = true
+	f.Vec.Reset()
+}
+
+// PushBlock stages up to len(fs) flits in one call, bounded by the credits
+// in hand, and returns how many it took. The span is copied into the ring
+// with at most two copy calls (one per side of the wrap); credits, the
+// occupancy counters, and the push statistics are updated once for the
+// whole block, and every flit in the block shares one arrival stamp —
+// exactly what per-flit Push calls in the same cycle would have produced.
+func (l *Link) PushBlock(cycle int64, fs []Flit) int {
+	n := len(fs)
+	if n > l.credits {
+		n = l.credits
+	}
+	if n == 0 {
+		return 0
+	}
+	l.touch()
+	at := cycle + int64(l.latency)
+	first := len(l.buf) - l.tail
+	if first > n {
+		first = n
+	}
+	copy(l.buf[l.tail:], fs[:first])
+	for i := l.tail; i < l.tail+first; i++ {
+		l.ready[i] = at
+	}
+	if rest := n - first; rest > 0 {
+		copy(l.buf, fs[first:n])
+		for i := 0; i < rest; i++ {
+			l.ready[i] = at
+		}
+	}
+	l.tail += n
+	if l.tail >= len(l.buf) {
+		l.tail -= len(l.buf)
+	}
+	l.credits -= n
+	l.nFly += n
+	l.pushes += int64(n)
+	l.pushedNow = true
+	return n
 }
 
 // Empty reports whether the consumer has nothing to pop this cycle.
 func (l *Link) Empty() bool { return l.nVis == 0 }
+
+// Visible returns the number of flits the consumer may pop this cycle —
+// the block-transport counterpart of Empty, letting a batched consumer
+// size one PeekBlock/DropBlock round instead of polling Empty per flit.
+func (l *Link) Visible() int { return l.nVis }
 
 // Peek returns the head flit without consuming it. The pointer's contents
 // stay stable until the end-of-cycle commit, even across a Pop/Drop in the
@@ -177,7 +235,21 @@ func (l *Link) Peek() *Flit {
 	if l.nVis == 0 {
 		panic("sim: peek on empty link " + l.name)
 	}
-	return &l.ring[l.head].f
+	return &l.buf[l.head]
+}
+
+// PeekBlock returns the longest contiguous span of visible flits starting
+// at the head — the whole visible run when it does not wrap, the head-side
+// piece when it does (a second call after DropBlock(len(span)) yields the
+// rest). The span aliases the ring with the same stability guarantee as
+// Peek: its contents survive until the end-of-cycle commit, even across
+// same-tick drops. An empty link yields an empty span.
+func (l *Link) PeekBlock() []Flit {
+	n := l.nVis
+	if max := len(l.buf) - l.head; n > max {
+		n = max
+	}
+	return l.buf[l.head : l.head+n]
 }
 
 // Pop consumes and returns the head flit. Panics if empty. Consumers on the
@@ -195,13 +267,57 @@ func (l *Link) Drop() {
 	if l.nVis == 0 {
 		panic("sim: pop on empty link " + l.name)
 	}
+	l.touch()
 	l.head++
-	if l.head >= len(l.ring) {
+	if l.head >= len(l.buf) {
 		l.head = 0
 	}
 	l.nVis--
 	l.pops++
 	l.poppedNow = true
+}
+
+// DropBlock consumes n visible flits with one counter update — the block
+// form of Drop, paired with PeekBlock. Panics if fewer than n are visible.
+func (l *Link) DropBlock(n int) {
+	if n == 0 {
+		return
+	}
+	if n < 0 || n > l.nVis {
+		panic("sim: block pop beyond visible run on link " + l.name)
+	}
+	l.touch()
+	l.head += n
+	if l.head >= len(l.buf) {
+		l.head -= len(l.buf)
+	}
+	l.nVis -= n
+	l.pops += int64(n)
+	l.poppedNow = true
+}
+
+// PopBlock copies up to len(dst) visible flits out of the ring — at most
+// two copy calls around the wrap — consumes them, and returns the count.
+// Counters update once per block. Consumers that can work in place should
+// prefer PeekBlock/DropBlock, which skip the copy entirely.
+func (l *Link) PopBlock(dst []Flit) int {
+	n := len(dst)
+	if n > l.nVis {
+		n = l.nVis
+	}
+	if n == 0 {
+		return 0
+	}
+	first := len(l.buf) - l.head
+	if first > n {
+		first = n
+	}
+	copy(dst[:first], l.buf[l.head:l.head+first]) // lint:phaseconf-ok dst is the consuming component's own staging storage; the consumer side of a link is owned by the claiming worker until commit
+	if rest := n - first; rest > 0 {
+		copy(dst[first:n], l.buf[:rest]) // lint:phaseconf-ok dst is the consuming component's own staging storage; the consumer side of a link is owned by the claiming worker until commit
+	}
+	l.DropBlock(n)
+	return n
 }
 
 // Drained reports whether no flits remain anywhere in the link.
@@ -217,19 +333,40 @@ func (l *Link) Pops() int64 { return l.pops }
 // activity to collect or in-flight entries that may arrive.
 func (l *Link) pending() bool { return l.pushedNow || l.poppedNow || l.nFly > 0 }
 
+// nextArrival returns the maturity stamp of the oldest in-flight flit.
+// Stamps are nondecreasing along the ring (pushes happen at nondecreasing
+// cycles with a constant latency), so the oldest in-flight entry is the
+// next to arrive. Callers guarantee nFly > 0. phase:commit — read by the
+// runner's fast-forward between cycles, never during ticks.
+func (l *Link) nextArrival() int64 {
+	i := l.head + l.nVis
+	if i >= len(l.buf) {
+		i -= len(l.buf)
+	}
+	return l.ready[i]
+}
+
 // commit ends the link's cycle: arrived in-flight flits join the visible
-// run (a boundary advance, not a copy), the producer's credits are
-// recomputed from the space the consumer freed, and the per-cycle activity
-// flags are collected. It returns the progress signal the deadlock detector
-// consumes (a push or pop happened) and a wake signal for the event
-// scheduler: whether anything observable about the link changed this cycle
-// — traffic, an arrival, or a credit return — meaning the endpoints (and
-// any component inspecting this link's state) must be re-examined.
+// run (a boundary advance over the dense ready array, not a copy — whole
+// spans promote in one scan), the producer's credits are recomputed from
+// the space the consumer freed, and the per-cycle activity flags are
+// collected. It returns the progress signal the deadlock detector consumes
+// (a push or pop happened) and a wake signal for the event scheduler:
+// whether anything observable about the link changed this cycle — traffic,
+// an arrival, or a credit return — meaning the endpoints (and any
+// component inspecting this link's state) must be re-examined.
 func (l *Link) commit(cycle int64) (progress, wake bool) {
 	arrivals := 0
-	for l.nFly > 0 && l.slot(l.nVis).ready <= cycle+1 {
+	for l.nFly > 0 {
+		i := l.head + l.nVis
+		if i >= len(l.buf) {
+			i -= len(l.buf)
+		}
 		// ready <= cycle+1: a flit pushed at cycle C with latency 1 is
 		// visible at cycle C+1, i.e. after this commit.
+		if l.ready[i] > cycle+1 {
+			break
+		}
 		l.nVis++
 		l.nFly--
 		arrivals++

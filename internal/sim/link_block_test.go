@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+)
+
+// blockVals drains every visible flit through PeekBlock/DropBlock rounds and
+// returns the lane-0 field-0 value of each data flit (EOS flits append the
+// sentinel 0xEEEE). At most two rounds are ever needed per cycle: the visible
+// run is contiguous except around the ring wrap.
+func blockVals(t *testing.T, l *Link) []uint32 {
+	t.Helper()
+	var out []uint32
+	rounds := 0
+	for l.Visible() > 0 {
+		span := l.PeekBlock()
+		if len(span) == 0 {
+			t.Fatalf("Visible=%d but PeekBlock returned empty span", l.Visible())
+		}
+		for i := range span {
+			if span[i].EOS {
+				out = append(out, 0xEEEE)
+			} else {
+				out = append(out, span[i].Vec.Lane[0].Get(0))
+			}
+		}
+		l.DropBlock(len(span))
+		if rounds++; rounds > 2 {
+			t.Fatal("visible run required more than two PeekBlock rounds")
+		}
+	}
+	return out
+}
+
+func flits(vals ...uint32) []Flit {
+	fs := make([]Flit, len(vals))
+	for i, v := range vals {
+		fs[i] = flit(v)
+	}
+	return fs
+}
+
+// TestPushBlockWraparoundSplit: a block staged across the ring wrap lands in
+// two copies but reads back in FIFO order, with PeekBlock yielding the
+// head-side piece first and the wrapped remainder on the second round.
+func TestPushBlockWraparoundSplit(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 8, 1)
+	// Advance head to 5 so the next block of 6 wraps (slots 5,6,7,0,1,2).
+	if n := l.PushBlock(0, flits(90, 91, 92, 93, 94)); n != 5 {
+		t.Fatalf("prefill PushBlock took %d of 5", n)
+	}
+	l.commit(0)
+	l.DropBlock(5)
+	l.commit(1)
+	if n := l.PushBlock(2, flits(0, 1, 2, 3, 4, 5)); n != 6 {
+		t.Fatalf("wrap PushBlock took %d of 6", n)
+	}
+	l.commit(2)
+	if l.Visible() != 6 {
+		t.Fatalf("Visible=%d want 6", l.Visible())
+	}
+	if span := l.PeekBlock(); len(span) != 3 {
+		// head=5 in a cap-8 ring: the contiguous head-side piece is 3 flits.
+		t.Fatalf("head-side span %d flits, want 3", len(span))
+	}
+	got := blockVals(t, l)
+	for i, v := range got {
+		if v != uint32(i) {
+			t.Fatalf("flit %d: got %d (order broken across wrap: %v)", i, v, got)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("drained %d flits, want 6", len(got))
+	}
+}
+
+// TestPopBlockCopiesAcrossWrap: PopBlock's two-sided copy reassembles a
+// wrapped run into one dense destination slice.
+func TestPopBlockCopiesAcrossWrap(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 4, 1)
+	l.PushBlock(0, flits(80, 81, 82))
+	l.commit(0)
+	l.DropBlock(3)
+	l.commit(1)
+	if n := l.PushBlock(2, flits(7, 8, 9, 10)); n != 4 {
+		t.Fatalf("PushBlock took %d of 4", n)
+	}
+	l.commit(2)
+	dst := make([]Flit, 4)
+	if n := l.PopBlock(dst); n != 4 {
+		t.Fatalf("PopBlock returned %d, want 4", n)
+	}
+	for i, want := range []uint32{7, 8, 9, 10} {
+		if got := dst[i].Vec.Lane[0].Get(0); got != want {
+			t.Fatalf("dst[%d]=%d want %d", i, got, want)
+		}
+	}
+	if !l.Drained() {
+		t.Fatal("link should be drained after full PopBlock")
+	}
+}
+
+// TestPushBlockExactCapacity: a block of exactly the link capacity consumes
+// every credit, arrives as one full visible run, and the producer stays
+// blocked until the consumer frees space and a commit returns the credits.
+func TestPushBlockExactCapacity(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 4, 1)
+	if n := l.PushBlock(0, flits(1, 2, 3, 4)); n != 4 {
+		t.Fatalf("PushBlock took %d of 4", n)
+	}
+	if l.Credits() != 0 || l.CanPush() {
+		t.Fatalf("credits=%d after exact-capacity block, want 0", l.Credits())
+	}
+	if n := l.PushBlock(0, flits(5)); n != 0 {
+		t.Fatalf("full link accepted %d extra flits", n)
+	}
+	l.commit(0)
+	if l.Visible() != 4 {
+		t.Fatalf("Visible=%d want 4", l.Visible())
+	}
+	if span := l.PeekBlock(); len(span) != 4 {
+		t.Fatalf("unwrapped exact-capacity run peeked as %d flits, want 4", len(span))
+	}
+	// Credits return only at commit after the consumer frees slots.
+	l.DropBlock(2)
+	if l.Credits() != 0 {
+		t.Fatal("credits must not return mid-cycle")
+	}
+	l.commit(1)
+	if l.Credits() != 2 {
+		t.Fatalf("credits=%d after freeing 2 slots, want 2", l.Credits())
+	}
+}
+
+// TestPushBlockCreditClamp: a block larger than the credits in hand is
+// truncated, not rejected — the producer learns the accepted count and
+// carries the tail into a later cycle, preserving stream order.
+func TestPushBlockCreditClamp(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 3, 1)
+	all := flits(10, 11, 12, 13, 14)
+	n := l.PushBlock(0, all)
+	if n != 3 {
+		t.Fatalf("PushBlock took %d of 5 with 3 credits", n)
+	}
+	l.commit(0)
+	l.DropBlock(l.Visible())
+	l.commit(1)
+	if m := l.PushBlock(2, all[n:]); m != 2 {
+		t.Fatalf("tail PushBlock took %d of 2", m)
+	}
+	l.commit(2)
+	got := blockVals(t, l)
+	for i, v := range got {
+		if v != uint32(13+i) {
+			t.Fatalf("tail flit %d: got %d", i, v)
+		}
+	}
+}
+
+// TestPushBlockPartialAtEOS: the end-of-stream pulse rides the block path
+// like any flit. A producer whose final block is data..data+EOS but holds
+// too few credits splits the block; the EOS must arrive last and intact.
+func TestPushBlockPartialAtEOS(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 2, 1)
+	final := append(flits(1, 2), Flit{EOS: true})
+	n := l.PushBlock(0, final)
+	if n != 2 {
+		t.Fatalf("PushBlock took %d of 3 with 2 credits", n)
+	}
+	l.commit(0)
+	if got := blockVals(t, l); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("first window: %v", got)
+	}
+	l.commit(1)
+	if m := l.PushBlock(2, final[n:]); m != 1 {
+		t.Fatalf("EOS remainder took %d of 1", m)
+	}
+	l.commit(2)
+	span := l.PeekBlock()
+	if len(span) != 1 || !span[0].EOS {
+		t.Fatalf("EOS flit lost through split block: %+v", span)
+	}
+	l.DropBlock(1)
+	if !l.Drained() {
+		t.Fatal("link should drain after EOS consumed")
+	}
+}
+
+// TestPushBlockArrivalStampsMatchScalar: every flit in a block shares the
+// arrival cycle per-flit pushes in the same cycle would have — none visible
+// one commit early, all visible after latency.
+func TestPushBlockArrivalStampsMatchScalar(t *testing.T) {
+	s := NewSystem()
+	blk := s.NewLink("blk", 8, 3)
+	ref := s.NewLink("ref", 8, 3)
+	blk.PushBlock(5, flits(1, 2, 3))
+	for _, f := range flits(1, 2, 3) {
+		ref.Push(5, f)
+	}
+	for c := int64(5); c <= 8; c++ {
+		blk.commit(c)
+		ref.commit(c)
+		if blk.Visible() != ref.Visible() {
+			t.Fatalf("cycle %d: block path visible=%d, scalar=%d", c, blk.Visible(), ref.Visible())
+		}
+	}
+	if blk.Visible() != 3 {
+		t.Fatalf("latency-3 block not fully visible: %d", blk.Visible())
+	}
+	if blk.Pushes() != ref.Pushes() {
+		t.Fatalf("push stats diverge: block=%d scalar=%d", blk.Pushes(), ref.Pushes())
+	}
+}
+
+// TestDropBlockBeyondVisiblePanics: over-consuming a run is a modelling bug,
+// caught at the call site like a scalar pop on an empty link.
+func TestDropBlockBeyondVisiblePanics(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 4, 1)
+	l.PushBlock(0, flits(1, 2))
+	l.commit(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("DropBlock beyond the visible run must panic")
+		}
+	}()
+	l.DropBlock(3)
+}
+
+// TestPopBlockClampsToVisible: a destination larger than the visible run
+// takes what is there and reports it, leaving the link empty, not panicking.
+func TestPopBlockClampsToVisible(t *testing.T) {
+	s := NewSystem()
+	l := s.NewLink("l", 8, 1)
+	l.PushBlock(0, flits(6, 7))
+	l.commit(0)
+	dst := make([]Flit, 5)
+	if n := l.PopBlock(dst); n != 2 {
+		t.Fatalf("PopBlock returned %d, want 2", n)
+	}
+	if n := l.PopBlock(dst); n != 0 {
+		t.Fatalf("empty PopBlock returned %d", n)
+	}
+}

@@ -159,7 +159,18 @@ func (p *workerPool) runShard(shard []int, cycle int64, ob *workerOutbox) {
 			}
 			continue
 		}
-		s.comps[i].Tick(cycle)
+		if bt := sc.batchers[i]; bt != nil && !sc.noBatch {
+			// Same offer as the serial drain: batchBudget reads only fields
+			// owned by component i's side of its links, so pricing it here
+			// does not race other workers.
+			if n := sc.batchBudget(i); n >= BatchMinFlits {
+				bt.TickBatch(cycle, n)
+			} else {
+				s.comps[i].Tick(cycle)
+			}
+		} else {
+			s.comps[i].Tick(cycle)
+		}
 		dw := &sc.doneBits[i>>6]
 		if d := s.comps[i].Done(); d != (atomic.LoadUint64(dw)&mask != 0) {
 			if d {
@@ -170,15 +181,23 @@ func (p *workerPool) runShard(shard []int, cycle int64, ob *workerOutbox) {
 				ob.doneDel++ // lint:phaseconf-ok per-worker outbox delta, summed by the coordinator after the barrier
 			}
 		}
-		for _, pi := range sc.partners[i] {
-			// Partners share an atom — and therefore a shard — with i by
-			// construction, so a same-cycle (ahead-of-cursor) wake stays
-			// inside this very walk.
-			pw, pm := &sc.awake[pi>>6], uint64(1)<<uint(pi&63)
-			if int(pi) <= i {
-				pw = &sc.next[pi>>6]
+		// Partners share an atom — and therefore a shard — with i by
+		// construction, so a same-cycle (ahead-of-cursor) wake stays inside
+		// this very walk. The masks' words are shared with other shards'
+		// components, hence the atomic ORs.
+		if m := sc.wakeAhead[i]; m != nil {
+			for wi, wv := range m {
+				if wv != 0 {
+					atomic.OrUint64(&sc.awake[wi], wv)
+				}
 			}
-			atomic.OrUint64(pw, pm)
+		}
+		if m := sc.wakeBehind[i]; m != nil {
+			for wi, wv := range m {
+				if wv != 0 {
+					atomic.OrUint64(&sc.next[wi], wv)
+				}
+			}
 		}
 		atomic.OrUint64(&sc.next[i>>6], mask)
 	}

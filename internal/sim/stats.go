@@ -15,14 +15,17 @@ import (
 //
 // The hot path is a Counter handle: components resolve their counter names
 // once at construction and bump an atomic int64 per event — no per-tick map
-// lookup, no string hashing, no interface boxing of deltas. Increments are
-// commutative, so final values are independent of tick order — which is
-// what keeps the parallel kernel bit-identical to the serial one. Snapshot
-// coherence is preserved by a reader-writer lock: every Add holds the read
-// side, so a Snapshot (write side) still observes one consistent point in
-// time rather than a torn mix of before/after values.
+// lookup, no string hashing, no interface boxing of deltas, and no lock:
+// a bare atomic add is the entire cost. Increments are commutative, so
+// final values are independent of tick order — which is what keeps the
+// parallel kernel bit-identical to the serial one. Snapshot coherence is
+// per-counter (each value is an atomic load); every harness in this
+// repository snapshots at rest — after RunWith returns or between cycles —
+// where per-counter atomicity is full coherence. A snapshot taken while
+// worker goroutines are mid-tick would be a phase-discipline breach long
+// before it is a stats problem.
 type Stats struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex // guards the counters map (registration), not Add
 	counters map[string]*Counter
 
 	// meta holds host-side run telemetry (kernel selection, fallback
@@ -38,15 +41,12 @@ type Stats struct {
 // Counter is a handle to one named statistic. Obtain with Stats.Counter at
 // construction time; Add is safe from concurrent workers.
 type Counter struct {
-	stats *Stats
-	v     int64
+	v int64
 }
 
 // Add increments the counter by delta.
 func (c *Counter) Add(delta int64) {
-	c.stats.mu.RLock()
 	atomic.AddInt64(&c.v, delta)
-	c.stats.mu.RUnlock()
 }
 
 // Value returns the counter's current value.
@@ -70,7 +70,7 @@ func (s *Stats) Counter(name string) *Counter {
 	if c := s.counters[name]; c != nil {
 		return c
 	}
-	c = &Counter{stats: s}
+	c = &Counter{}
 	s.counters[name] = c
 	return c
 }
@@ -100,12 +100,12 @@ func (s *Stats) Ratio(num, den string) float64 {
 	return float64(s.Get(num)) / float64(d)
 }
 
-// Snapshot returns a coherent copy of every counter: the write lock
-// excludes every in-flight Add (which holds the read side), so a reader
-// racing concurrent writers sees one consistent point in time.
+// Snapshot returns a copy of every counter. Each value is an atomic load;
+// callers snapshot at rest (after a run or between cycles), where that is
+// full coherence.
 func (s *Stats) Snapshot() map[string]int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]int64, len(s.counters))
 	// lint:maprange-ok — copying into a map; order cannot matter.
 	for k, c := range s.counters {

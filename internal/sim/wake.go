@@ -223,9 +223,10 @@ func (w *timerWheel) next(cycle int64) int64 {
 // by the conformance harnesses), so components and links registered between
 // runs are picked up.
 type scheduler struct {
-	sys     *System
-	n       int
-	hinters []WakeHinter // parallel to comps; nil where not implemented
+	sys      *System
+	n        int
+	hinters  []WakeHinter  // parallel to comps; nil where not implemented
+	batchers []BatchTicker // parallel to comps; nil where not implemented
 
 	awake bitset // components to examine this cycle
 	next  bitset // accumulated wakes for the following cycle
@@ -237,6 +238,35 @@ type scheduler struct {
 	// consumers, and components declaring the link as shared state.
 	partners [][]int32
 	linkWake [][]int32
+
+	// wakeAhead/wakeBehind are partners[i] precompiled to bitset masks,
+	// split by index: partners above i wake the same cycle (OR into awake),
+	// partners at or below wake the next (OR into next). Wide groups — every
+	// DRAM node sharing one HBM is partnered with every other — made the
+	// per-partner set loop a measurable cost; a mask OR is a handful of word
+	// ops regardless of group width. nil where a side is empty.
+	wakeAhead  []bitset
+	wakeBehind []bitset
+
+	// inLinks/outLinks give each component's consumed/produced link ids, in
+	// port-declaration order — the occupancy/credit view batchBudget prices
+	// a TickBatch offer from.
+	inLinks  [][]int32
+	outLinks [][]int32
+
+	// Dirty-link commit tracking (serial kernel only). When trackDirty is
+	// set, every link mutation (stage/Drop and their block forms) reports
+	// the link via markLink, and the commit phase visits exactly the links
+	// with pending work — the marked ones plus flyIDs, the links carrying
+	// in-flight flits as of the last commit — instead of sweeping the whole
+	// census. The parallel kernel keeps the sweep: its workers mutate links
+	// concurrently, and a shared dirty list would reintroduce the very
+	// cross-worker traffic the owner-split link fields avoid.
+	trackDirty bool
+	dirtySet   bitset  // over link ids: marked since the last commit
+	dirtyIDs   []int32 // phase:tick — marked links, appended by markLink
+	flyIDs     []int32 // phase:commit — links with in-flight flits at last commit
+	flyScratch []int32 // phase:commit — double buffer for rebuilding flyIDs
 
 	wheel *timerWheel
 
@@ -252,6 +282,11 @@ type scheduler struct {
 	// awake component. Ticking re-arms, so after the all-set first cycle
 	// every component stays awake — the pre-quiescence behavior.
 	noSkip bool
+
+	// noBatch mirrors RunOptions.NoBatch: never offer TickBatch, drive every
+	// component through scalar Tick. The reference side of the batch-vs-scalar
+	// conformance suite runs with this set.
+	noBatch bool
 }
 
 func newScheduler(s *System) *scheduler {
@@ -260,6 +295,7 @@ func newScheduler(s *System) *scheduler {
 		sys:      s,
 		n:        n,
 		hinters:  make([]WakeHinter, n),
+		batchers: make([]BatchTicker, n),
 		awake:    newBitset(n),
 		next:     newBitset(n),
 		poll:     newBitset(n),
@@ -269,6 +305,8 @@ func newScheduler(s *System) *scheduler {
 	for i, c := range s.comps {
 		h, _ := c.(WakeHinter)
 		sc.hinters[i] = h
+		bt, _ := c.(BatchTicker)
+		sc.batchers[i] = bt
 		if s.idlers[i] == nil || h == nil {
 			sc.poll.set(i)
 		}
@@ -282,6 +320,10 @@ func newScheduler(s *System) *scheduler {
 		}
 	}
 	sc.buildPartnerTables() // assigns link ids
+	sc.dirtySet = newBitset(len(s.links))
+	sc.dirtyIDs = make([]int32, 0, len(s.links))
+	sc.flyIDs = make([]int32, 0, len(s.links))
+	sc.flyScratch = make([]int32, 0, len(s.links))
 	for _, l := range s.links {
 		l.wasDrained = l.Drained()
 		l.wasFly = l.nFly > 0
@@ -290,6 +332,7 @@ func newScheduler(s *System) *scheduler {
 		}
 		if l.wasFly {
 			sc.flyLinks++
+			sc.flyIDs = append(sc.flyIDs, int32(l.id))
 		}
 	}
 	return sc
@@ -311,15 +354,23 @@ func (sc *scheduler) buildPartnerTables() {
 	for id, l := range s.links {
 		l.id = id
 	}
+	sc.inLinks = make([][]int32, sc.n)
+	sc.outLinks = make([][]int32, sc.n)
 	for i, c := range s.comps {
 		if op, ok := c.(OutputPorts); ok {
 			for _, l := range op.OutputLinks() {
 				addLink(l, i)
+				if l != nil && l.id >= 0 {
+					sc.outLinks[i] = append(sc.outLinks[i], int32(l.id))
+				}
 			}
 		}
 		if ip, ok := c.(InputPorts); ok {
 			for _, l := range ip.InputLinks() {
 				addLink(l, i)
+				if l != nil && l.id >= 0 {
+					sc.inLinks[i] = append(sc.inLinks[i], int32(l.id))
+				}
 			}
 		}
 	}
@@ -384,6 +435,38 @@ func (sc *scheduler) buildPartnerTables() {
 	for id := range sc.linkWake {
 		sc.linkWake[id] = dedupSorted(sc.linkWake[id])
 	}
+	// Compile the partner lists to masks (see the field comment). Only
+	// components with partners pay for storage.
+	sc.wakeAhead = make([]bitset, sc.n)
+	sc.wakeBehind = make([]bitset, sc.n)
+	for i, ps := range sc.partners {
+		for _, p := range ps {
+			if int(p) > i {
+				if sc.wakeAhead[i] == nil {
+					sc.wakeAhead[i] = newBitset(sc.n)
+				}
+				sc.wakeAhead[i].set(int(p))
+			} else {
+				if sc.wakeBehind[i] == nil {
+					sc.wakeBehind[i] = newBitset(sc.n)
+				}
+				sc.wakeBehind[i].set(int(p))
+			}
+		}
+	}
+}
+
+// markLink records link activity for the serial kernel's dirty-list commit.
+// Called from the link mutators (stage/Drop and the block forms) via the
+// link's sched pointer, which RunWith wires only for serial runs — the
+// parallel kernel's workers would race on the shared list, so it sweeps.
+func (sc *scheduler) markLink(l *Link) {
+	id := l.id
+	if id < 0 || sc.dirtySet.get(id) {
+		return
+	}
+	sc.dirtySet.set(id)
+	sc.dirtyIDs = append(sc.dirtyIDs, int32(id)) // lint:hotalloc-ok bounded by the link census; backing array preallocated and reused
 }
 
 // dedupSorted sorts ascending and removes duplicates in place.
@@ -436,13 +519,14 @@ func (sc *scheduler) markTicked(i int) {
 
 // wakePartners propagates a tick of component i to its shared-state
 // partners: same cycle ahead of the cursor, next cycle at or behind it.
+// The precompiled masks make this O(words), not O(partners) — the HBM's
+// group partners every DRAM node with every other.
 func (sc *scheduler) wakePartners(i int) {
-	for _, p := range sc.partners[i] {
-		if int(p) > i {
-			sc.awake.set(int(p))
-		} else {
-			sc.next.set(int(p))
-		}
+	if m := sc.wakeAhead[i]; m != nil {
+		m.orInto(sc.awake)
+	}
+	if m := sc.wakeBehind[i]; m != nil {
+		m.orInto(sc.next)
 	}
 }
 
@@ -488,52 +572,124 @@ func (sc *scheduler) stepSerial(cycle int64) bool {
 				}
 				continue
 			}
-			s.comps[i].Tick(cycle)
+			if bt := sc.batchers[i]; bt != nil && !sc.noBatch {
+				if n := sc.batchBudget(i); n >= BatchMinFlits {
+					bt.TickBatch(cycle, n)
+				} else {
+					s.comps[i].Tick(cycle)
+				}
+			} else {
+				s.comps[i].Tick(cycle)
+			}
 			sc.markTicked(i)
 			sc.wakePartners(i)
 			sc.next.set(i) // may have more work; it will re-idle otherwise
 		}
 	}
+	if sc.trackDirty {
+		return sc.commitDirty(cycle)
+	}
 	return sc.commitLinks(cycle)
 }
 
-// commitLinks runs the end-of-cycle commit over every link with pending
-// work and applies the wake consequences. phase:commit — serial in both
+// commitOne ends one link's cycle and applies the wake consequences and
+// the incremental termination/fast-forward bookkeeping. It also rebuilds
+// the in-flight list for the next cycle. phase:commit — serial in both
 // kernels (the parallel kernel barriers first), so plain state suffices.
-// hot:path — runs once per simulated cycle.
+func (sc *scheduler) commitOne(id int, l *Link, cycle int64) (progress bool) {
+	progress, wake := l.commit(cycle)
+	if wake {
+		for _, ci := range sc.linkWake[id] {
+			sc.next.set(int(ci))
+		}
+	}
+	if d := l.Drained(); d != l.wasDrained {
+		l.wasDrained = d
+		if d {
+			sc.undrained--
+		} else {
+			sc.undrained++
+		}
+	}
+	if fly := l.nFly > 0; fly != l.wasFly {
+		l.wasFly = fly
+		if fly {
+			sc.flyLinks++
+		} else {
+			sc.flyLinks--
+		}
+	}
+	if l.nFly > 0 {
+		sc.flyScratch = append(sc.flyScratch, int32(id)) // lint:hotalloc-ok bounded by the link census; backing array preallocated and reused
+	}
+	return progress
+}
+
+// commitLinks runs the end-of-cycle commit over every link with pending
+// work, by full census sweep — the parallel kernel's commit (its workers
+// cannot share a dirty list without racing) and the fallback for schedulers
+// driven outside RunWith (the conformance harnesses). hot:path — runs once
+// per simulated cycle.
 func (sc *scheduler) commitLinks(cycle int64) bool {
 	moved := false
+	sc.flyScratch = sc.flyScratch[:0]
 	for id, l := range sc.sys.links {
 		if !l.pending() {
 			continue
 		}
-		progress, wake := l.commit(cycle)
-		if progress {
+		if sc.commitOne(id, l, cycle) {
 			moved = true
 		}
-		if wake {
-			for _, ci := range sc.linkWake[id] {
-				sc.next.set(int(ci))
-			}
-		}
-		if d := l.Drained(); d != l.wasDrained {
-			l.wasDrained = d
-			if d {
-				sc.undrained--
-			} else {
-				sc.undrained++
-			}
-		}
-		if fly := l.nFly > 0; fly != l.wasFly {
-			l.wasFly = fly
-			if fly {
-				sc.flyLinks++
-			} else {
-				sc.flyLinks--
-			}
+	}
+	sc.flyIDs, sc.flyScratch = sc.flyScratch, sc.flyIDs
+	return moved
+}
+
+// commitDirty is the serial kernel's commit: visit exactly the links with
+// pending work — those marked by a push or pop this cycle (dirtyIDs) plus
+// those carrying in-flight flits from earlier cycles (flyIDs). Commit order
+// across links is unobservable: each link's commit touches only that link,
+// and the wake/census updates are idempotent or commutative. hot:path —
+// runs once per simulated cycle.
+func (sc *scheduler) commitDirty(cycle int64) bool {
+	moved := false
+	sc.flyScratch = sc.flyScratch[:0]
+	links := sc.sys.links
+	for _, id := range sc.dirtyIDs {
+		if sc.commitOne(int(id), links[id], cycle) {
+			moved = true
 		}
 	}
+	for _, id := range sc.flyIDs {
+		if sc.dirtySet.get(int(id)) {
+			continue // committed above
+		}
+		if sc.commitOne(int(id), links[id], cycle) {
+			moved = true
+		}
+	}
+	for _, id := range sc.dirtyIDs {
+		sc.dirtySet[id>>6] &^= 1 << uint(id&63)
+	}
+	sc.dirtyIDs = sc.dirtyIDs[:0]
+	sc.flyIDs, sc.flyScratch = sc.flyScratch, sc.flyIDs
 	return moved
+}
+
+// nextArrival returns the earliest cycle at which any in-flight flit
+// matures, or WakeNever when nothing is in flight. Together with the timer
+// wheel this bounds the runner's fast-forward when every component is
+// asleep but links still carry flits: commits before (arrival-1) are
+// provable no-ops. phase:commit — called between cycles only.
+func (sc *scheduler) nextArrival() int64 {
+	min := WakeNever
+	links := sc.sys.links
+	for _, id := range sc.flyIDs {
+		if at := links[id].nextArrival(); at < min {
+			min = at
+		}
+	}
+	return min
 }
 
 // quiescent reports whether nothing at all is scheduled for this cycle:

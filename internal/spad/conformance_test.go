@@ -27,9 +27,10 @@ func TestTileIdleConformance(t *testing.T) {
 			spec := Spec{
 				Op:    OpRead,
 				Width: 1,
-				Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-				Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-					return r.Append(resp[0]), true
+				Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+				Apply: func(r *record.Rec, resp []uint32) bool {
+					*r = r.Append(resp[0])
+					return true
 				},
 			}
 			var recs []record.Rec

@@ -28,10 +28,11 @@ func TestPropertyFAATicketsAlwaysUnique(t *testing.T) {
 		}
 		spec := Spec{
 			Op:   OpFAA,
-			Addr: func(r record.Rec) uint32 { return r.Get(0) },
-			Data: func(record.Rec, int) uint32 { return 1 },
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-				return r.Append(resp[0]), true
+			Addr: func(r *record.Rec) uint32 { return r.Get(0) },
+			Data: func(*record.Rec, int) uint32 { return 1 },
+			Apply: func(r *record.Rec, resp []uint32) bool {
+				*r = r.Append(resp[0])
+				return true
 			},
 		}
 		got, _ := runTileQuick(mem, spec, recs)
@@ -81,8 +82,8 @@ func TestPropertyScatterGatherRoundTrip(t *testing.T) {
 		runTileQuick(mem, Spec{
 			Op:    OpWrite,
 			Width: 1,
-			Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-			Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) },
+			Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+			Data:  func(r *record.Rec, _ int) uint32 { return r.Get(1) },
 		}, writes)
 		reads := make([]record.Rec, n)
 		for i, a := range perm {
@@ -91,9 +92,10 @@ func TestPropertyScatterGatherRoundTrip(t *testing.T) {
 		got, _ := runTileQuick(mem, Spec{
 			Op:    OpRead,
 			Width: 1,
-			Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-				return r.Append(resp[0]), true
+			Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+			Apply: func(r *record.Rec, resp []uint32) bool {
+				*r = r.Append(resp[0])
+				return true
 			},
 		}, reads)
 		want := map[uint32]uint32{}
@@ -127,14 +129,14 @@ func TestPropertyModifyLinearizes(t *testing.T) {
 		}
 		runTileQuick(mem, Spec{
 			Op:   OpModify,
-			Addr: func(r record.Rec) uint32 { return r.Get(0) },
-			Modify: func(cur uint32, _ record.Rec) uint32 {
+			Addr: func(r *record.Rec) uint32 { return r.Get(0) },
+			Modify: func(cur uint32, _ *record.Rec) uint32 {
 				if cur >= ceil {
 					return cur
 				}
 				return cur + 1
 			},
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+			Apply: func(r *record.Rec, resp []uint32) bool { return true },
 		}, recs)
 		counts := map[uint32]uint32{}
 		for _, r := range recs {

@@ -106,9 +106,9 @@ func conflictRecs(rng *rand.Rand, n int) []record.Rec {
 // non-unit deltas even though their fold commutes); the response-level
 // guarantee is pinned separately below.
 func TestPropertyCommutativeOpsReorderSafe(t *testing.T) {
-	keep := func(r record.Rec, _ []uint32) (record.Rec, bool) { return r, true }
-	addr := func(r record.Rec) uint32 { return r.Get(0) }
-	arg := func(r record.Rec, _ int) uint32 { return r.Get(1) }
+	keep := func(*record.Rec, []uint32) bool { return true }
+	addr := func(r *record.Rec) uint32 { return r.Get(0) }
+	arg := func(r *record.Rec, _ int) uint32 { return r.Get(1) }
 	cases := []struct {
 		name string
 		fill uint32 // initial memory image; min needs a high floor to move
@@ -164,13 +164,14 @@ func TestPropertyFAAResponsesOrderFree(t *testing.T) {
 	spec := func() Spec {
 		return Spec{
 			Op:   OpFAA,
-			Addr: func(r record.Rec) uint32 { return r.Get(0) },
-			Data: func(record.Rec, int) uint32 { return 1 },
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+			Addr: func(r *record.Rec) uint32 { return r.Get(0) },
+			Data: func(*record.Rec, int) uint32 { return 1 },
+			Apply: func(r *record.Rec, resp []uint32) bool {
 				// Keep only (addr, ticket): thread identity must not leak
 				// into the comparison, since which thread draws which
 				// ticket is exactly what reordering changes.
-				return record.Make(r.Get(0), resp[0]), true
+				*r = record.Make(r.Get(0), resp[0])
+				return true
 			},
 		}
 	}

@@ -134,23 +134,27 @@ type Spec struct {
 	// Width is the words accessed per request for OpRead/OpWrite.
 	// RMW ops always access one word.
 	Width int
-	// Addr extracts the word address from a thread record.
-	Addr func(record.Rec) uint32
+	// Addr extracts the word address from a thread record. The record is
+	// passed by pointer purely to avoid a copy per call on the request hot
+	// path; Addr must not mutate it.
+	Addr func(r *record.Rec) uint32
 	// Data supplies write data word i (0 <= i < Width) for OpWrite.
 	// For OpCAS, Data(r, 0) is the expected old value and Data(r, 1) the
 	// new value. For OpFAA it is the delta; for OpXCHG the new value.
-	Data func(record.Rec, int) uint32
+	// Like Addr, Data must not mutate the record.
+	Data func(r *record.Rec, i int) uint32
 	// Modify is the combiner for OpModify: it receives the current memory
-	// word and the thread record and returns the value to store.
-	Modify func(cur uint32, r record.Rec) uint32
-	// Apply merges the response into the thread record and returns the
-	// updated thread. resp holds Width words for OpRead and one word (the
-	// pre-op value) for RMW ops; it is nil for OpWrite. resp is only valid
-	// for the duration of the call — the tile recycles the buffer after
-	// Apply returns, so copy values out rather than retaining the slice.
+	// word and the thread record and returns the value to store. It must
+	// not mutate the record.
+	Modify func(cur uint32, r *record.Rec) uint32
+	// Apply merges the response into the thread record, mutating it in
+	// place. resp holds Width words for OpRead and one word (the pre-op
+	// value) for RMW ops; it is nil for OpWrite. resp is only valid for the
+	// duration of the call — the tile recycles the buffer after Apply
+	// returns, so copy values out rather than retaining the slice.
 	// Returning keep == false drops the thread (rarely used; filtering
 	// normally happens in compute tiles).
-	Apply func(r record.Rec, resp []uint32) (out record.Rec, keep bool)
+	Apply func(r *record.Rec, resp []uint32) (keep bool)
 
 	// In, when set, declares the schema of thread records this stream
 	// consumes; Out the schema it produces (often wider, when Apply stamps

@@ -2,8 +2,10 @@ package spad
 
 import (
 	"fmt"
+	"math/bits"
 
 	"aurochs/internal/record"
+	"aurochs/internal/ring"
 	"aurochs/internal/sim"
 )
 
@@ -86,8 +88,12 @@ type Tile struct {
 
 	queues   [][]qent
 	bankBusy []int64 // bank free again at this cycle
-	pending  []bankOp
-	ready    []record.Rec // completed threads awaiting output vectorization
+	// pending is FIFO by completion time: every grant's done stamp is
+	// cycle + AccessLatency + busy - 1 with busy fixed per tile config, so
+	// later grants never complete earlier and retire can stop at the first
+	// unfinished op instead of scanning (and compacting) the whole window.
+	pending  ring.Queue[bankOp]
+	ready    ring.Queue[record.Rec] // completed threads awaiting output vectorization
 	rob      map[int64][]record.Rec
 	robFree  [][]record.Rec   // recycled ROB slot slices (in-order mode)
 	robLive  map[int64]uint32 // lanes with a retired record per seq
@@ -103,14 +109,22 @@ type Tile struct {
 	// bidding request, so the single-cycle matching stays bit-identical
 	// while the host cost drops from banks×lanes×depth struct copies to a
 	// handful of counter probes.
-	banks      int     // t.mem.Banks(), hoisted
-	width      int     // t.spec.width(), hoisted
-	nq         int     // total occupied issue-queue slots (incl. granted)
-	bids       int     // total un-granted slots (active bidders)
-	bankBids   []int32 // un-granted slots per bank
-	laneBids   []int32 // un-granted slots per lane×bank, lane*banks+bank
-	laneIssued []bool  // per-cycle scratch: lane already issued this cycle
-	respFree   [][]uint32
+	banks    int     // t.mem.Banks(), hoisted
+	width    int     // t.spec.width(), hoisted
+	nq       int     // total occupied issue-queue slots (incl. granted)
+	bids     int     // total un-granted slots (active bidders)
+	bankBids []int32 // un-granted slots per bank
+	laneBids []int32 // un-granted slots per lane×bank, lane*banks+bank
+	// Bit-mirrors of the counters above (bit b of bankBidMask set iff
+	// bankBids[b] > 0; bit l of laneMask[bank] set iff laneBids[l*banks+bank]
+	// > 0). The allocator rotates these by rr and walks set bits with
+	// TrailingZeros, which visits exactly the banks/lanes the counter scan
+	// would in the same priority order — only the empty probes disappear.
+	// Maintained only while banks and Lanes both fit in 64 bits (maskable).
+	bankBidMask uint64
+	laneMask    []uint64
+	maskable    bool
+	respFree    [][]uint32
 
 	cGrants, cConf, cReq *sim.Counter
 	cDropped, cRespStall *sim.Counter
@@ -129,7 +143,7 @@ func NewTile(cfg Config, mem *Mem, spec Spec, in, out *sim.Link, stats *sim.Stat
 			// Derive the modify function from the declared combiner so the
 			// classified path needs no redundant closure.
 			comb, data := spec.Combiner, spec.Data
-			spec.Modify = func(cur uint32, r record.Rec) uint32 {
+			spec.Modify = func(cur uint32, r *record.Rec) uint32 {
 				var arg uint32
 				if data != nil {
 					arg = data(r, 0)
@@ -158,7 +172,8 @@ func NewTile(cfg Config, mem *Mem, spec Spec, in, out *sim.Link, stats *sim.Stat
 		banks:      mem.Banks(),
 		bankBids:   make([]int32, mem.Banks()),
 		laneBids:   make([]int32, cfg.Lanes*mem.Banks()),
-		laneIssued: make([]bool, cfg.Lanes),
+		laneMask:   make([]uint64, mem.Banks()),
+		maskable:   mem.Banks() <= 64 && cfg.Lanes <= 64,
 		cGrants:    stats.Counter(cfg.Name + ".grants"),
 		cConf:      stats.Counter(cfg.Name + ".conflicts"),
 		cReq:       stats.Counter(cfg.Name + ".requests"),
@@ -222,7 +237,7 @@ func (t *Tile) Done() bool { return t.eosSent }
 // queued, pending, or ready, no input is poppable, and EOS (if due) has
 // been sent.
 func (t *Tile) Idle(int64) bool {
-	if len(t.pending) > 0 || len(t.ready) > 0 || t.nq > 0 {
+	if t.pending.Len() > 0 || t.ready.Len() > 0 || t.nq > 0 {
 		return false
 	}
 	if t.cfg.InOrder && t.robHead < t.seq {
@@ -263,21 +278,17 @@ func (t *Tile) Tick(cycle int64) {
 }
 
 // retire completes bank operations whose latency elapsed and applies the
-// response to the thread record.
+// response to the thread record. pending is FIFO by done (see field doc),
+// so the loop stops at the first unfinished op.
 func (t *Tile) retire(cycle int64) {
-	n := 0
-	for i := range t.pending {
-		op := &t.pending[i]
+	for t.pending.Len() > 0 {
+		op := t.pending.Front()
 		if op.done > cycle {
-			if n != i {
-				t.pending[n] = *op
-			}
-			n++
-			continue
+			return
 		}
-		out, keep := op.rec, true
+		keep := true
 		if t.spec.Apply != nil {
-			out, keep = t.spec.Apply(op.rec, op.resp)
+			keep = t.spec.Apply(&op.rec, op.resp)
 		}
 		if op.resp != nil {
 			// Apply may not retain resp (see Spec.Apply); recycle the buffer.
@@ -287,6 +298,7 @@ func (t *Tile) retire(cycle int64) {
 		if !keep {
 			t.cDropped.Add(1)
 			t.retireSeq(op.seq)
+			t.pending.Drop()
 			continue
 		}
 		if t.cfg.InOrder {
@@ -305,20 +317,19 @@ func (t *Tile) retire(cycle int64) {
 					slots = make([]record.Rec, t.cfg.Lanes) // lint:hotalloc-ok freelist warmup, bounded by the in-flight window
 				}
 			}
-			slots[op.lane] = out
+			slots[op.lane] = op.rec
 			// The reorder window is bounded by issue-queue backpressure, so
 			// the maps' bucket arrays stop growing once it is covered.
-			t.rob[op.seq] = slots            // lint:hotalloc-ok bounded reorder window, buckets reused after delete
+			t.rob[op.seq] = slots                   // lint:hotalloc-ok bounded reorder window, buckets reused after delete
 			t.robLive[op.seq] |= 1 << uint(op.lane) // lint:hotalloc-ok bounded reorder window, buckets reused after delete
 			t.retireSeq(op.seq)
 		} else {
-			// Bounded by the response-side backpressure in allocate; emit
-			// compacts consumed records to the front so the backing array
-			// is reused rather than slid off the end.
-			t.ready = append(t.ready, out) // lint:hotalloc-ok bounded by backpressure, compacted in emit
+			// Ring capacity is bounded by the response-side backpressure in
+			// allocate, so the backing array stops growing at steady state.
+			*t.ready.PushRefDirty() = op.rec // lint:hotalloc-ok bounded by backpressure, ring reuses its array
 		}
+		t.pending.Drop()
 	}
-	t.pending = t.pending[:n]
 }
 
 func (t *Tile) retireSeq(seq int64) {
@@ -333,33 +344,70 @@ func (t *Tile) retireSeq(seq int64) {
 // request and each lane issues at most one. Granted slots are invalidated
 // immediately in Aurochs mode, freeing the slot for a new thread.
 func (t *Tile) allocate(cycle int64) {
-	if len(t.ready)+len(t.pending) >= 4*t.cfg.Lanes {
+	if t.ready.Len()+t.pending.Len() >= 4*t.cfg.Lanes {
 		// Response-side backpressure: stop granting when the output
 		// compactor is saturated so the pipeline stays bounded.
 		t.cRespStall.Add(1)
 		return
 	}
 	granted := 0
-	if t.bids > 0 {
-		for i := range t.laneIssued {
-			t.laneIssued[i] = false
+	if t.bids > 0 && t.maskable {
+		// Greedy maximal matching (paper fig. 2b) over the bid masks: visit
+		// banks with live bids in rotated order (b+rr)&(banks-1), and for
+		// each, the first non-issued lane with a live bid for it in rotated
+		// order (l+rr)%Lanes. Rotating the mask by rr and taking set bits in
+		// ascending position reproduces those sequences exactly, so the
+		// grant order — and therefore all simulated state — is unchanged.
+		var issued uint64
+		br := t.rr & (t.banks - 1)
+		bm := (t.bankBidMask>>uint(br) | t.bankBidMask<<uint(t.banks-br)) & (uint64(1)<<uint(t.banks) - 1)
+		lmod := t.cfg.Lanes
+		lr := t.rr % lmod
+		lfull := uint64(1)<<uint(lmod) - 1
+		for bm != 0 {
+			p := bits.TrailingZeros64(bm)
+			bm &= bm - 1
+			bank := (p + br) & (t.banks - 1)
+			if t.bankBusy[bank] > cycle {
+				continue
+			}
+			lm := t.laneMask[bank] &^ issued
+			if lm == 0 {
+				continue
+			}
+			lrot := (lm>>uint(lr) | lm<<uint(lmod-lr)) & lfull
+			lane := bits.TrailingZeros64(lrot) + lr
+			if lane >= lmod {
+				lane -= lmod
+			}
+			// FIFO scan order gives priority to older requests, matching
+			// Capstan's age-based allocation rounds. A matching un-granted
+			// slot must exist: laneBids[lane][bank] > 0.
+			q := t.queues[lane]
+			for si := range q {
+				e := &q[si]
+				if e.granted || e.bank != bank {
+					continue
+				}
+				t.grant(cycle, lane, si)
+				issued |= uint64(1) << uint(lane)
+				granted++
+				break
+			}
 		}
+	} else if t.bids > 0 {
+		// Reference scan for degenerate geometries (>64 banks or lanes).
+		issued := make([]bool, t.cfg.Lanes) // lint:hotalloc-ok cold fallback path, never taken at default geometry
 		for b := 0; b < t.banks; b++ {
 			bank := (b + t.rr) & (t.banks - 1)
 			if t.bankBids[bank] == 0 || t.bankBusy[bank] > cycle {
 				continue
 			}
-			// Find a bidding lane for this bank (greedy maximal matching;
-			// the hardware allocator is combinational and single-cycle).
-			// laneBids tells us which lanes hold a live bid for this bank,
-			// so only the winning lane's queue is actually scanned.
 			for l := 0; l < t.cfg.Lanes; l++ {
 				lane := (l + t.rr) % t.cfg.Lanes
-				if t.laneIssued[lane] || t.laneBids[lane*t.banks+bank] == 0 {
+				if issued[lane] || t.laneBids[lane*t.banks+bank] == 0 {
 					continue
 				}
-				// FIFO scan order gives priority to older requests, matching
-				// Capstan's age-based allocation rounds.
 				q := t.queues[lane]
 				for si := range q {
 					e := &q[si]
@@ -367,7 +415,7 @@ func (t *Tile) allocate(cycle int64) {
 						continue
 					}
 					t.grant(cycle, lane, si)
-					t.laneIssued[lane] = true
+					issued[lane] = true
 					granted++
 					break
 				}
@@ -397,8 +445,12 @@ func (t *Tile) grant(cycle int64, lane, si int) {
 	e := &t.queues[lane][si]
 	bank := e.bank
 	t.bids--
-	t.bankBids[bank]--
-	t.laneBids[lane*t.banks+bank]--
+	if t.bankBids[bank]--; t.bankBids[bank] == 0 {
+		t.bankBidMask &^= uint64(1) << uint(bank)
+	}
+	if t.laneBids[lane*t.banks+bank]--; t.laneBids[lane*t.banks+bank] == 0 {
+		t.laneMask[bank] &^= uint64(1) << uint(lane)
+	}
 
 	w := t.width
 	var resp []uint32
@@ -410,28 +462,28 @@ func (t *Tile) grant(cycle int64, lane, si int) {
 		}
 	case OpWrite:
 		for i := 0; i < w; i++ {
-			t.mem.Write(e.addr+uint32(i), t.spec.Data(e.rec, i))
+			t.mem.Write(e.addr+uint32(i), t.spec.Data(&e.rec, i))
 		}
 	case OpCAS:
 		cur := t.mem.Read(e.addr)
-		if cur == t.spec.Data(e.rec, 0) {
-			t.mem.Write(e.addr, t.spec.Data(e.rec, 1))
+		if cur == t.spec.Data(&e.rec, 0) {
+			t.mem.Write(e.addr, t.spec.Data(&e.rec, 1))
 		}
 		resp = t.respBuf(1)
 		resp[0] = cur
 	case OpFAA:
 		cur := t.mem.Read(e.addr)
-		t.mem.Write(e.addr, cur+t.spec.Data(e.rec, 0))
+		t.mem.Write(e.addr, cur+t.spec.Data(&e.rec, 0))
 		resp = t.respBuf(1)
 		resp[0] = cur
 	case OpXCHG:
 		cur := t.mem.Read(e.addr)
-		t.mem.Write(e.addr, t.spec.Data(e.rec, 0))
+		t.mem.Write(e.addr, t.spec.Data(&e.rec, 0))
 		resp = t.respBuf(1)
 		resp[0] = cur
 	case OpModify:
 		cur := t.mem.Read(e.addr)
-		t.mem.Write(e.addr, t.spec.Modify(cur, e.rec))
+		t.mem.Write(e.addr, t.spec.Modify(cur, &e.rec))
 		resp = t.respBuf(1)
 		resp[0] = cur
 	}
@@ -444,10 +496,9 @@ func (t *Tile) grant(cycle int64, lane, si int) {
 		busy = 2
 	}
 	t.bankBusy[bank] = cycle + busy
-	// Grows to the bounded in-flight population once; retire compacts it
-	// in place, so the backing array is reused at steady state.
-	t.pending = append(t.pending, bankOp{}) // lint:hotalloc-ok bounded in-flight ops, compacted in place by retire
-	op := &t.pending[len(t.pending)-1]
+	// Grows to the bounded in-flight population once; the ring reuses its
+	// backing array at steady state.
+	op := t.pending.PushRefDirty() // lint:hotalloc-ok bounded in-flight ops, ring reuses its array
 	op.rec = e.rec
 	op.resp = resp
 	op.done = cycle + int64(t.cfg.AccessLatency) + busy - 1
@@ -486,21 +537,18 @@ func (t *Tile) emit(cycle int64) {
 		t.emitInOrder(cycle)
 		return
 	}
-	if len(t.ready) == 0 {
+	n := t.ready.Len()
+	if n == 0 {
 		return
 	}
-	n := len(t.ready)
 	if n > record.NumLanes {
 		n = record.NumLanes
 	}
 	v := t.out.StageVec(cycle)
 	for i := 0; i < n; i++ {
-		*v.PushRef() = t.ready[i]
+		*v.PushRef() = *t.ready.Front()
+		t.ready.Drop()
 	}
-	// Compact instead of reslicing off the front: t.ready[n:] would walk
-	// the backing array forward until append in retire reallocates it; the
-	// copy keeps the array's full capacity live forever.
-	t.ready = t.ready[:copy(t.ready, t.ready[n:])]
 }
 
 // emitInOrder releases the oldest vector only once all of its requests have
@@ -574,7 +622,7 @@ func (t *Tile) accept(cycle int64) {
 		if !f.Vec.Valid(i) {
 			continue
 		}
-		addr := t.spec.Addr(f.Vec.Lane[i])
+		addr := t.spec.Addr(&f.Vec.Lane[i])
 		if int(addr)+t.width > t.mem.Words() {
 			panic(fmt.Sprintf("%s: address %d+%d out of range (%d words)", t.cfg.Name, addr, t.width, t.mem.Words()))
 		}
@@ -589,8 +637,12 @@ func (t *Tile) accept(cycle int64) {
 		t.queues[lane] = q
 		t.nq++
 		t.bids++
-		t.bankBids[bank]++
-		t.laneBids[lane*t.banks+bank]++
+		if t.bankBids[bank]++; t.bankBids[bank] == 1 {
+			t.bankBidMask |= uint64(1) << uint(bank)
+		}
+		if t.laneBids[lane*t.banks+bank]++; t.laneBids[lane*t.banks+bank] == 1 {
+			t.laneMask[bank] |= uint64(1) << uint(lane)
+		}
 		count++
 	}
 	if t.cfg.InOrder {
@@ -604,7 +656,7 @@ func (t *Tile) finishEOS(cycle int64) {
 	if t.eosSent || !t.eosIn {
 		return
 	}
-	if t.nq > 0 || len(t.pending) > 0 || len(t.ready) > 0 {
+	if t.nq > 0 || t.pending.Len() > 0 || t.ready.Len() > 0 {
 		return
 	}
 	if t.cfg.InOrder && t.robHead < t.seq {

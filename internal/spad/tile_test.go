@@ -77,9 +77,10 @@ func TestGatherReadsCorrectWords(t *testing.T) {
 	spec := Spec{
 		Op:    OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Append(resp[0]), true
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			*r = r.Append(resp[0])
+			return true
 		},
 	}
 	var recs []record.Rec
@@ -106,12 +107,12 @@ func TestWideGatherStaysInOneBank(t *testing.T) {
 	spec := Spec{
 		Op:    OpRead,
 		Width: 4,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) * 4 },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) * 4 },
+		Apply: func(r *record.Rec, resp []uint32) bool {
 			for _, w := range resp {
-				r = r.Append(w)
+				*r = r.Append(w)
 			}
-			return r, true
+			return true
 		},
 	}
 	var recs []record.Rec
@@ -134,8 +135,8 @@ func TestScatterWritesAllWords(t *testing.T) {
 	spec := Spec{
 		Op:    OpWrite,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Data:  func(r record.Rec, _ int) uint32 { return r.Get(1) },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Data:  func(r *record.Rec, _ int) uint32 { return r.Get(1) },
 	}
 	var recs []record.Rec
 	for i := 0; i < 100; i++ {
@@ -159,10 +160,11 @@ func TestFAAAtomicity(t *testing.T) {
 	mem := NewMem(16, 64, 0)
 	spec := Spec{
 		Op:   OpFAA,
-		Addr: func(record.Rec) uint32 { return 5 },
-		Data: func(record.Rec, int) uint32 { return 1 },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Append(resp[0]), true
+		Addr: func(*record.Rec) uint32 { return 5 },
+		Data: func(*record.Rec, int) uint32 { return 1 },
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			*r = r.Append(resp[0])
+			return true
 		},
 	}
 	const n = 128
@@ -190,15 +192,16 @@ func TestCASExactlyOneWinner(t *testing.T) {
 	mem := NewMem(16, 64, 0)
 	spec := Spec{
 		Op:   OpCAS,
-		Addr: func(record.Rec) uint32 { return 9 },
-		Data: func(r record.Rec, i int) uint32 {
+		Addr: func(*record.Rec) uint32 { return 9 },
+		Data: func(r *record.Rec, i int) uint32 {
 			if i == 0 {
 				return 0 // expected
 			}
 			return r.Get(0) // new
 		},
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) {
-			return r.Append(resp[0]), true
+		Apply: func(r *record.Rec, resp []uint32) bool {
+			*r = r.Append(resp[0])
+			return true
 		},
 	}
 	recs := make([]record.Rec, 64)
@@ -229,8 +232,8 @@ func TestBankConflictSerialization(t *testing.T) {
 		return Spec{
 			Op:    OpRead,
 			Width: 1,
-			Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+			Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+			Apply: func(r *record.Rec, resp []uint32) bool { return true },
 		}
 	}
 	const n = 512
@@ -258,8 +261,8 @@ func TestReorderBeatsInOrder(t *testing.T) {
 		return Spec{
 			Op:    OpRead,
 			Width: 1,
-			Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+			Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+			Apply: func(r *record.Rec, resp []uint32) bool { return true },
 		}
 	}
 	rng := rand.New(rand.NewSource(7))
@@ -289,8 +292,8 @@ func TestInOrderPreservesVectorOrder(t *testing.T) {
 	spec := Spec{
 		Op:    OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(1) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(1) },
+		Apply: func(r *record.Rec, resp []uint32) bool { return true },
 	}
 	rng := rand.New(rand.NewSource(3))
 	const n = 256
@@ -315,9 +318,9 @@ func TestRMWForwardingThroughput(t *testing.T) {
 		mem := NewMem(16, 64, 0)
 		spec := Spec{
 			Op:    OpFAA,
-			Addr:  func(record.Rec) uint32 { return 0 },
-			Data:  func(record.Rec, int) uint32 { return 1 },
-			Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+			Addr:  func(*record.Rec) uint32 { return 0 },
+			Data:  func(*record.Rec, int) uint32 { return 1 },
+			Apply: func(r *record.Rec, resp []uint32) bool { return true },
 		}
 		recs := make([]record.Rec, 256)
 		for i := range recs {
@@ -380,8 +383,8 @@ func (p *tileBufProbe) Done() bool   { return true }
 // two and sampling the tile's unexported buffers cannot race.
 func (p *tileBufProbe) SharedState() []any { return []any{p.tile.mem} }
 func (p *tileBufProbe) Tick(int64) {
-	if cap(p.tile.ready) > 0 {
-		p.readyBacking[&p.tile.ready[:1][0]] = true
+	if id := p.tile.ready.BackingID(); id != nil {
+		p.readyBacking[id] = true
 	}
 	for seq, slots := range p.tile.rob {
 		if len(slots) > 0 {
@@ -429,8 +432,8 @@ func TestTileReadyBufferStaysPut(t *testing.T) {
 	spec := Spec{
 		Op:    OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Apply: func(r *record.Rec, resp []uint32) bool { return true },
 	}
 	probe := runTileProbed(t, Config{Name: "readyprobe"}, spec, conflictyRecs(4096))
 	if len(probe.readyBacking) == 0 {
@@ -450,8 +453,8 @@ func TestTileROBSlotsRecycle(t *testing.T) {
 	spec := Spec{
 		Op:    OpRead,
 		Width: 1,
-		Addr:  func(r record.Rec) uint32 { return r.Get(0) },
-		Apply: func(r record.Rec, resp []uint32) (record.Rec, bool) { return r, true },
+		Addr:  func(r *record.Rec) uint32 { return r.Get(0) },
+		Apply: func(r *record.Rec, resp []uint32) bool { return true },
 	}
 	probe := runTileProbed(t, Config{Name: "robprobe", InOrder: true}, spec, conflictyRecs(4096))
 	if probe.robSeqs < 64 {
